@@ -1,0 +1,334 @@
+(* Benchmark harness.
+
+   Two halves:
+
+   1. Bechamel micro-benchmarks - one [Test.make] per reproduced table or
+      figure, timing the computational kernel that regenerates it (how
+      long one probe/trial/check takes on this machine). These measure the
+      implementation, not the paper's claims.
+
+   2. The full reproduction report - every experiment from
+      {!Ocube_harness.Registry} printed in paper-vs-measured form. This is
+      the part whose *content* mirrors the paper's evaluation; see
+      EXPERIMENTS.md for the archived output.
+
+   Run with:  dune exec bench/main.exe   (add --no-bench to skip part 1) *)
+
+open Bechamel
+open Toolkit
+open Ocube_mutex
+module Exp_common = Ocube_harness.Exp_common
+module Opencube = Ocube_topology.Opencube
+module Rng = Ocube_sim.Rng
+
+(* --- kernels, one per table/figure -------------------------------------- *)
+
+(* Fig. 2: building and validating an open-cube. *)
+let bench_fig2_build =
+  Test.make ~name:"fig2_build_and_check_p10"
+    (Staged.stage @@ fun () ->
+     let c = Opencube.build ~p:10 in
+     match Opencube.check c with Ok () -> () | Error m -> failwith m)
+
+(* Fig. 3: hypercube-embedding check of the initial tree. *)
+let bench_fig3_subset =
+  Test.make ~name:"fig3_hypercube_embedding_p8"
+    (Staged.stage @@ fun () ->
+     let c = Opencube.build ~p:8 in
+     List.iter
+       (fun (s, f) -> assert (Ocube_topology.Hypercube.is_edge s f))
+       (Opencube.edges c))
+
+(* Thm. 2.1: a long chain of b-transformations. *)
+let bench_thm21_btransform =
+  let cube = Opencube.build ~p:10 in
+  let rng = Rng.create 1 in
+  Test.make ~name:"thm21_btransform_p10"
+    (Staged.stage @@ fun () ->
+     let i = Rng.int rng 1024 in
+     if Opencube.sons cube i <> [] then Opencube.b_transform cube i)
+
+(* Prop. 2.3: branch statistics over the whole cube. *)
+let bench_prop23_branches =
+  let cube = Opencube.build ~p:10 in
+  Test.make ~name:"prop23_branch_stats_p10"
+    (Staged.stage @@ fun () ->
+     for i = 0 to 1023 do
+       let r, n1 = Opencube.branch_stats cube i in
+       assert (r <= 10 - n1)
+     done)
+
+(* E1/Table worst-case: one serial request on a live 64-node system. *)
+let bench_tbl_worst_case =
+  let env, _ = Exp_common.make_opencube ~fault_tolerance:false ~p:6 () in
+  let rng = Rng.create 2 in
+  Test.make ~name:"tbl_worst_case_probe_n64"
+    (Staged.stage @@ fun () -> ignore (Exp_common.probe env (Rng.int rng 64)))
+
+(* E2/Table average: the full alpha_p measurement at p = 4. *)
+let bench_tbl_average =
+  Test.make ~name:"tbl_average_alpha_p4"
+    (Staged.stage @@ fun () ->
+     let total = ref 0 in
+     for i = 0 to 15 do
+       let env, _ = Exp_common.make_opencube ~fault_tolerance:false ~p:4 () in
+       total := !total + Exp_common.probe env i
+     done;
+     assert (!total = Exp_common.alpha 4))
+
+(* E3/Table failure overhead: one controlled failure+recovery trial. *)
+let bench_tbl_failure_trial =
+  let counter = ref 0 in
+  Test.make ~name:"tbl_failure_trial_n16"
+    (Staged.stage @@ fun () ->
+     incr counter;
+     let env, _ = Exp_common.make_opencube ~seed:!counter ~p:4 () in
+     let rng = Rng.create !counter in
+     ignore (Exp_common.probe env (Rng.int rng 16));
+     Runner.schedule_faults env
+       [ Runner.Faults.at (Runner.now env +. 1.0) (Rng.int rng 16) ~recover_after:50.0 () ];
+     for _ = 1 to 3 do
+       ignore (Exp_common.probe env (Rng.int rng 16))
+     done;
+     Runner.run_to_quiescence env)
+
+(* E4/Table comparison: one probe per baseline. *)
+let bench_probe kind name =
+  let env, _ = Exp_common.make ~kind ~n:64 () in
+  let rng = Rng.create 3 in
+  Test.make ~name (Staged.stage @@ fun () -> ignore (Exp_common.probe env (Rng.int rng 64)))
+
+let bench_tbl_cmp_raymond =
+  bench_probe (Exp_common.Raymond Ocube_topology.Static_tree.Binomial)
+    "tbl_comparison_raymond_n64"
+
+let bench_tbl_cmp_nt = bench_probe Exp_common.Naimi_trehel "tbl_comparison_naimi_trehel_n64"
+
+let bench_tbl_cmp_central = bench_probe Exp_common.Central "tbl_comparison_central_n64"
+
+let bench_tbl_cmp_suzuki =
+  bench_probe Exp_common.Suzuki_kasami "tbl_comparison_suzuki_kasami_n64"
+
+let bench_tbl_cmp_ricart =
+  bench_probe Exp_common.Ricart_agrawala "tbl_comparison_ricart_agrawala_n64"
+
+(* E5/Table search_father: a failure followed by a reconnecting search. *)
+let bench_tbl_search_father =
+  let counter = ref 100 in
+  Test.make ~name:"tbl_search_father_n32"
+    (Staged.stage @@ fun () ->
+     incr counter;
+     let env, _ = Exp_common.make_opencube ~seed:!counter ~p:5 () in
+     Runner.schedule_faults env [ Runner.Faults.at 0.5 24 () ];
+     Runner.run_arrivals env (Runner.Arrivals.single ~node:25 ~at:1.0);
+     Runner.run_to_quiescence env)
+
+(* E6/Table rules: one probe through the generic engine. *)
+let bench_tbl_rules =
+  let env, _ =
+    Exp_common.make ~kind:(Exp_common.Generic Generic_scheme.Opencube_rule) ~n:64 ()
+  in
+  let rng = Rng.create 4 in
+  Test.make ~name:"tbl_rules_generic_probe_n64"
+    (Staged.stage @@ fun () -> ignore (Exp_common.probe env (Rng.int rng 64)))
+
+(* E7/Table adaptivity: a hotspot burst. *)
+let bench_tbl_adaptivity =
+  let counter = ref 200 in
+  Test.make ~name:"tbl_adaptivity_hotspot_n16"
+    (Staged.stage @@ fun () ->
+     incr counter;
+     let env, _ = Exp_common.make_opencube ~seed:!counter ~fault_tolerance:false ~p:4 () in
+     let arrivals =
+       Runner.Arrivals.hotspot ~rng:(Rng.create !counter) ~n:16 ~hot:[ 13 ]
+         ~hot_rate:0.05 ~cold_rate:0.005 ~horizon:200.0
+     in
+     Runner.run_arrivals env arrivals;
+     Runner.run_to_quiescence env)
+
+(* E8: one timed fault-recovery latency trial. *)
+let bench_tbl_recovery_latency =
+  let counter = ref 300 in
+  Test.make ~name:"tbl_recovery_latency_trial_n16"
+    (Staged.stage @@ fun () ->
+     incr counter;
+     let env, algo = Exp_common.make_opencube ~seed:!counter ~p:4 () in
+     let rng = Rng.create !counter in
+     ignore (Exp_common.probe env (Rng.int rng 16));
+     let node = 1 + Rng.int rng 15 in
+     let father =
+       match Opencube_algo.father algo node with Some f -> f | None -> 0
+     in
+     Runner.schedule_faults env
+       [ Runner.Faults.at (Runner.now env +. 0.5) father () ];
+     Runner.run_arrivals env
+       (Runner.Arrivals.single ~node ~at:(Runner.now env +. 1.0));
+     Runner.run_to_quiescence env)
+
+(* E9: alpha_p at p=4 under exponential delays. *)
+let bench_tbl_delay_models =
+  Test.make ~name:"tbl_delay_models_alpha_p4"
+    (Staged.stage @@ fun () ->
+     let total = ref 0 in
+     for i = 0 to 15 do
+       let env, _ =
+         Exp_common.make_opencube
+           ~delay:(Ocube_net.Network.Exponential { mean = 0.7; cap = 3.0 })
+           ~fault_tolerance:false ~p:4 ()
+       in
+       total := !total + Exp_common.probe env i
+     done;
+     assert (!total = Exp_common.alpha 4))
+
+(* E10: one closed-loop saturation round. *)
+let bench_tbl_throughput =
+  Test.make ~name:"tbl_throughput_round_n16"
+    (Staged.stage @@ fun () ->
+     let env, _ =
+       Exp_common.make ~kind:(Exp_common.Opencube { census_rounds = 2; fault_tolerance = false })
+         ~n:16 ~cs:(Runner.Fixed 1.0) ()
+     in
+     for node = 0 to 15 do
+       Runner.submit env node
+     done;
+     Runner.run_to_quiescence env)
+
+(* E11: a loaded run with wait-sample collection. *)
+let bench_tbl_fairness =
+  Test.make ~name:"tbl_fairness_slice_n16"
+    (Staged.stage @@ fun () ->
+     let env, _ =
+       Exp_common.make ~kind:Exp_common.Naimi_trehel ~n:16 ~cs:(Runner.Fixed 0.5) ()
+     in
+     let arrivals =
+       Runner.Arrivals.poisson ~rng:(Rng.create 5) ~n:16 ~rate_per_node:0.01
+         ~horizon:500.0
+     in
+     Runner.run_arrivals env arrivals;
+     Runner.run_to_quiescence env;
+     ignore (Runner.wait_samples env))
+
+(* E12: an exhaustive model-check of the 4-node cube. *)
+let bench_tbl_modelcheck =
+  Test.make ~name:"tbl_modelcheck_p2_w1"
+    (Staged.stage @@ fun () ->
+     let s = Ocube_model.Explore.run ~p:2 ~wishes:1 () in
+     assert (s.Ocube_model.Explore.states = 1064))
+
+(* E13: one churn slice used by the ablation. *)
+let bench_tbl_ablation =
+  let counter = ref 400 in
+  Test.make ~name:"tbl_ablation_churn_slice_n16"
+    (Staged.stage @@ fun () ->
+     incr counter;
+     let env, _ = Exp_common.make_opencube ~seed:!counter ~census_rounds:1 ~p:4 () in
+     let arrivals =
+       Runner.Arrivals.poisson ~rng:(Rng.create !counter) ~n:16
+         ~rate_per_node:0.002 ~horizon:400.0
+     in
+     Runner.run_arrivals env arrivals;
+     Runner.schedule_faults env
+       [ Runner.Faults.at 100.0 (1 + (!counter mod 15)) ~recover_after:50.0 () ];
+     Runner.run_to_quiescence env)
+
+(* Walkthrough (Figures 6-8): the full Section 3.2 scenario. *)
+let bench_fig8_walkthrough =
+  Test.make ~name:"fig8_walkthrough_scenario"
+    (Staged.stage @@ fun () ->
+     let env, _ = Exp_common.make_opencube ~fault_tolerance:false ~p:4
+         ~cs:(Runner.Fixed 10.0) () in
+     Runner.run_arrivals env (Runner.Arrivals.single ~node:5 ~at:1.0);
+     Runner.run_arrivals env (Runner.Arrivals.single ~node:9 ~at:5.0);
+     Runner.run_arrivals env (Runner.Arrivals.single ~node:7 ~at:6.0);
+     Runner.run_to_quiescence env)
+
+let tests =
+  Test.make_grouped ~name:"ocube"
+    [
+      bench_fig2_build;
+      bench_fig3_subset;
+      bench_thm21_btransform;
+      bench_prop23_branches;
+      bench_fig8_walkthrough;
+      bench_tbl_worst_case;
+      bench_tbl_average;
+      bench_tbl_failure_trial;
+      bench_tbl_cmp_raymond;
+      bench_tbl_cmp_nt;
+      bench_tbl_cmp_central;
+      bench_tbl_cmp_suzuki;
+      bench_tbl_cmp_ricart;
+      bench_tbl_search_father;
+      bench_tbl_recovery_latency;
+      bench_tbl_delay_models;
+      bench_tbl_throughput;
+      bench_tbl_fairness;
+      bench_tbl_rules;
+      bench_tbl_adaptivity;
+      bench_tbl_modelcheck;
+      bench_tbl_ablation;
+    ]
+
+(* --- runner ---------------------------------------------------------------- *)
+
+let run_microbenchmarks () =
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Ocube_stats.Table.create
+      ~title:
+        "Bechamel micro-benchmarks (monotonic clock; one Test.make per \
+         reproduced table/figure)"
+      ~columns:
+        [
+          ("kernel", Ocube_stats.Table.Left);
+          ("time/iter", Ocube_stats.Table.Right);
+          ("r^2", Ocube_stats.Table.Right);
+        ]
+      ()
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let time_ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (t :: _) -> t
+        | _ -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
+      in
+      rows := (name, time_ns, r2) :: !rows)
+    results;
+  let pretty_time ns =
+    if Float.is_nan ns then "-"
+    else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun (name, t, r2) ->
+      Ocube_stats.Table.add_row table
+        [ name; pretty_time t; Ocube_stats.Table.fmt_float ~decimals:4 r2 ])
+    (List.sort compare !rows);
+  Ocube_stats.Table.print table
+
+let () =
+  let skip_bench = Array.exists (String.equal "--no-bench") Sys.argv in
+  let skip_experiments = Array.exists (String.equal "--no-experiments") Sys.argv in
+  if not skip_bench then begin
+    print_endline "=== Part 1: micro-benchmarks ===\n";
+    run_microbenchmarks ();
+    print_newline ()
+  end;
+  if not skip_experiments then begin
+    print_endline "=== Part 2: paper-reproduction experiments ===\n";
+    print_string (Ocube_harness.Registry.run_all ())
+  end

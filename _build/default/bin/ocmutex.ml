@@ -1,0 +1,355 @@
+(* ocmutex - command-line driver for the open-cube mutual-exclusion
+   reproduction.
+
+     ocmutex experiments            run every paper-reproduction experiment
+     ocmutex experiments average    run one experiment by name
+     ocmutex list                   list the experiments
+     ocmutex simulate ...           drive one algorithm on one workload
+     ocmutex tree -p 4 ...          show the open-cube evolving
+     ocmutex walkthrough            replay the paper's Section 3.2 example *)
+
+open Cmdliner
+open Ocube_mutex
+module Opencube = Ocube_topology.Opencube
+module Registry = Ocube_harness.Registry
+module Exp_common = Ocube_harness.Exp_common
+
+(* --- shared arguments ---------------------------------------------------- *)
+
+let seed_arg =
+  let doc = "Random seed (all runs are deterministic in it)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let nodes_arg =
+  let doc = "Number of nodes (a power of two for tree-based algorithms)." in
+  Arg.(value & opt int 32 & info [ "n"; "nodes" ] ~docv:"N" ~doc)
+
+let algo_arg =
+  let doc =
+    "Algorithm: opencube, opencube-paper (census off), raymond, \
+     raymond-path, naimi-trehel, central, suzuki-kasami, ricart-agrawala, \
+     generic-raymond, generic-transit."
+  in
+  Arg.(value & opt string "opencube" & info [ "a"; "algo" ] ~docv:"ALGO" ~doc)
+
+let kind_of_string = function
+  | "opencube" -> Ok (Exp_common.Opencube { census_rounds = 2; fault_tolerance = true })
+  | "opencube-paper" ->
+    Ok (Exp_common.Opencube { census_rounds = 0; fault_tolerance = true })
+  | "opencube-nofault" ->
+    Ok (Exp_common.Opencube { census_rounds = 2; fault_tolerance = false })
+  | "raymond" -> Ok (Exp_common.Raymond Ocube_topology.Static_tree.Binomial)
+  | "raymond-path" -> Ok (Exp_common.Raymond Ocube_topology.Static_tree.Path)
+  | "raymond-star" -> Ok (Exp_common.Raymond Ocube_topology.Static_tree.Star)
+  | "naimi-trehel" -> Ok Exp_common.Naimi_trehel
+  | "central" -> Ok Exp_common.Central
+  | "suzuki-kasami" -> Ok Exp_common.Suzuki_kasami
+  | "ricart-agrawala" -> Ok Exp_common.Ricart_agrawala
+  | "generic-raymond" -> Ok (Exp_common.Generic Generic_scheme.Raymond_rule)
+  | "generic-transit" -> Ok (Exp_common.Generic Generic_scheme.Always_transit)
+  | s -> Error (Printf.sprintf "unknown algorithm %S" s)
+
+(* --- experiments --------------------------------------------------------- *)
+
+let run_experiments name_opt =
+  match name_opt with
+  | None ->
+    print_string (Registry.run_all ());
+    0
+  | Some name -> (
+    match Registry.find name with
+    | Some e ->
+      print_string (e.Registry.run ());
+      0
+    | None ->
+      Printf.eprintf "unknown experiment %S; try `ocmutex list'\n" name;
+      1)
+
+let experiments_cmd =
+  let name_arg =
+    let doc = "Experiment name (omit to run all)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
+  in
+  let doc = "Run the paper-reproduction experiments." in
+  Cmd.v
+    (Cmd.info "experiments" ~doc)
+    Term.(const run_experiments $ name_arg)
+
+let list_cmd =
+  let doc = "List the available experiments." in
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-18s %s [%s]\n" e.Registry.name e.Registry.summary
+          e.Registry.paper_ref)
+      Registry.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* --- simulate -------------------------------------------------------------- *)
+
+let run_simulate algo n seed rate horizon cs failures recover patience verbose =
+  match kind_of_string algo with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok kind ->
+    let env, inst =
+      match kind with
+      | Exp_common.Opencube { census_rounds; fault_tolerance } ->
+        let env =
+          Runner.make_env ~seed ~n ~delay:(Ocube_net.Network.Constant 1.0)
+            ~cs:(Runner.Fixed cs) ()
+        in
+        let p = Exp_common.log2i n in
+        let algo =
+          Opencube_algo.create ~net:(Runner.net env)
+            ~callbacks:(Runner.callbacks env)
+            ~config:
+              {
+                (Opencube_algo.default_config ~p) with
+                census_rounds;
+                fault_tolerance;
+                asker_patience = patience;
+              }
+        in
+        let inst = Opencube_algo.instance algo in
+        Runner.attach env inst;
+        (env, inst)
+      | _ -> Exp_common.make ~seed ~kind ~n ~cs:(Runner.Fixed cs) ()
+    in
+    let arrivals =
+      Runner.Arrivals.poisson ~rng:(Runner.rng env) ~n ~rate_per_node:rate
+        ~horizon
+    in
+    Runner.run_arrivals env arrivals;
+    if failures > 0 then begin
+      let spacing = horizon /. float_of_int (failures + 1) in
+      let faults =
+        Runner.Faults.random ~rng:(Runner.rng env) ~n ~count:failures
+          ~start:spacing ~spacing
+          ~recover_after:(if recover > 0.0 then Some recover else None)
+          ()
+      in
+      Runner.schedule_faults env faults
+    end;
+    Runner.run_to_quiescence ~max_steps:50_000_000 env;
+    Printf.printf "algorithm        %s\n" inst.Types.algo_name;
+    Printf.printf "nodes            %d\n" n;
+    Printf.printf "requests issued  %d\n" (Runner.issued env);
+    Printf.printf "CS entries       %d\n" (Runner.cs_entries env);
+    Printf.printf "abandoned        %d\n" (Runner.abandoned env);
+    Printf.printf "outstanding      %d\n" (Runner.outstanding env);
+    Printf.printf "messages         %d\n" (Runner.messages_sent env);
+    Printf.printf "fault overhead   %d\n" (Runner.fault_overhead_messages env);
+    Printf.printf "violations       %d\n" (Runner.violations env);
+    let w = Runner.wait_stats env in
+    if Ocube_stats.Summary.count w > 0 then
+      Printf.printf "wait (mean/max)  %.2f / %.2f\n"
+        (Ocube_stats.Summary.mean w)
+        (Ocube_stats.Summary.max_value w);
+    if verbose then begin
+      print_endline "messages by category:";
+      List.iter
+        (fun (c, k) -> Printf.printf "  %-15s %d\n" c k)
+        (Runner.messages_by_category env)
+    end;
+    if Runner.violations env = 0 then 0 else 2
+
+let simulate_cmd =
+  let rate_arg =
+    let doc = "Poisson request rate per node per time unit." in
+    Arg.(value & opt float 0.01 & info [ "rate" ] ~docv:"R" ~doc)
+  in
+  let horizon_arg =
+    let doc = "Arrival horizon (virtual time units)." in
+    Arg.(value & opt float 1000.0 & info [ "horizon" ] ~docv:"T" ~doc)
+  in
+  let cs_arg =
+    let doc = "Critical-section duration." in
+    Arg.(value & opt float 1.0 & info [ "cs" ] ~docv:"D" ~doc)
+  in
+  let failures_arg =
+    let doc = "Number of fail-stop failures to inject." in
+    Arg.(value & opt int 0 & info [ "failures" ] ~docv:"K" ~doc)
+  in
+  let recover_arg =
+    let doc = "Recovery delay after each failure (0 = no recovery)." in
+    Arg.(value & opt float 100.0 & info [ "recover" ] ~docv:"T" ~doc)
+  in
+  let patience_arg =
+    let doc =
+      "Asker-patience multiplier for the open-cube algorithm (the paper's        suspicion timeout is 2*pmax*delta; see the E13b ablation)."
+    in
+    Arg.(value & opt float 1.0 & info [ "patience" ] ~docv:"X" ~doc)
+  in
+  let verbose_arg =
+    let doc = "Print the per-category message breakdown." in
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+  in
+  let doc = "Simulate one algorithm under a Poisson workload." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      const run_simulate $ algo_arg $ nodes_arg $ seed_arg $ rate_arg
+      $ horizon_arg $ cs_arg $ failures_arg $ recover_arg $ patience_arg
+      $ verbose_arg)
+
+(* --- tree ------------------------------------------------------------------- *)
+
+let run_tree p requests seed =
+  let env, algo =
+    Exp_common.make_opencube ~seed ~fault_tolerance:false ~p ()
+  in
+  let show () =
+    print_string
+      (Opencube.render (Opencube.of_fathers (Opencube_algo.snapshot_tree algo)))
+  in
+  Printf.printf "Initial %d-open-cube:\n" (1 lsl p);
+  show ();
+  List.iter
+    (fun node ->
+      if node < 0 || node >= 1 lsl p then
+        Printf.printf "\n(node %d out of range, skipped)\n" node
+      else begin
+        Printf.printf "\nAfter serving node %d (%d messages):\n" (node + 1)
+          (Exp_common.probe env node);
+        show ()
+      end)
+    requests;
+  (match Opencube_algo.check_opencube algo with
+  | Ok () -> print_endline "\nstructure check: OK"
+  | Error m -> print_endline ("\nstructure check FAILED: " ^ m));
+  0
+
+let tree_cmd =
+  let p_arg =
+    let doc = "Cube dimension: 2^P nodes." in
+    Arg.(value & opt int 4 & info [ "p" ] ~docv:"P" ~doc)
+  in
+  let req_arg =
+    let doc = "Nodes that request, in order (1-based, as in the paper)." in
+    Arg.(value & pos_all int [] & info [] ~docv:"NODE" ~doc)
+  in
+  let doc = "Show the open-cube evolving under serial requests." in
+  Cmd.v
+    (Cmd.info "tree" ~doc)
+    Term.(
+      const (fun p reqs seed -> run_tree p (List.map (fun r -> r - 1) reqs) seed)
+      $ p_arg $ req_arg $ seed_arg)
+
+(* --- dot -------------------------------------------------------------------- *)
+
+let run_dot p requests seed output =
+  let env, algo =
+    Exp_common.make_opencube ~seed ~fault_tolerance:false ~p ()
+  in
+  List.iter
+    (fun node ->
+      if node >= 0 && node < 1 lsl p then ignore (Exp_common.probe env node))
+    requests;
+  let dot =
+    Opencube.to_dot (Opencube.of_fathers (Opencube_algo.snapshot_tree algo))
+  in
+  (match output with
+  | None -> print_string dot
+  | Some path ->
+    let oc = open_out path in
+    output_string oc dot;
+    close_out oc;
+    Printf.printf "wrote %s
+" path);
+  0
+
+let dot_cmd =
+  let p_arg =
+    let doc = "Cube dimension: 2^P nodes." in
+    Arg.(value & opt int 4 & info [ "p" ] ~docv:"P" ~doc)
+  in
+  let req_arg =
+    let doc = "Nodes that request before the export (1-based)." in
+    Arg.(value & pos_all int [] & info [] ~docv:"NODE" ~doc)
+  in
+  let out_arg =
+    let doc = "Output file (stdout if omitted)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let doc = "Export the (possibly evolved) open-cube as Graphviz DOT." in
+  Cmd.v (Cmd.info "dot" ~doc)
+    Term.(
+      const (fun p reqs seed out ->
+          run_dot p (List.map (fun r -> r - 1) reqs) seed out)
+      $ p_arg $ req_arg $ seed_arg $ out_arg)
+
+(* --- walkthrough ------------------------------------------------------------ *)
+
+let walkthrough_cmd =
+  let doc = "Replay the paper's Section 3.2 worked example with a trace." in
+  let run () =
+    print_string
+      ((Option.get (Registry.find "figures")).Registry.run ());
+    0
+  in
+  Cmd.v (Cmd.info "walkthrough" ~doc) Term.(const run $ const ())
+
+(* --- verify ------------------------------------------------------------------ *)
+
+let run_verify p wishes max_states =
+  Printf.printf
+    "Exhaustively exploring the fault-free protocol: N = %d, %d wish(es) \
+     per node...\n%!"
+    (1 lsl p) wishes;
+  try
+    let s = Ocube_model.Explore.run ~max_states ~p ~wishes () in
+    Printf.printf "  %d reachable states, %d transitions, %d terminal states\n"
+      s.Ocube_model.Explore.states s.Ocube_model.Explore.transitions
+      s.Ocube_model.Explore.terminals;
+    Printf.printf "  peak in-flight %d, depth %d\n"
+      s.Ocube_model.Explore.max_in_flight s.Ocube_model.Explore.max_depth;
+    print_endline "  all invariants hold in every reachable state.";
+    0
+  with
+  | Ocube_model.Explore.Violation (msg, st) ->
+    Printf.printf "VIOLATION: %s\n%s" msg
+      (Format.asprintf "%a" Ocube_model.Spec.pp st);
+    2
+  | Failure msg ->
+    prerr_endline msg;
+    1
+
+let verify_cmd =
+  let p_arg =
+    let doc = "Cube dimension: 2^P nodes." in
+    Arg.(value & opt int 2 & info [ "p" ] ~docv:"P" ~doc)
+  in
+  let wishes_arg =
+    let doc = "Critical-section entries per node." in
+    Arg.(value & opt int 2 & info [ "w"; "wishes" ] ~docv:"W" ~doc)
+  in
+  let max_states_arg =
+    let doc = "Abort beyond this many states." in
+    Arg.(value & opt int 5_000_000 & info [ "max-states" ] ~docv:"K" ~doc)
+  in
+  let doc =
+    "Model-check the fault-free protocol exhaustively (all interleavings)."
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const run_verify $ p_arg $ wishes_arg $ max_states_arg)
+
+(* --- main ------------------------------------------------------------------- *)
+
+let () =
+  let doc =
+    "open-cube fault-tolerant distributed mutual exclusion (Hélary & \
+     Mostefaoui, 1993) - reproduction toolkit"
+  in
+  let info = Cmd.info "ocmutex" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [
+            experiments_cmd; list_cmd; simulate_cmd; tree_cmd; dot_cmd;
+            verify_cmd; walkthrough_cmd;
+          ]))

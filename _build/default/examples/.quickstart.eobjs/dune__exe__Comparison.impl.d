@@ -1,0 +1,1 @@
+examples/comparison.ml: Exp_common List Ocube_harness Ocube_mutex Ocube_stats Ocube_topology Printf Runner

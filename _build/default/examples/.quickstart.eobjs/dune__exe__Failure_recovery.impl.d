@@ -1,0 +1,1 @@
+examples/failure_recovery.ml: Ocube_mutex Ocube_net Ocube_sim Ocube_topology Opencube_algo Option Printf Runner

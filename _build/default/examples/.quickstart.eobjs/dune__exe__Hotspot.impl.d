@@ -1,0 +1,1 @@
+examples/hotspot.ml: Array Fun List Ocube_mutex Ocube_net Ocube_topology Opencube_algo Printf Runner String

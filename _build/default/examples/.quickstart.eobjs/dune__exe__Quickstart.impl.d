@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Ocube_mutex Ocube_net Ocube_topology Opencube_algo Printf Runner

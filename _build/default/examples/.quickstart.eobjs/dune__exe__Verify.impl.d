@@ -1,0 +1,1 @@
+examples/verify.ml: Format Ocube_model Printf

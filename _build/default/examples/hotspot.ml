@@ -1,0 +1,63 @@
+(* Adaptivity demo: under a skewed workload the frequent requesters
+   migrate towards the root of the open-cube, so their requests get
+   cheaper - the introduction's motivation for the dynamic structure.
+
+   Run with:  dune exec examples/hotspot.exe *)
+
+open Ocube_mutex
+module Opencube = Ocube_topology.Opencube
+
+let depth fathers i =
+  let rec up acc j =
+    match fathers.(j) with None -> acc | Some f -> up (acc + 1) f
+  in
+  up 0 i
+
+let () =
+  let p = 5 in
+  let n = 1 lsl p in
+  let hot = [ 21; 27 ] in
+  let env =
+    Runner.make_env ~seed:33 ~n
+      ~delay:(Ocube_net.Network.Constant 1.0)
+      ~cs:(Runner.Fixed 0.5) ()
+  in
+  let algo =
+    Opencube_algo.create ~net:(Runner.net env)
+      ~callbacks:(Runner.callbacks env)
+      ~config:
+        { (Opencube_algo.default_config ~p) with fault_tolerance = false }
+  in
+  Runner.attach env (Opencube_algo.instance algo);
+
+  let initial = Opencube_algo.snapshot_tree algo in
+  Printf.printf "Hot nodes %s start at depths %s.\n"
+    (String.concat ", " (List.map string_of_int hot))
+    (String.concat ", "
+       (List.map (fun i -> string_of_int (depth initial i)) hot));
+
+  let arrivals =
+    Runner.Arrivals.hotspot ~rng:(Runner.rng env) ~n ~hot ~hot_rate:0.05
+      ~cold_rate:0.002 ~horizon:4000.0
+  in
+  Runner.run_arrivals env arrivals;
+  Runner.run_to_quiescence env;
+
+  let final = Opencube_algo.snapshot_tree algo in
+  Printf.printf
+    "After %d critical sections (%d messages, %d violations), they sit at \
+     depths %s.\n"
+    (Runner.cs_entries env) (Runner.messages_sent env)
+    (Runner.violations env)
+    (String.concat ", "
+       (List.map (fun i -> string_of_int (depth final i)) hot));
+
+  let mean_depth nodes =
+    let ds = List.map (fun i -> float_of_int (depth final i)) nodes in
+    List.fold_left ( +. ) 0.0 ds /. float_of_int (List.length ds)
+  in
+  let cold = List.filter (fun i -> not (List.mem i hot)) (List.init n Fun.id) in
+  Printf.printf "Mean final depth: hot %.2f vs cold %.2f.\n" (mean_depth hot)
+    (mean_depth cold);
+  print_endline "\nFinal tree:";
+  print_string (Opencube.render (Opencube.of_fathers final))

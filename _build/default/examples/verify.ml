@@ -1,0 +1,30 @@
+(* Bounded verification demo: exhaustively explore every message
+   interleaving of the fault-free protocol on a 4-node open-cube where
+   every node wants the critical section twice, checking all invariants on
+   all reachable states.
+
+   Run with:  dune exec examples/verify.exe *)
+
+let () =
+  print_endline
+    "Exploring every interleaving of a 4-node open-cube, 2 wishes per node...";
+  (try
+     let s = Ocube_model.Explore.run ~p:2 ~wishes:2 () in
+     Printf.printf
+       "  %d reachable states, %d transitions, %d terminal states\n"
+       s.Ocube_model.Explore.states s.Ocube_model.Explore.transitions
+       s.Ocube_model.Explore.terminals;
+     Printf.printf "  peak concurrency: %d messages in flight; depth %d\n"
+       s.Ocube_model.Explore.max_in_flight s.Ocube_model.Explore.max_depth;
+     print_endline
+       "  every state satisfies: <=1 node in CS, exactly one token,\n\
+       \  holders hold the token, idle queues empty;\n\
+       \  every terminal state: all wishes served, valid open-cube,\n\
+       \  token at rest at the root."
+   with Ocube_model.Explore.Violation (msg, st) ->
+     Printf.printf "VIOLATION: %s\n%s\n" msg
+       (Format.asprintf "%a" Ocube_model.Spec.pp st));
+  print_endline
+    "\nThe same spec cross-validates against the simulator (see\n\
+     test/test_model.ml); run `ocmutex experiments model-check` for the\n\
+     full sweep up to 8 nodes (~4M states)."

@@ -1,0 +1,1 @@
+lib/harness/exp_ablation.ml: Exp_common List Ocube_mutex Ocube_stats Opencube_algo Printf Runner Table

@@ -1,0 +1,1 @@
+lib/harness/exp_adaptivity.ml: Array Exp_common List Ocube_mutex Ocube_sim Ocube_stats Opencube_algo Runner String Table

@@ -1,0 +1,1 @@
+lib/harness/exp_average.ml: Exp_common List Ocube_stats Printf Series Table

@@ -1,0 +1,1 @@
+lib/harness/exp_common.ml: Central Generic_scheme Naimi_trehel Ocube_mutex Ocube_net Ocube_topology Opencube_algo Printf Raymond Ricart_agrawala Runner Suzuki_kasami

@@ -1,0 +1,1 @@
+lib/harness/exp_common.mli: Generic_scheme Ocube_mutex Ocube_net Ocube_topology Opencube_algo Runner Types

@@ -1,0 +1,1 @@
+lib/harness/exp_comparison.ml: Exp_common List Ocube_mutex Ocube_sim Ocube_stats Ocube_topology Printf Runner Summary Table

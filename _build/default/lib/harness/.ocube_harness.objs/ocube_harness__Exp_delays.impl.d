@@ -1,0 +1,1 @@
+lib/harness/exp_delays.ml: Exp_common List Ocube_mutex Ocube_net Ocube_sim Ocube_stats Opencube_algo Printf Runner Table

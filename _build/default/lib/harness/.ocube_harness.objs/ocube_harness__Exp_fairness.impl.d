@@ -1,0 +1,1 @@
+lib/harness/exp_fairness.ml: Array Exp_common List Ocube_mutex Ocube_stats Ocube_topology Opencube_algo Printf Runner Summary Table

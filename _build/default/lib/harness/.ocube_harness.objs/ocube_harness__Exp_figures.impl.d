@@ -1,0 +1,1 @@
+lib/harness/exp_figures.ml: Buffer Exp_common List Ocube_mutex Ocube_topology Opencube_algo Printf Runner String

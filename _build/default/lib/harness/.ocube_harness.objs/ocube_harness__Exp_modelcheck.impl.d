@@ -1,0 +1,1 @@
+lib/harness/exp_modelcheck.ml: List Ocube_model Ocube_stats Table

@@ -1,0 +1,1 @@
+lib/harness/exp_recovery.ml: Exp_common List Ocube_mutex Ocube_sim Ocube_stats Opencube_algo Printf Runner Summary Table

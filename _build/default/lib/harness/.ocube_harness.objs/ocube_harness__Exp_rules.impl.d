@@ -1,0 +1,1 @@
+lib/harness/exp_rules.ml: Array Exp_common Generic_scheme List Ocube_mutex Ocube_sim Ocube_stats Printf Runner Summary Table Types

@@ -1,0 +1,1 @@
+lib/harness/exp_throughput.ml: Exp_common List Ocube_mutex Ocube_stats Ocube_topology Printf Runner Table

@@ -1,0 +1,1 @@
+lib/harness/exp_worst_case.ml: Exp_common Histogram List Ocube_mutex Ocube_sim Ocube_stats Table

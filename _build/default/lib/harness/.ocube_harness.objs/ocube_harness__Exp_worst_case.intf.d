@@ -1,0 +1,1 @@
+lib/harness/exp_worst_case.mli:

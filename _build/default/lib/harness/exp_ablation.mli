@@ -1,0 +1,5 @@
+(** See the header comment in the implementation; registered in
+    {!Registry}. *)
+
+val run : unit -> string
+(** Execute the experiment and return its rendered report. *)

@@ -1,0 +1,59 @@
+(* E2 — average messages per request (paper, Section 4).
+
+   The paper derives alpha_p (the exact sum of request costs over all nodes
+   from the initial configuration; recurrence alpha_{p+1} = 2 alpha_p +
+   3*2^(p-1) + p) and the asymptotic average (3/4) log2 N + 5/4. We measure
+   each node's cost on a fresh open-cube and compare against both. *)
+
+open Ocube_stats
+
+let run_sum ~p =
+  let n = 1 lsl p in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    let env, _ = Exp_common.make_opencube ~fault_tolerance:false ~p () in
+    total := !total + Exp_common.probe env i
+  done;
+  !total
+
+let run () =
+  let table =
+    Table.create
+      ~title:
+        "E2. Average messages per request from the initial configuration \
+         (one isolated request per node, fresh cube each time)"
+      ~columns:
+        [
+          ("N", Table.Right);
+          ("sum c(i) measured", Table.Right);
+          ("alpha_p (paper)", Table.Right);
+          ("avg measured", Table.Right);
+          ("(3/4)log2N + 5/4", Table.Right);
+          ("ratio", Table.Right);
+        ]
+      ()
+  in
+  let series = Series.create ~name:"avg-messages" in
+  List.iter
+    (fun p ->
+      let n = 1 lsl p in
+      let sum = run_sum ~p in
+      let avg = float_of_int sum /. float_of_int n in
+      let predicted = Exp_common.average_formula n in
+      Series.add series ~x:(float_of_int p) ~y:avg;
+      Table.add_row table
+        [
+          Table.fmt_int n;
+          Table.fmt_int sum;
+          Table.fmt_int (Exp_common.alpha p);
+          Table.fmt_float ~decimals:3 avg;
+          Table.fmt_float ~decimals:3 predicted;
+          Table.fmt_ratio avg predicted;
+        ])
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ];
+  let slope, intercept = Series.linear_fit series in
+  Table.render table
+  ^ Printf.sprintf
+      "Least-squares fit: avg = %.4f*log2N + %.4f   (paper: 0.75*log2N + \
+       1.25 asymptotically)\n"
+      slope intercept

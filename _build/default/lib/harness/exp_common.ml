@@ -1,0 +1,97 @@
+open Ocube_mutex
+module Static_tree = Ocube_topology.Static_tree
+
+type algo_kind =
+  | Opencube of { census_rounds : int; fault_tolerance : bool }
+  | Raymond of Static_tree.shape
+  | Naimi_trehel
+  | Central
+  | Suzuki_kasami
+  | Ricart_agrawala
+  | Generic of Generic_scheme.rule
+
+let algo_label = function
+  | Opencube { fault_tolerance = false; _ } -> "open-cube"
+  | Opencube { census_rounds = 0; _ } -> "open-cube/ft-paper"
+  | Opencube _ -> "open-cube/ft"
+  | Raymond Static_tree.Binomial -> "raymond/binomial"
+  | Raymond Static_tree.Path -> "raymond/path"
+  | Raymond Static_tree.Star -> "raymond/star"
+  | Raymond (Static_tree.Kary k) -> Printf.sprintf "raymond/%d-ary" k
+  | Naimi_trehel -> "naimi-trehel"
+  | Central -> "central"
+  | Suzuki_kasami -> "suzuki-kasami"
+  | Ricart_agrawala -> "ricart-agrawala"
+  | Generic Generic_scheme.Opencube_rule -> "generic/open-cube"
+  | Generic Generic_scheme.Raymond_rule -> "generic/raymond-rule"
+  | Generic Generic_scheme.Always_transit -> "generic/always-transit"
+  | Generic (Generic_scheme.Custom _) -> "generic/custom"
+
+let log2i n =
+  if n <= 0 || n land (n - 1) <> 0 then invalid_arg "log2i: not a power of two";
+  let rec go acc m = if m = 1 then acc else go (acc + 1) (m lsr 1) in
+  go 0 n
+
+let make ?(seed = 42) ?(delay = Ocube_net.Network.Constant 1.0)
+    ?(cs = Runner.Fixed 1.0) ~kind ~n () =
+  let env = Runner.make_env ~seed ~n ~delay ~cs () in
+  let net = Runner.net env in
+  let callbacks = Runner.callbacks env in
+  let inst =
+    match kind with
+    | Opencube { census_rounds; fault_tolerance } ->
+      let p = log2i n in
+      let config =
+        { (Opencube_algo.default_config ~p) with census_rounds; fault_tolerance }
+      in
+      Opencube_algo.instance (Opencube_algo.create ~net ~callbacks ~config)
+    | Raymond shape ->
+      let tree = Static_tree.build shape ~n in
+      Raymond.instance (Raymond.create ~net ~callbacks ~tree ())
+    | Naimi_trehel -> Naimi_trehel.instance (Naimi_trehel.create ~net ~callbacks ~n ())
+    | Central -> Central.instance (Central.create ~net ~callbacks ~n ())
+    | Suzuki_kasami ->
+      Suzuki_kasami.instance (Suzuki_kasami.create ~net ~callbacks ~n ())
+    | Ricart_agrawala ->
+      Ricart_agrawala.instance (Ricart_agrawala.create ~net ~callbacks ~n ())
+    | Generic rule ->
+      let tree = Static_tree.build Static_tree.Binomial ~n in
+      Generic_scheme.instance (Generic_scheme.create ~net ~callbacks ~tree ~rule ())
+  in
+  Runner.attach env inst;
+  (env, inst)
+
+let make_opencube ?(seed = 42) ?(delay = Ocube_net.Network.Constant 1.0)
+    ?(cs = Runner.Fixed 1.0) ?(census_rounds = 2) ?(fault_tolerance = true)
+    ?(asker_patience = 1.0) ?(queue_policy = Opencube_algo.Fifo)
+    ?(trace = false) ~p () =
+  let n = 1 lsl p in
+  let env = Runner.make_env ~seed ~n ~delay ~cs ~trace () in
+  let config =
+    {
+      (Opencube_algo.default_config ~p) with
+      census_rounds;
+      fault_tolerance;
+      asker_patience;
+      queue_policy;
+    }
+  in
+  let algo =
+    Opencube_algo.create ~net:(Runner.net env)
+      ~callbacks:(Runner.callbacks env) ~config
+  in
+  Runner.attach env (Opencube_algo.instance algo);
+  (env, algo)
+
+let probe env node =
+  let before = Runner.messages_sent env in
+  Runner.submit env node;
+  Runner.run_to_quiescence env;
+  Runner.messages_sent env - before
+
+let rec alpha p =
+  if p < 1 then invalid_arg "alpha: p must be >= 1"
+  else if p = 1 then 2
+  else (2 * alpha (p - 1)) + (3 * (1 lsl (p - 2))) + (p - 1)
+
+let average_formula n = (0.75 *. float_of_int (log2i n)) +. 1.25

@@ -1,0 +1,60 @@
+(** Shared plumbing for the reproduction experiments.
+
+    Builders return a runner environment with the algorithm attached and
+    ready to drive; probe helpers measure exact message costs by running
+    one request to quiescence (valid because probes are serial). *)
+
+open Ocube_mutex
+
+type algo_kind =
+  | Opencube of { census_rounds : int; fault_tolerance : bool }
+  | Raymond of Ocube_topology.Static_tree.shape
+  | Naimi_trehel
+  | Central
+  | Suzuki_kasami  (** broadcast-token baseline (TOCS 1985) *)
+  | Ricart_agrawala  (** permission-based baseline (CACM 1981) *)
+  | Generic of Generic_scheme.rule
+
+val algo_label : algo_kind -> string
+
+val make :
+  ?seed:int ->
+  ?delay:Ocube_net.Network.delay_model ->
+  ?cs:Runner.cs_model ->
+  kind:algo_kind ->
+  n:int ->
+  unit ->
+  Runner.env * Types.instance
+(** Fresh environment + attached algorithm over [n] nodes. [n] must be a
+    power of two for the open-cube and generic kinds. Default delay:
+    [Constant 1.0]; default CS duration: [Fixed 1.0]; default seed 42. *)
+
+val make_opencube :
+  ?seed:int ->
+  ?delay:Ocube_net.Network.delay_model ->
+  ?cs:Runner.cs_model ->
+  ?census_rounds:int ->
+  ?fault_tolerance:bool ->
+  ?asker_patience:float ->
+  ?queue_policy:Opencube_algo.queue_policy ->
+  ?trace:bool ->
+  p:int ->
+  unit ->
+  Runner.env * Opencube_algo.t
+(** Like {!make} but keeps the concrete open-cube handle for
+    introspection. *)
+
+val probe : Runner.env -> int -> int
+(** [probe env node]: issue one wish, run to quiescence, return the number
+    of messages it cost. Only meaningful when no other event is pending. *)
+
+val log2i : int -> int
+(** Integer log2 (n must be a positive power of two). *)
+
+val alpha : int -> int
+(** The paper's Section 4 recurrence: [alpha 1 = 2],
+    [alpha (p+1) = 2*alpha p + 3*2^(p-1) + p] — the exact sum of per-node
+    request costs from the initial configuration. *)
+
+val average_formula : int -> float
+(** The paper's closed-form average: [(3/4)·log2 N + 5/4]. *)

@@ -1,0 +1,66 @@
+(* F2/F3/F6-F8 — the paper's structural and scenario figures, regenerated
+   as ASCII artefacts. *)
+
+open Ocube_mutex
+module Opencube = Ocube_topology.Opencube
+module Hypercube = Ocube_topology.Hypercube
+
+let fig2 () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "Figure 2 - open-cubes for n = 2, 4, 8, 16 (nodes printed 1-based as \
+     in the paper):\n\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (Printf.sprintf "-- %d-open-cube --\n" (1 lsl p));
+      Buffer.add_string buf (Opencube.render (Opencube.build ~p));
+      Buffer.add_char buf '\n')
+    [ 1; 2; 3; 4 ];
+  Buffer.contents buf
+
+let fig3 () =
+  let p = 3 in
+  let cube = Opencube.build ~p in
+  let tree_edges =
+    Opencube.edges cube
+    |> List.map (fun (a, b) -> (min a b, max a b))
+    |> List.sort compare
+  in
+  let hyper_edges = Hypercube.edges ~p in
+  let missing =
+    List.filter (fun e -> not (List.mem e tree_edges)) hyper_edges
+  in
+  Printf.sprintf
+    "Figure 3 - the 8-open-cube inside the 8-hypercube:\n\
+     open-cube edges (undirected, 1-based): %s\n\
+     hypercube edges not in the tree:       %s\n\
+     (every open-cube edge is a hypercube edge: %b)\n"
+    (String.concat " "
+       (List.map (fun (a, b) -> Printf.sprintf "%d-%d" (a + 1) (b + 1)) tree_edges))
+    (String.concat " "
+       (List.map (fun (a, b) -> Printf.sprintf "%d-%d" (a + 1) (b + 1)) missing))
+    (List.for_all (fun (a, b) -> Hypercube.is_edge a b) tree_edges)
+
+(* The Section 3.2 walkthrough: 16-open-cube, 1 lends to 6; 10 and 8
+   request concurrently. Replays the paper's scenario and renders the final
+   configuration (Figure 8). *)
+let walkthrough () =
+  let env, algo =
+    Exp_common.make_opencube ~fault_tolerance:false ~p:4
+      ~cs:(Runner.Fixed 10.0) ()
+  in
+  (* Paper node k = id k-1. Node 6 (id 5) takes the token first. *)
+  Runner.run_arrivals env (Runner.Arrivals.single ~node:5 ~at:1.0);
+  (* While 6 is in CS, 10 (id 9) and 8 (id 7) request. *)
+  Runner.run_arrivals env (Runner.Arrivals.single ~node:9 ~at:5.0);
+  Runner.run_arrivals env (Runner.Arrivals.single ~node:7 ~at:6.0);
+  Runner.run_to_quiescence env;
+  let tree = Opencube.of_fathers (Opencube_algo.snapshot_tree algo) in
+  Printf.sprintf
+    "Figures 6-8 - Section 3.2 walkthrough (1 lends to 6; 10 and 8 \
+     request).\nFinal configuration (paper Figure 8: root 8, sons include \
+     9 and 1):\n%s\nstructure check: %s\n"
+    (Opencube.render tree)
+    (match Opencube.check tree with Ok () -> "open-cube OK" | Error m -> m)
+
+let run () = fig2 () ^ "\n" ^ fig3 () ^ "\n" ^ walkthrough ()

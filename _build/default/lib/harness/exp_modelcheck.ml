@@ -1,0 +1,72 @@
+(* E12 — bounded model checking of the fault-free protocol (extension).
+
+   The pure spec in lib/model mirrors the paper's Section 3 handlers; the
+   explorer walks EVERY reachable interleaving (any in-flight message can
+   be delivered next - channels are not FIFO) for small cubes and bounded
+   wish budgets, checking on every state: at most one node in CS, exactly
+   one token, holders have the token, idle queues empty; and on every
+   terminal state: every wish served (no deadlock/livelock), no message in
+   flight, a valid open-cube with the token at rest at its root.
+
+   This is the strongest correctness evidence in the repository: for these
+   bounds the protocol is verified, not merely tested. *)
+
+open Ocube_stats
+
+let configs = [ (1, 1); (1, 2); (1, 3); (2, 1); (2, 2); (2, 3); (3, 1) ]
+
+let run () =
+  let table =
+    Table.create
+      ~title:
+        "E12. Exhaustive state-space exploration of the fault-free \
+         protocol (all message interleavings; invariants checked on every \
+         state)"
+      ~columns:
+        [
+          ("N", Table.Right);
+          ("wishes/node", Table.Right);
+          ("reachable states", Table.Right);
+          ("transitions", Table.Right);
+          ("terminal states", Table.Right);
+          ("max in flight", Table.Right);
+          ("depth", Table.Right);
+          ("verdict", Table.Left);
+        ]
+      ()
+  in
+  List.iter
+    (fun (p, wishes) ->
+      let verdict, stats =
+        try ("all invariants hold", Some (Ocube_model.Explore.run ~p ~wishes ()))
+        with
+        | Ocube_model.Explore.Violation (msg, _) -> ("VIOLATION: " ^ msg, None)
+        | Failure msg -> (msg, None)
+      in
+      match stats with
+      | Some s ->
+        Table.add_row table
+          [
+            Table.fmt_int (1 lsl p);
+            Table.fmt_int wishes;
+            Table.fmt_int s.states;
+            Table.fmt_int s.transitions;
+            Table.fmt_int s.terminals;
+            Table.fmt_int s.max_in_flight;
+            Table.fmt_int s.max_depth;
+            verdict;
+          ]
+      | None ->
+        Table.add_row table
+          [
+            Table.fmt_int (1 lsl p);
+            Table.fmt_int wishes;
+            "-"; "-"; "-"; "-"; "-";
+            verdict;
+          ])
+    configs;
+  Table.render table
+  ^ "Every terminal state is quiescent with all wishes served and the \
+     tree a valid\nopen-cube - bounded proof of safety and liveness, not \
+     sampling. (The N = 8\nrow walks ~4 million states and takes about \
+     1.5 minutes.)\n"

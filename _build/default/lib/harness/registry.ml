@@ -1,0 +1,105 @@
+type experiment = {
+  name : string;
+  summary : string;
+  paper_ref : string;
+  run : unit -> string;
+}
+
+let all =
+  [
+    {
+      name = "figures";
+      summary = "Structural figures: open-cubes, hypercube embedding, walkthrough";
+      paper_ref = "Figures 2, 3, 6-8";
+      run = Exp_figures.run;
+    };
+    {
+      name = "worst-case";
+      summary = "Worst-case messages per request vs N";
+      paper_ref = "Section 4 (max complexity)";
+      run = Exp_worst_case.run;
+    };
+    {
+      name = "average";
+      summary = "Average messages per request vs alpha_p and (3/4)log2N+5/4";
+      paper_ref = "Section 4 (average complexity)";
+      run = Exp_average.run;
+    };
+    {
+      name = "failure-overhead";
+      summary = "Overhead messages per node failure (paper: 8 @ N=32, 9.75 @ N=64)";
+      paper_ref = "Conclusion (iPSC/2 measurements)";
+      run = Exp_failure.run;
+    };
+    {
+      name = "comparison";
+      summary = "Open-cube vs Raymond, Naimi-Trehel and centralized baselines";
+      paper_ref = "Introduction (positioning)";
+      run = Exp_comparison.run;
+    };
+    {
+      name = "search-father";
+      summary = "search_father probe cost after failures";
+      paper_ref = "Section 5 (locality)";
+      run = Exp_search.run;
+    };
+    {
+      name = "rules";
+      summary = "General scheme: open-cube vs Raymond-rule vs always-transit";
+      paper_ref = "Section 3.1 (relation with the general algorithm)";
+      run = Exp_rules.run;
+    };
+    {
+      name = "throughput";
+      summary = "Saturation throughput: CS per time unit, msgs per CS";
+      paper_ref = "extension (closed-loop saturation)";
+      run = Exp_throughput.run;
+    };
+    {
+      name = "fairness";
+      summary = "Waiting-time tails: median / p99 / worst per algorithm";
+      paper_ref = "extension (fair queues, Section 3.1)";
+      run = Exp_fairness.run;
+    };
+    {
+      name = "recovery-latency";
+      summary = "Time cost of hitting a failed father vs fault-free service";
+      paper_ref = "Section 5 (extension: latency view)";
+      run = Exp_recovery.run;
+    };
+    {
+      name = "delay-models";
+      summary = "Robustness across constant/uniform/exponential delay models";
+      paper_ref = "Section 1 system model (extension)";
+      run = Exp_delays.run;
+    };
+    {
+      name = "ablation";
+      summary = "Hardening knobs: census rounds and asker patience";
+      paper_ref = "DESIGN.md deviations (ablation, extension)";
+      run = Exp_ablation.run;
+    };
+    {
+      name = "model-check";
+      summary = "Exhaustive interleaving exploration of the fault-free protocol";
+      paper_ref = "Sections 3-4 (bounded verification, extension)";
+      run = Exp_modelcheck.run;
+    };
+    {
+      name = "adaptivity";
+      summary = "Hotspot workload: hot nodes migrate towards the root";
+      paper_ref = "Introduction (adaptivity claim)";
+      run = Exp_adaptivity.run;
+    };
+  ]
+
+let find name = List.find_opt (fun e -> String.equal e.name name) all
+
+let names () = List.map (fun e -> e.name) all
+
+let run_all () =
+  all
+  |> List.map (fun e ->
+         Printf.sprintf "==== %s — %s [%s] ====\n\n%s\n" e.name e.summary
+           e.paper_ref (e.run ()))
+  |> String.concat "\n"

@@ -1,0 +1,20 @@
+(** Experiment registry: every table/figure reproduction, addressable by
+    name from the CLI and the bench harness. *)
+
+type experiment = {
+  name : string;
+  summary : string;
+  paper_ref : string;  (** which paper artefact this regenerates *)
+  run : unit -> string;  (** produces the rendered report *)
+}
+
+val all : experiment list
+(** In presentation order: figures first, then E1..E7. *)
+
+val find : string -> experiment option
+
+val names : unit -> string list
+
+val run_all : unit -> string
+(** Concatenated report of every experiment (the content of
+    bench_output.txt's experiment section). *)

@@ -1,0 +1,1 @@
+lib/model/explore.ml: Hashtbl List Printf Queue Spec

@@ -1,0 +1,1 @@
+lib/model/spec.mli: Format

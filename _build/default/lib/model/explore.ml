@@ -1,0 +1,59 @@
+type stats = {
+  states : int;
+  transitions : int;
+  terminals : int;
+  max_in_flight : int;
+  max_depth : int;
+}
+
+exception Violation of string * Spec.state
+
+let run ?(max_states = 5_000_000) ~p ~wishes () =
+  let initial = Spec.initial ~p ~wishes in
+  let visited = Hashtbl.create 65_536 in
+  let queue = Queue.create () in
+  let states = ref 0
+  and transitions = ref 0
+  and terminals = ref 0
+  and max_in_flight = ref 0
+  and max_depth = ref 0 in
+  Hashtbl.add visited (Spec.encode initial) ();
+  Queue.push (initial, 0) queue;
+  incr states;
+  while not (Queue.is_empty queue) do
+    let st, depth = Queue.pop queue in
+    if depth > !max_depth then max_depth := depth;
+    let in_flight = List.length st.Spec.flight in
+    if in_flight > !max_in_flight then max_in_flight := in_flight;
+    (match Spec.check_invariants st with
+    | Ok () -> ()
+    | Error msg -> raise (Violation (msg, st)));
+    let succs = Spec.transitions st in
+    if succs = [] then begin
+      incr terminals;
+      match Spec.check_terminal st with
+      | Ok () -> ()
+      | Error msg -> raise (Violation ("terminal: " ^ msg, st))
+    end
+    else
+      List.iter
+        (fun (_, st') ->
+          incr transitions;
+          let key = Spec.encode st' in
+          if not (Hashtbl.mem visited key) then begin
+            Hashtbl.add visited key ();
+            incr states;
+            if !states > max_states then
+              failwith
+                (Printf.sprintf "Explore.run: state space exceeds %d" max_states);
+            Queue.push (st', depth + 1) queue
+          end)
+        succs
+  done;
+  {
+    states = !states;
+    transitions = !transitions;
+    terminals = !terminals;
+    max_in_flight = !max_in_flight;
+    max_depth = !max_depth;
+  }

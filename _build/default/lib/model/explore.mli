@@ -1,0 +1,27 @@
+(** Exhaustive state-space exploration of {!Spec}.
+
+    Breadth-first search over every reachable state of the fault-free
+    protocol for a given cube size and per-node wish budget, checking
+    {!Spec.check_invariants} on every state and {!Spec.check_terminal} on
+    every terminal state. This is bounded model checking of the actual
+    protocol logic: safety (mutual exclusion, single token) and liveness
+    (no deadlock: every terminal state has all wishes served) over {e all}
+    message interleavings, not just sampled schedules. *)
+
+type stats = {
+  states : int;  (** distinct reachable states *)
+  transitions : int;
+  terminals : int;  (** all verified quiescent-and-served *)
+  max_in_flight : int;  (** peak concurrent messages *)
+  max_depth : int;  (** longest shortest-path from the initial state *)
+}
+
+exception Violation of string * Spec.state
+(** Raised the moment any state fails an invariant (or a terminal state
+    fails the terminal conditions), with the offending state. *)
+
+val run : ?max_states:int -> p:int -> wishes:int -> unit -> stats
+(** Explore exhaustively.
+    @raise Violation on any invariant failure.
+    @raise Failure if the state space exceeds [max_states]
+    (default 5_000_000). *)

@@ -1,0 +1,262 @@
+module Opencube = Ocube_topology.Opencube
+
+type payload = Req of int | Tok of int
+
+type msg = { src : int; dst : int; payload : payload }
+
+type node = {
+  father : int;
+  token_here : bool;
+  asking : bool;
+  in_cs : bool;
+  lender : int;
+  mandator : int;
+  queue : int list;
+  wishes_left : int;
+}
+
+type state = { nodes : node array; flight : msg list }
+
+let log2 n =
+  let rec go acc m = if m = 1 then acc else go (acc + 1) (m lsr 1) in
+  go 0 n
+
+let initial ~p ~wishes =
+  let n = 1 lsl p in
+  {
+    nodes =
+      Array.init n (fun i ->
+          {
+            father = (if i = 0 then -1 else i land (i - 1));
+            token_here = i = 0;
+            asking = false;
+            in_cs = false;
+            lender = i;
+            mandator = -1;
+            queue = [];
+            wishes_left = wishes;
+          });
+    flight = [];
+  }
+
+type transition = Wish of int | Deliver of msg | Exit of int
+
+(* --- pure mirror of the fault-free handlers --------------------------- *)
+
+let power st i =
+  let nd = st.nodes.(i) in
+  if nd.father < 0 then log2 (Array.length st.nodes)
+  else Opencube.dist i nd.father - 1
+
+let set st i nd =
+  let nodes = Array.copy st.nodes in
+  nodes.(i) <- nd;
+  { st with nodes }
+
+let send st msg = { st with flight = msg :: st.flight }
+
+(* process one request(j) at node i; the caller guarantees not asking. *)
+let rec process_request st i j =
+  let nd = st.nodes.(i) in
+  let pw = power st i in
+  let dj = Opencube.dist i j in
+  if dj = pw then begin
+    (* transit *)
+    let st =
+      if nd.token_here then
+        send (set st i { nd with token_here = false; father = j })
+          { src = i; dst = j; payload = Tok (-1) }
+      else
+        send (set st i { nd with father = j })
+          { src = i; dst = nd.father; payload = Req j }
+    in
+    st
+  end
+  else begin
+    (* proxy *)
+    let nd = { nd with asking = true } in
+    if nd.token_here then
+      send (set st i { nd with token_here = false })
+        { src = i; dst = j; payload = Tok i }
+    else
+      send (set st i { nd with mandator = j })
+        { src = i; dst = nd.father; payload = Req i }
+  end
+
+(* drain the deferred queue of node i while it is idle *)
+and drain st i =
+  let nd = st.nodes.(i) in
+  if nd.asking then st
+  else
+    match nd.queue with
+    | [] -> st
+    | j :: rest ->
+      let st = set st i { nd with queue = rest } in
+      let st = process_request st i j in
+      drain st i
+
+let deliver st { src; dst = i; payload } =
+  match payload with
+  | Req j ->
+    let nd = st.nodes.(i) in
+    if nd.asking then set st i { nd with queue = nd.queue @ [ j ] }
+    else drain (process_request st i j) i
+  | Tok l ->
+    let nd = st.nodes.(i) in
+    if nd.mandator = i then
+      (* our own wish is granted *)
+      let nd =
+        if l < 0 then
+          { nd with token_here = true; lender = i; father = -1; mandator = -1;
+            in_cs = true }
+        else
+          { nd with token_here = true; lender = l; father = src; mandator = -1;
+            in_cs = true }
+      in
+      set st i nd
+    else if nd.mandator >= 0 then begin
+      (* proxy: honour the mandate *)
+      let m = nd.mandator in
+      if l < 0 then
+        (* become root and lend; asking remains true until the return *)
+        send
+          (set st i { nd with father = -1; lender = i; mandator = -1 })
+          { src = i; dst = m; payload = Tok i }
+      else
+        let st =
+          send
+            (set st i { nd with father = src; mandator = -1; asking = false })
+            { src = i; dst = m; payload = Tok l }
+        in
+        drain st i
+    end
+    else begin
+      (* return after a loan: we rest as the root holder *)
+      let st =
+        set st i
+          { nd with token_here = true; lender = i; father = -1; asking = false }
+      in
+      drain st i
+    end
+
+let wish st i =
+  let nd = st.nodes.(i) in
+  let nd = { nd with asking = true; wishes_left = nd.wishes_left - 1 } in
+  if nd.token_here then set st i { nd with lender = i; in_cs = true }
+  else
+    send (set st i { nd with mandator = i })
+      { src = i; dst = nd.father; payload = Req i }
+
+let exit_cs st i =
+  let nd = st.nodes.(i) in
+  let nd = { nd with in_cs = false; asking = false } in
+  let st =
+    if nd.lender <> i then
+      send (set st i { nd with token_here = false })
+        { src = i; dst = nd.lender; payload = Tok (-1) }
+    else set st i nd
+  in
+  drain st i
+
+(* --- transition enumeration ------------------------------------------- *)
+
+let canonical st = { st with flight = List.sort compare st.flight }
+
+let rec remove_first m = function
+  | [] -> []
+  | x :: tl -> if x = m then tl else x :: remove_first m tl
+
+let transitions st =
+  let acc = ref [] in
+  Array.iteri
+    (fun i nd ->
+      if nd.in_cs then acc := (Exit i, canonical (exit_cs st i)) :: !acc;
+      if nd.wishes_left > 0 && (not nd.asking) && not nd.in_cs then
+        acc := (Wish i, canonical (wish st i)) :: !acc)
+    st.nodes;
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      (* identical in-flight messages lead to identical successors *)
+      if not (Hashtbl.mem seen m) then begin
+        Hashtbl.add seen m ();
+        let st' = { st with flight = remove_first m st.flight } in
+        acc := (Deliver m, canonical (deliver st' m)) :: !acc
+      end)
+    st.flight;
+  !acc
+
+(* --- invariants -------------------------------------------------------- *)
+
+let check_invariants st =
+  let in_cs = ref 0 and held = ref 0 in
+  let errors = ref [] in
+  Array.iteri
+    (fun i nd ->
+      if nd.in_cs then begin
+        incr in_cs;
+        if not nd.token_here then
+          errors := Printf.sprintf "node %d in CS without the token" i :: !errors
+      end;
+      if nd.token_here then incr held;
+      if (not nd.asking) && nd.queue <> [] then
+        errors := Printf.sprintf "idle node %d has a non-empty queue" i :: !errors)
+    st.nodes;
+  let in_flight =
+    List.length (List.filter (fun m -> match m.payload with Tok _ -> true | Req _ -> false) st.flight)
+  in
+  if !in_cs > 1 then errors := "two nodes in CS" :: !errors;
+  if !held + in_flight <> 1 then
+    errors :=
+      Printf.sprintf "token count %d (held %d, flying %d)" (!held + in_flight)
+        !held in_flight
+      :: !errors;
+  match !errors with [] -> Ok () | e :: _ -> Error e
+
+let check_terminal st =
+  let errors = ref [] in
+  Array.iteri
+    (fun i nd ->
+      if nd.wishes_left > 0 then
+        errors := Printf.sprintf "node %d still has wishes (deadlock)" i :: !errors;
+      if nd.asking then
+        errors := Printf.sprintf "node %d still asking (deadlock)" i :: !errors;
+      if nd.in_cs then errors := Printf.sprintf "node %d stuck in CS" i :: !errors)
+    st.nodes;
+  if st.flight <> [] then errors := "messages still in flight" :: !errors;
+  let fathers =
+    Array.map (fun nd -> if nd.father < 0 then None else Some nd.father) st.nodes
+  in
+  (match Opencube.check (Opencube.of_fathers fathers) with
+  | Ok () -> ()
+  | Error m -> errors := ("not an open-cube: " ^ m) :: !errors);
+  Array.iteri
+    (fun i nd ->
+      if nd.token_here && nd.father >= 0 then
+        errors := Printf.sprintf "holder %d is not the root" i :: !errors;
+      if nd.token_here && nd.lender <> i then
+        errors := Printf.sprintf "holder %d owes the token to %d" i nd.lender :: !errors)
+    st.nodes;
+  match !errors with [] -> Ok () | e :: _ -> Error e
+
+let encode st = Marshal.to_string st []
+
+let pp ppf st =
+  Array.iteri
+    (fun i nd ->
+      Format.fprintf ppf
+        "node %d: father=%d token=%b asking=%b in_cs=%b lender=%d mandator=%d \
+         queue=[%s] wishes=%d@."
+        i nd.father nd.token_here nd.asking nd.in_cs nd.lender nd.mandator
+        (String.concat ";" (List.map string_of_int nd.queue))
+        nd.wishes_left)
+    st.nodes;
+  List.iter
+    (fun m ->
+      let p =
+        match m.payload with
+        | Req j -> Printf.sprintf "request(%d)" j
+        | Tok l -> Printf.sprintf "token(%d)" l
+      in
+      Format.fprintf ppf "flight: %d -> %d : %s@." m.src m.dst p)
+    st.flight

@@ -1,0 +1,61 @@
+(** Pure executable specification of the fault-free open-cube protocol
+    (paper, Section 3).
+
+    A small-step, side-effect-free mirror of {!Ocube_mutex.Opencube_algo}
+    (fault tolerance off), written for exhaustive state-space exploration:
+    states are immutable values, and every enabled transition — issuing a
+    wish, delivering {e any} in-flight message (channels are not FIFO),
+    or exiting a critical section — yields a new state.
+
+    {!Explore} drives this spec through every reachable interleaving and
+    checks the protocol's invariants on each state; the test suite also
+    cross-validates the spec against the discrete-event implementation. *)
+
+type payload =
+  | Req of int  (** request(origin) *)
+  | Tok of int  (** token(lender); [-1] encodes the paper's [nil] *)
+
+type msg = { src : int; dst : int; payload : payload }
+
+type node = {
+  father : int;  (** [-1] = nil (root) *)
+  token_here : bool;
+  asking : bool;
+  in_cs : bool;
+  lender : int;
+  mandator : int;  (** [-1] = none *)
+  queue : int list;  (** deferred request origins, FIFO *)
+  wishes_left : int;  (** how many more times this node will want the CS *)
+}
+
+type state = { nodes : node array; flight : msg list }
+(** [flight] is kept sorted so structurally equal states compare equal. *)
+
+val initial : p:int -> wishes:int -> state
+(** The initial open-cube with the token at node 0 and a budget of
+    [wishes] critical-section entries per node. *)
+
+(** A transition, for diagnostics. *)
+type transition =
+  | Wish of int
+  | Deliver of msg
+  | Exit of int
+
+val transitions : state -> (transition * state) list
+(** Every enabled transition with its successor state. The empty list
+    means the state is terminal. *)
+
+val check_invariants : state -> (unit, string) result
+(** Safety invariants that must hold in {e every} reachable state:
+    at most one node in CS; exactly one token (held or in flight);
+    a node in CS holds the token; queues only ever grow on asking nodes. *)
+
+val check_terminal : state -> (unit, string) result
+(** What a terminal state must look like: every wish served, nobody
+    asking, no message in flight, the father array a valid open-cube, the
+    token resting at the root. *)
+
+val encode : state -> string
+(** Canonical key for visited-set hashing. *)
+
+val pp : Format.formatter -> state -> unit

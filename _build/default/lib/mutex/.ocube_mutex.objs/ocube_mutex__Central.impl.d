@@ -1,0 +1,1 @@
+lib/mutex/central.ml: Array Message Net Printf Queue Types

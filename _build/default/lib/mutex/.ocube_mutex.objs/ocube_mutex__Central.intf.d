@@ -1,0 +1,1 @@
+lib/mutex/central.mli: Net Types

@@ -1,0 +1,1 @@
+lib/mutex/generic_scheme.ml: Array List Message Net Ocube_topology Printf Queue Types

@@ -1,0 +1,1 @@
+lib/mutex/generic_scheme.mli: Net Types

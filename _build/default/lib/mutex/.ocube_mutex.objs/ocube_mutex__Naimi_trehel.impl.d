@@ -1,0 +1,1 @@
+lib/mutex/naimi_trehel.ml: Array List Message Net Printf Types

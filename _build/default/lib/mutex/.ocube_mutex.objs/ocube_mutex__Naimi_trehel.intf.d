@@ -1,0 +1,1 @@
+lib/mutex/naimi_trehel.mli: Net Types

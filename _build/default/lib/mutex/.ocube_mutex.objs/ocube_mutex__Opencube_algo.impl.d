@@ -1,0 +1,1 @@
+lib/mutex/opencube_algo.ml: Array Format List Message Net Ocube_sim Ocube_topology Option Printf Types

@@ -1,0 +1,1 @@
+lib/mutex/opencube_algo.mli: Net Types

@@ -1,0 +1,1 @@
+lib/mutex/raymond.ml: Array List Message Net Ocube_topology Printf Queue Types

@@ -1,0 +1,1 @@
+lib/mutex/raymond.mli: Net Types

@@ -1,0 +1,1 @@
+lib/mutex/ricart_agrawala.ml: Array List Message Net Printf Types

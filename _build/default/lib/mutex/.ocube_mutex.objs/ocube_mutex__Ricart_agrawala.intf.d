@@ -1,0 +1,1 @@
+lib/mutex/ricart_agrawala.mli: Net Types

@@ -1,0 +1,1 @@
+lib/mutex/runner.ml: Array Float List Net Ocube_sim Ocube_stats Ocube_workload Types

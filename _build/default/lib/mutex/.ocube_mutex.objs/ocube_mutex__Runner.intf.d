@@ -1,0 +1,1 @@
+lib/mutex/runner.mli: Net Ocube_net Ocube_sim Ocube_stats Ocube_workload Types

@@ -1,0 +1,1 @@
+lib/mutex/suzuki_kasami.ml: Array List Message Net Printf Types

@@ -1,0 +1,1 @@
+lib/mutex/suzuki_kasami.mli: Net Types

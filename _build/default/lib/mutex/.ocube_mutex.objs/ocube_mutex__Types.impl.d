@@ -1,0 +1,1 @@
+lib/mutex/types.ml: Format List Ocube_net String

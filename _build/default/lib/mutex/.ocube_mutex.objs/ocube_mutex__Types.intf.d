@@ -1,0 +1,1 @@
+lib/mutex/types.mli: Format Ocube_net

@@ -1,0 +1,24 @@
+(** Centralized-coordinator mutual exclusion (trivial baseline).
+
+    Node 0 arbitrates: a requester sends [Request], the coordinator grants
+    the token in FIFO order, the holder sends [Release] when done. Exactly 3
+    messages per remote request (0 when the coordinator itself requests an
+    idle token) — constant but with a hot spot, no locality and a single
+    point of failure. Included to anchor the comparison experiments. *)
+
+open Types
+
+type t
+
+val create : net:Net.t -> callbacks:callbacks -> n:int -> unit -> t
+
+val request_cs : t -> node_id -> unit
+
+val release_cs : t -> node_id -> unit
+
+val instance : t -> instance
+
+val queue_length : t -> int
+(** Pending requests at the coordinator. *)
+
+val invariant_check : t -> (unit, string) result

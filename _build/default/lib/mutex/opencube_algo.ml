@@ -1,0 +1,1072 @@
+open Types
+module Opencube = Ocube_topology.Opencube
+
+type queue_policy = Fifo | Lifo | Random_order
+
+type config = {
+  p : int;
+  cs_estimate : float;
+  fault_tolerance : bool;
+  asker_patience : float;
+  census_rounds : int;
+  dedup_window : int;
+  queue_policy : queue_policy;
+}
+
+let default_config ~p =
+  {
+    p;
+    cs_estimate = 1.0;
+    fault_tolerance = true;
+    asker_patience = 1.0;
+    census_rounds = 2;
+    dedup_window = 32;
+    queue_policy = Fifo;
+  }
+
+type pending = Wish | Preq of { origin : node_id; rid : request_id }
+
+type loan = {
+  borrower : node_id;
+  loan_rid : request_id;
+  direct : bool;
+  mutable sent_acks : int;
+      (* consecutive "token sent" enquiry answers without the return
+         arriving; bounded before the loan is declared orphaned *)
+}
+
+type search_stage =
+  | Probing  (** walking the distance rings with test(d) messages *)
+  | Census of int  (** every phase failed; confirming token loss, round k *)
+
+type search = {
+  mutable phase : int;
+  mutable stage : search_stage;
+  mutable outstanding : node_id list;
+  mutable try_later : node_id list;
+  mutable retries : int;
+  mutable phase_timer : Net.timer option;
+  resume_request : bool;
+}
+
+type node = {
+  id : node_id;
+  mutable father : node_id option;
+  mutable connected : bool;
+      (* false only while a recovery search has not yet concluded: the
+         father field is meaningless then. *)
+  mutable token_here : bool;
+  mutable asking : bool;
+  mutable in_cs : bool;
+  mutable lender : node_id;
+  mutable mandator : node_id option;
+  mutable mandate_rid : request_id option;
+  mutable mandate_searches : int;
+      (* searches started for the current mandate; repeat searches sweep
+         from phase 1 with an exclusion list so a searcher caught in a
+         waiting cycle makes monotone progress towards the token holder
+         (DESIGN.md, deviations) *)
+  mutable mandate_excluded : node_id list;
+      (* fathers already adopted for this mandate without the token
+         arriving; their ok answers are ignored on repeat searches *)
+  mutable next_seq : int;
+  mutable last_own_rid : request_id option;
+  mutable queue : pending list;  (* deferred events, service order per
+                                    config.queue_policy *)
+  mutable recent_rids : request_id list;
+      (* own recently *satisfied* request ids, consulted when answering a
+         lender's enquiry (Token_sent vs Token_lost) *)
+  (* --- fault-tolerance state --- *)
+  mutable last_token_seen : float;
+      (* virtual time this node last held, sent or received the token; lets
+         a census catch tokens that are momentarily in flight *)
+  mutable loan : loan option;
+  mutable loan_timer : Net.timer option;
+  mutable enquiry_timer : Net.timer option;
+  mutable asker_timer : Net.timer option;
+  mutable search : search option;
+}
+
+type stats = {
+  token_regenerations : int;
+  searches_started : int;
+  search_nodes_tested : int;
+  enquiries_sent : int;
+  anomalies_detected : int;
+  duplicate_requests_dropped : int;
+  stale_tokens_bounced : int;
+  unexpected_tokens : int;
+  tokens_destroyed : int;
+  defensive_drops : int;
+}
+
+type t = {
+  net : Net.t;
+  callbacks : callbacks;
+  config : config;
+  pmax : int;
+  nodes : node array;
+  policy_rng : Ocube_sim.Rng.t;  (* for the Random_order queue policy *)
+  mutable tokens_in_flight : int;
+  mutable s_token_regenerations : int;
+  mutable s_searches_started : int;
+  mutable s_search_nodes_tested : int;
+  mutable s_enquiries_sent : int;
+  mutable s_anomalies_detected : int;
+  mutable s_duplicate_requests_dropped : int;
+  mutable s_stale_tokens_bounced : int;
+  mutable s_unexpected_tokens : int;
+  mutable s_tokens_destroyed : int;
+  mutable s_defensive_drops : int;
+}
+
+let dist = Opencube.dist
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let node t i = t.nodes.(i)
+
+let power_of t nd =
+  match nd.search with
+  | Some s -> s.phase - 1 (* "while performing phase d, i evaluates its power
+                             as d-1" (Section 5) *)
+  | None -> (
+    match nd.father with None -> t.pmax | Some f -> dist nd.id f - 1)
+
+let fresh_rid nd =
+  let rid = { source = nd.id; seq = nd.next_seq } in
+  nd.next_seq <- nd.next_seq + 1;
+  rid
+
+let remember_rid t nd rid =
+  nd.recent_rids <- rid :: nd.recent_rids;
+  let rec trim n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: trim (n - 1) tl
+  in
+  nd.recent_rids <- trim t.config.dedup_window nd.recent_rids
+
+let seen_rid nd rid = List.mem rid nd.recent_rids
+
+let send t ~src ~dst payload =
+  (match payload with
+  | Message.Token _ ->
+    t.tokens_in_flight <- t.tokens_in_flight + 1;
+    t.nodes.(src).last_token_seen <- Ocube_sim.Engine.now (Net.engine t.net)
+  | _ -> ());
+  Net.send t.net ~src ~dst payload
+
+let token_received t = t.tokens_in_flight <- t.tokens_in_flight - 1
+
+let now t = Ocube_sim.Engine.now (Net.engine t.net)
+
+let cancel_timer t slot =
+  match slot with Some timer -> Net.cancel_timer t.net timer | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Timers (all no-ops when fault tolerance is off)                     *)
+(* ------------------------------------------------------------------ *)
+
+let delta t = Net.delta t.net
+
+let rec arm_asker_timer t nd =
+  if t.config.fault_tolerance then begin
+    cancel_timer t nd.asker_timer;
+    let delay =
+      t.config.asker_patience *. 2.0 *. float_of_int t.pmax *. delta t
+    in
+    nd.asker_timer <-
+      Some (Net.set_timer t.net ~node:nd.id ~delay (fun () -> asker_timeout t nd))
+  end
+
+and arm_loan_timer t nd =
+  if t.config.fault_tolerance then begin
+    cancel_timer t nd.loan_timer;
+    match nd.loan with
+    | None -> ()
+    | Some loan ->
+      let delay =
+        if loan.direct then (2.0 *. delta t) +. t.config.cs_estimate
+        else (float_of_int (t.pmax + 1) *. delta t) +. t.config.cs_estimate
+      in
+      nd.loan_timer <-
+        Some (Net.set_timer t.net ~node:nd.id ~delay (fun () -> loan_timeout t nd))
+  end
+
+and arm_enquiry_timer t nd =
+  cancel_timer t nd.enquiry_timer;
+  let delay = 2.0 *. delta t *. 1.05 in
+  nd.enquiry_timer <-
+    Some (Net.set_timer t.net ~node:nd.id ~delay (fun () -> enquiry_timeout t nd))
+
+(* ------------------------------------------------------------------ *)
+(* Critical-section entry/exit and the deferred-event queue            *)
+(* ------------------------------------------------------------------ *)
+
+and enter_cs t nd =
+  nd.in_cs <- true;
+  t.callbacks.on_enter nd.id
+
+and pop_queued t nd =
+  (* The paper only assumes the waiting-queue service policy is fair
+     ("for example, the FIFO policy"); Lifo is deliberately unfair and
+     exists for the fairness ablation. *)
+  match nd.queue with
+  | [] -> None
+  | q ->
+    let idx =
+      match t.config.queue_policy with
+      | Fifo -> 0
+      | Lifo -> List.length q - 1
+      | Random_order -> Ocube_sim.Rng.int t.policy_rng (List.length q)
+    in
+    let ev = List.nth q idx in
+    nd.queue <- List.filteri (fun k _ -> k <> idx) q;
+    Some ev
+
+and drain t nd =
+  (* Serve deferred events while the node is idle. Processing an event may
+     set [asking] again, which stops the loop. *)
+  let continue = ref true in
+  while (not nd.asking) && !continue do
+    match pop_queued t nd with
+    | None -> continue := false
+    | Some Wish -> process_wish t nd
+    | Some (Preq { origin; rid }) ->
+      if rid.source = nd.id && nd.mandate_rid <> Some rid then
+        t.s_duplicate_requests_dropped <- t.s_duplicate_requests_dropped + 1
+      else process_request t nd ~origin ~rid
+  done
+
+and process_wish t nd =
+  nd.asking <- true;
+  if nd.token_here then begin
+    (* The node already holds the token (it is the current root holder):
+       enter immediately; lender invariant says lender = self. *)
+    nd.lender <- nd.id;
+    enter_cs t nd
+  end
+  else begin
+    let rid = fresh_rid nd in
+    nd.mandator <- Some nd.id;
+    nd.mandate_rid <- Some rid;
+    nd.mandate_searches <- 0;
+    nd.mandate_excluded <- [];
+    nd.last_own_rid <- Some rid;
+    match nd.father with
+    | Some f ->
+      send t ~src:nd.id ~dst:f (Message.Request { origin = nd.id; rid });
+      arm_asker_timer t nd
+    | None ->
+      (* Root without token: the token is on its way back to us (we are the
+         lender of an outstanding loan). The wish will be honoured when the
+         return arrives (mandator = self triggers CS entry). *)
+      arm_asker_timer t nd
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Request processing (Section 3.3, "Upon receipt of request(j)")      *)
+(* ------------------------------------------------------------------ *)
+
+and process_request t nd ~origin ~rid =
+  let j = origin in
+  let pw = power_of t nd in
+  let dj = dist nd.id j in
+  if t.config.fault_tolerance && dj > pw then begin
+    (* Anomaly: a stale descendant of a recovered node (Section 5, "Node
+       recovery"). In an open-cube power(father) >= dist(father, son). *)
+    t.s_anomalies_detected <- t.s_anomalies_detected + 1;
+    send t ~src:nd.id ~dst:j (Message.Anomaly { rid })
+  end
+  else if dj = pw then begin
+    (* j climbed through our last son: transit behaviour. First half of a
+       b-transformation. *)
+    (if nd.token_here then begin
+       send t ~src:nd.id ~dst:j (Message.Token { lender = None; rid = Some rid });
+       nd.token_here <- false
+     end
+     else
+       match nd.father with
+       | Some f -> send t ~src:nd.id ~dst:f (Message.Request { origin = j; rid })
+       | None ->
+         (* Root without the token and not asking: unreachable in fault-free
+            runs (a lender is asking until the return). Drop; the origin's
+            timeout machinery recovers. *)
+         t.s_defensive_drops <- t.s_defensive_drops + 1);
+    nd.father <- Some j
+  end
+  else begin
+    (* Proxy behaviour: serve j's request on our own account. *)
+    nd.asking <- true;
+    if nd.token_here then begin
+      nd.loan <- Some { borrower = j; loan_rid = rid; direct = j = rid.source; sent_acks = 0 };
+      send t ~src:nd.id ~dst:j
+        (Message.Token { lender = Some nd.id; rid = Some rid });
+      nd.token_here <- false;
+      arm_loan_timer t nd
+    end
+    else
+      match nd.father with
+      | Some f ->
+        nd.mandator <- Some j;
+        nd.mandate_rid <- Some rid;
+        nd.mandate_searches <- 0;
+        nd.mandate_excluded <- [];
+        send t ~src:nd.id ~dst:f (Message.Request { origin = nd.id; rid });
+        arm_asker_timer t nd
+      | None ->
+        (* Same broken transient as above. *)
+        nd.asking <- false;
+        t.s_defensive_drops <- t.s_defensive_drops + 1
+  end
+
+and receive_request t nd ~origin ~rid =
+  if rid.source = nd.id && nd.mandate_rid <> Some rid then
+    (* A stale copy of one of our own requests came back around (a proxy
+       regenerated it after we were already served): drop it. *)
+    t.s_duplicate_requests_dropped <- t.s_duplicate_requests_dropped + 1
+  else if nd.asking then begin
+    (* wait (not asking): defer. De-duplicate against the active mandate and
+       against already-queued requests (regenerated requests may race their
+       originals; DESIGN.md §5). *)
+    let duplicate =
+      nd.mandate_rid = Some rid
+      || List.exists
+           (function Preq r -> r.rid = rid | Wish -> false)
+           nd.queue
+    in
+    if duplicate then
+      t.s_duplicate_requests_dropped <- t.s_duplicate_requests_dropped + 1
+    else nd.queue <- nd.queue @ [ Preq { origin; rid } ]
+  end
+  else process_request t nd ~origin ~rid
+
+(* ------------------------------------------------------------------ *)
+(* Token processing (Section 3.3, "Upon the receipt of token(j)")      *)
+(* ------------------------------------------------------------------ *)
+
+and receive_token t nd ~from_ ~lender ~rid =
+  token_received t;
+  nd.last_token_seen <- now t;
+  (* A grant for a request id other than our pending mandate is a stale
+     duplicate (a regenerated request raced its original). If it has a
+     lender, hand it straight back; if it is ownerless (token(nil)) it is
+     the real token and serves the mandate just as well (DESIGN.md §5). *)
+  let stale =
+    match (rid, nd.mandate_rid) with
+    | Some r, Some e -> not (r = e)
+    | Some _, None -> nd.mandator <> None
+    | None, _ -> false
+  in
+  if nd.token_here then begin
+    (* We already hold a token: the incoming one is a duplicate (possible
+       only after an unsafe regeneration). Hand an owned one back to its
+       lender so the loan bookkeeping there resolves; destroy an ownerless
+       one so that duplication self-heals instead of persisting
+       (DESIGN.md §5). *)
+    match lender with
+    | Some l when l <> nd.id ->
+      t.s_stale_tokens_bounced <- t.s_stale_tokens_bounced + 1;
+      send t ~src:nd.id ~dst:l (Message.Token { lender = None; rid = None })
+    | _ -> t.s_tokens_destroyed <- t.s_tokens_destroyed + 1
+  end
+  else
+    match (stale, lender) with
+    | true, Some l when l <> nd.id ->
+      t.s_stale_tokens_bounced <- t.s_stale_tokens_bounced + 1;
+      send t ~src:nd.id ~dst:l (Message.Token { lender = None; rid = None })
+    | _ -> receive_token_accept t nd ~from_ ~lender ~rid
+
+and receive_token_accept t nd ~from_ ~lender ~rid =
+  cancel_timer t nd.asker_timer;
+  nd.asker_timer <- None;
+  (* A token in hand settles any ongoing father search. *)
+  stop_search t nd;
+  match nd.mandator with
+  | Some m when m = nd.id ->
+    (* Our own wish is satisfied. *)
+    nd.mandate_searches <- 0;
+    nd.mandate_excluded <- [];
+    nd.token_here <- true;
+    (match lender with
+    | None ->
+      nd.lender <- nd.id;
+      nd.father <- None
+    | Some l ->
+      nd.lender <- l;
+      nd.father <- Some from_);
+    nd.connected <- true;
+    nd.mandator <- None;
+    nd.mandate_rid <- None;
+    (match rid with Some r -> remember_rid t nd r | None -> ());
+    enter_cs t nd
+  | Some m -> (
+    (* We are proxy for m: honour the mandate. *)
+    let granted_rid =
+      match rid with Some r -> Some r | None -> nd.mandate_rid
+    in
+    nd.mandator <- None;
+    nd.mandate_rid <- None;
+    nd.mandate_searches <- 0;
+    nd.mandate_excluded <- [];
+    match lender with
+    | None ->
+      (* token(nil): we become the root and lend it to our mandator. *)
+      nd.father <- None;
+      nd.connected <- true;
+      nd.lender <- nd.id;
+      let loan_rid =
+        match granted_rid with
+        | Some r -> r
+        | None -> { source = m; seq = -1 } (* unreachable in practice *)
+      in
+      nd.loan <- Some { borrower = m; loan_rid; direct = m = loan_rid.source; sent_acks = 0 };
+      send t ~src:nd.id ~dst:m
+        (Message.Token { lender = Some nd.id; rid = granted_rid });
+      arm_loan_timer t nd
+      (* asking remains true until the token returns. *)
+    | Some l ->
+      nd.father <- Some from_;
+      nd.connected <- true;
+      send t ~src:nd.id ~dst:m (Message.Token { lender = Some l; rid = granted_rid });
+      nd.asking <- false;
+      drain t nd)
+  | None -> (
+    match nd.loan with
+    | Some _ ->
+      (* Return after a loan we granted: we are the resting holder again,
+         i.e. the de-facto root. *)
+      nd.loan <- None;
+      cancel_timer t nd.loan_timer;
+      nd.loan_timer <- None;
+      cancel_timer t nd.enquiry_timer;
+      nd.enquiry_timer <- None;
+      nd.token_here <- true;
+      nd.lender <- nd.id;
+      nd.father <- None;
+      nd.connected <- true;
+      nd.asking <- false;
+      drain t nd
+    | None -> (
+      match lender with
+      | None ->
+        (* A token with no lender and no expectation: adopt it (we become
+           the root holder). Happens only in fault scenarios. *)
+        t.s_unexpected_tokens <- t.s_unexpected_tokens + 1;
+        nd.token_here <- true;
+        nd.father <- None;
+        nd.connected <- true;
+        nd.lender <- nd.id;
+        nd.asking <- false;
+        drain t nd
+      | Some l when l = nd.id ->
+        (* Our own lent token routed back oddly: keep it. *)
+        t.s_unexpected_tokens <- t.s_unexpected_tokens + 1;
+        nd.token_here <- true;
+        nd.lender <- nd.id;
+        nd.asking <- false;
+        drain t nd
+      | Some l ->
+        (* Stale duplicate grant: bounce it back to its lender
+           (DESIGN.md §5). *)
+        t.s_stale_tokens_bounced <- t.s_stale_tokens_bounced + 1;
+        send t ~src:nd.id ~dst:l (Message.Token { lender = None; rid = None })))
+
+(* ------------------------------------------------------------------ *)
+(* Fault tolerance: lender-side enquiry and token regeneration         *)
+(* ------------------------------------------------------------------ *)
+
+and regenerate_token t nd =
+  t.s_token_regenerations <- t.s_token_regenerations + 1;
+  nd.loan <- None;
+  cancel_timer t nd.loan_timer;
+  nd.loan_timer <- None;
+  cancel_timer t nd.enquiry_timer;
+  nd.enquiry_timer <- None;
+  nd.token_here <- true;
+  nd.lender <- nd.id;
+  nd.asking <- false;
+  drain t nd
+
+and loan_timeout t nd =
+  match nd.loan with
+  | None -> ()
+  | Some loan ->
+    if nd.asking && not nd.token_here then begin
+      t.s_enquiries_sent <- t.s_enquiries_sent + 1;
+      send t ~src:nd.id ~dst:loan.loan_rid.source
+        (Message.Enquiry { rid = loan.loan_rid });
+      arm_enquiry_timer t nd
+    end
+
+and enquiry_timeout t nd =
+  (* No answer from the source within 2δ: it is down, the token is lost. *)
+  match nd.loan with None -> () | Some _ -> regenerate_token t nd
+
+and receive_enquiry t nd ~from_ ~rid =
+  (* Order matters: a satisfied rid stays satisfied even if a stale
+     duplicate of it was later re-adopted as a mandate - answering
+     token-lost for a completed loan would make the lender regenerate a
+     duplicate token. *)
+  let answer =
+    if nd.in_cs && nd.last_own_rid = Some rid then In_cs
+    else if seen_rid nd rid then Token_sent
+    else if nd.mandate_rid = Some rid then Token_lost
+    else Token_lost
+  in
+  send t ~src:nd.id ~dst:from_ (Message.Enquiry_answer { rid; answer })
+
+and receive_enquiry_answer t nd ~rid ~answer =
+  match nd.loan with
+  | Some loan when loan.loan_rid = rid -> (
+    cancel_timer t nd.enquiry_timer;
+    nd.enquiry_timer <- None;
+    match answer with
+    | In_cs ->
+      (* Suspicion ill-founded: keep waiting another loan round. *)
+      arm_loan_timer t nd
+    | Token_sent ->
+      loan.sent_acks <- loan.sent_acks + 1;
+      if loan.sent_acks >= 3 then begin
+        (* The source keeps claiming it sent the token back, yet nothing
+           arrives: the token went into another custody chain (e.g. a
+           duplicate was destroyed, or the source was served through a
+           regenerated path and returned the token to a different lender).
+           Orphan the loan - regenerating here would duplicate the token -
+           and reintegrate under the real root via search_father
+           (DESIGN.md Â§5). *)
+        nd.loan <- None;
+        cancel_timer t nd.loan_timer;
+        nd.loan_timer <- None;
+        nd.connected <- false;
+        start_search t nd ~phase:1 ~resume:false
+      end
+      else begin
+        (* The return is in flight; give it 2Î´. *)
+        cancel_timer t nd.loan_timer;
+        nd.loan_timer <-
+          Some
+            (Net.set_timer t.net ~node:nd.id ~delay:(2.0 *. delta t *. 1.05)
+               (fun () -> loan_timeout t nd))
+      end
+    | Token_lost -> regenerate_token t nd)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Fault tolerance: search_father                                      *)
+(* ------------------------------------------------------------------ *)
+
+and stop_search t nd =
+  match nd.search with
+  | None -> ()
+  | Some s ->
+    cancel_timer t s.phase_timer;
+    s.phase_timer <- None;
+    nd.search <- None;
+    nd.connected <- true
+
+and ring_at_distance t nd d =
+  (* The 2^(d-1) nodes at distance exactly d: the sibling (d-1)-block. *)
+  ignore t;
+  let base = ((nd.id lsr (d - 1)) lxor 1) lsl (d - 1) in
+  List.init (1 lsl (d - 1)) (fun k -> base + k)
+
+and asker_timeout t nd =
+  if nd.asking && (not nd.token_here) && nd.mandate_rid <> None
+     && nd.search = None
+  then start_search t nd ~phase:(power_of t nd + 1) ~resume:true
+
+and start_search t nd ~phase ~resume =
+  if nd.search = None then begin
+    t.s_searches_started <- t.s_searches_started + 1;
+    cancel_timer t nd.asker_timer;
+    nd.asker_timer <- None;
+    let phase =
+      (* Escalate past fathers that answered ok before but never led to the
+         token: the k-th search for one mandate starts k-1 phases higher. *)
+      (* First search for a mandate starts at power+1 (Cor. 2.1); repeat
+         searches sweep every ring from phase 1, skipping fathers that
+         already failed us (mandate_excluded). *)
+      if resume then begin
+        nd.mandate_searches <- nd.mandate_searches + 1;
+        if nd.mandate_searches = 1 then phase else 1
+      end
+      else phase
+    in
+    let s =
+      {
+        phase;
+        stage = Probing;
+        outstanding = [];
+        try_later = [];
+        retries = 0;
+        phase_timer = None;
+        resume_request = resume;
+      }
+    in
+    nd.search <- Some s;
+    run_phase t nd s
+  end
+
+and run_phase t nd s =
+  if s.phase > t.pmax then begin_census t nd s
+  else begin
+    let ring = ring_at_distance t nd s.phase in
+    s.outstanding <- ring;
+    s.try_later <- [];
+    t.s_search_nodes_tested <- t.s_search_nodes_tested + List.length ring;
+    List.iter
+      (fun k -> send t ~src:nd.id ~dst:k (Message.Test { d = s.phase }))
+      ring;
+    arm_phase_timer t nd s
+  end
+
+and arm_phase_timer t nd s =
+  cancel_timer t s.phase_timer;
+  s.phase_timer <-
+    Some
+      (Net.set_timer t.net ~node:nd.id ~delay:(2.0 *. delta t *. 1.05)
+         (fun () -> phase_timeout t nd s))
+
+and phase_timeout t nd s =
+  let still_active =
+    match nd.search with Some s' -> s' == s | None -> false
+  in
+  if still_active then begin
+    match s.stage with
+    | Census round -> census_round_over t nd s round
+    | Probing ->
+      if s.try_later <> [] && s.retries < 8 then begin
+        (* Retest the nodes that asked us to try later (Section 5, case
+           ii). Bounded: after a few rounds we move to the next ring - the
+           try-later nodes are revisited by the next search for this
+           mandate, and regeneration stays safe behind the census. *)
+        s.retries <- s.retries + 1;
+        s.outstanding <- s.try_later;
+        s.try_later <- [];
+        t.s_search_nodes_tested <-
+          t.s_search_nodes_tested + List.length s.outstanding;
+        List.iter
+          (fun k -> send t ~src:nd.id ~dst:k (Message.Test { d = s.phase }))
+          s.outstanding;
+        arm_phase_timer t nd s
+      end
+      else begin
+        s.phase <- s.phase + 1;
+        s.retries <- 0;
+        run_phase t nd s
+      end
+  end
+
+(* Every phase failed: in the paper the node immediately becomes the root
+   and regenerates the token. That is unsafe when the token is merely
+   elsewhere and every holder happened to be silent (e.g. rootless windows
+   while a token(nil) is in flight), so by default we first run a census:
+   ask every node whether the token still exists, [census_rounds] times.
+   census_rounds = 0 reproduces the paper's behaviour (DESIGN.md §5). *)
+and begin_census t nd s =
+  if t.config.census_rounds <= 0 then regenerate_as_root t nd
+  else begin
+    s.stage <- Census 1;
+    census_send t nd s 1
+  end
+
+and census_send t nd s round =
+  for k = 0 to Array.length t.nodes - 1 do
+    if k <> nd.id then send t ~src:nd.id ~dst:k (Message.Census { round })
+  done;
+  cancel_timer t s.phase_timer;
+  s.phase_timer <-
+    Some
+      (Net.set_timer t.net ~node:nd.id
+         ~delay:((2.0 *. delta t *. 1.05) +. t.config.cs_estimate)
+         (fun () -> phase_timeout t nd s))
+
+and census_round_over t nd s round =
+  if round >= t.config.census_rounds then regenerate_as_root t nd
+  else begin
+    let round = round + 1 in
+    s.stage <- Census round;
+    census_send t nd s round
+  end
+
+and receive_census t nd ~from_ ~round =
+  let freshness = 4.0 *. delta t in
+  let holds_token =
+    nd.token_here || nd.in_cs || nd.loan <> None
+    || now t -. nd.last_token_seen <= freshness
+  in
+  if holds_token then
+    send t ~src:nd.id ~dst:from_
+      (Message.Census_reply { round; reply = Token_exists })
+  else
+    match nd.search with
+    | Some s when (match s.stage with Census _ -> true | Probing -> false)
+                  && nd.id < from_ ->
+      (* Both of us concluded the token is lost; the smaller id wins the
+         right to regenerate. *)
+      send t ~src:nd.id ~dst:from_
+        (Message.Census_reply { round; reply = Census_defer })
+    | _ -> ()
+
+and receive_census_reply t nd ~reply =
+  match nd.search with
+  | Some s when (match s.stage with Census _ -> true | Probing -> false) -> (
+    match reply with
+    | Token_exists | Census_defer ->
+      (* The token is alive (or someone else will regenerate it): abort and
+         search again from scratch after a backoff, forgetting which
+         fathers failed us - the world has moved on. *)
+      nd.mandate_searches <- 0;
+      nd.mandate_excluded <- [];
+      stop_search t nd;
+      nd.connected <- false;
+      let backoff =
+        ((2.0 *. delta t) +. t.config.cs_estimate)
+        *. (1.0 +. (float_of_int nd.id /. float_of_int (4 * Array.length t.nodes)))
+      in
+      ignore
+        (Net.set_timer t.net ~node:nd.id ~delay:backoff (fun () ->
+             if nd.search = None && nd.asking then
+               start_search t nd ~phase:1
+                 ~resume:(nd.mandate_rid <> None))))
+  | _ -> ()
+
+and conclude_father t nd k =
+  stop_search t nd;
+  nd.father <- Some k;
+  nd.connected <- true;
+  if nd.mandate_rid <> None then begin
+    (* Regenerate the pending request towards the new father; remember it
+       so that a fruitless adoption is not repeated for this mandate. *)
+    if not (List.mem k nd.mandate_excluded) then
+      nd.mandate_excluded <- k :: nd.mandate_excluded;
+    let rid = Option.get nd.mandate_rid in
+    send t ~src:nd.id ~dst:k (Message.Request { origin = nd.id; rid });
+    arm_asker_timer t nd
+  end
+  else begin
+    (* Recovery search: reconnection done, resume serving. *)
+    nd.asking <- false;
+    drain t nd
+  end
+
+and regenerate_as_root t nd =
+  stop_search t nd;
+  nd.father <- None;
+  nd.connected <- true;
+  t.s_token_regenerations <- t.s_token_regenerations + 1;
+  nd.token_here <- true;
+  nd.lender <- nd.id;
+  match nd.mandator with
+  | Some m when m = nd.id ->
+    nd.mandator <- None;
+    (match nd.mandate_rid with Some r -> remember_rid t nd r | None -> ());
+    nd.mandate_rid <- None;
+    enter_cs t nd
+  | Some m ->
+    let loan_rid =
+      match nd.mandate_rid with
+      | Some r -> r
+      | None -> { source = m; seq = -1 }
+    in
+    nd.mandator <- None;
+    nd.mandate_rid <- None;
+    nd.loan <- Some { borrower = m; loan_rid; direct = m = loan_rid.source; sent_acks = 0 };
+    send t ~src:nd.id ~dst:m
+      (Message.Token { lender = Some nd.id; rid = Some loan_rid });
+    nd.token_here <- false;
+    arm_loan_timer t nd
+  | None ->
+    nd.asking <- false;
+    drain t nd
+
+and receive_test t nd ~from_ ~d =
+  match nd.search with
+  | Some s -> (
+    (* Concurrent suspicion arbitration (Section 5). A censusing node has
+       exhausted every phase: it behaves as a higher-phase searcher. *)
+    let my_phase =
+      match s.stage with Probing -> s.phase | Census _ -> t.pmax + 1
+    in
+    if my_phase > d then
+      send t ~src:nd.id ~dst:from_
+        (Message.Test_answer { d; answer = Father_ok })
+    else if my_phase < d then
+      (* The paper's optimization: we would necessarily conclude
+         father := from_ anyway. *)
+      conclude_father t nd from_
+    else if nd.id < from_ then
+      send t ~src:nd.id ~dst:from_
+        (Message.Test_answer { d; answer = Father_ok })
+    else () (* equal phases, larger id: stay silent *))
+  | None ->
+    let pw = power_of t nd in
+    if nd.token_here then
+      (* The holder is always a valid attach point: it serves any request
+         it receives directly (hardening, DESIGN.md Â§5). *)
+      send t ~src:nd.id ~dst:from_
+        (Message.Test_answer { d; answer = Holder_ok })
+    else if nd.father = Some from_ then
+      (* We are the prober's son: it cannot take us as its father (that
+         would close a cycle), and our power cannot rise before the prober
+         itself resolves - stay silent so it discards us. *)
+      ()
+    else if pw >= d then
+      send t ~src:nd.id ~dst:from_
+        (Message.Test_answer { d; answer = Father_ok })
+    else if nd.asking then
+      send t ~src:nd.id ~dst:from_
+        (Message.Test_answer { d; answer = Try_later })
+    else () (* cannot be the father: stay silent *)
+
+and receive_test_answer t nd ~from_ ~d ~answer =
+  match nd.search with
+  | None -> () (* stale answer *)
+  | Some s -> (
+    match answer with
+    | Holder_ok -> conclude_father t nd from_
+    | Father_ok ->
+      if List.mem from_ nd.mandate_excluded then
+        (* Adopting this node already failed to produce the token during
+           this mandate: treat it as discarded. *)
+        s.outstanding <- List.filter (fun k -> k <> from_) s.outstanding
+      else conclude_father t nd from_
+    | Try_later -> (
+      match s.stage with
+      | Probing ->
+        if d = s.phase && List.mem from_ s.outstanding then begin
+          s.outstanding <- List.filter (fun k -> k <> from_) s.outstanding;
+          s.try_later <- from_ :: s.try_later
+        end
+      | Census _ -> ()))
+
+and receive_anomaly t nd ~rid =
+  (* Our father is inconsistent with the structure: re-run search_father
+     (Section 5, "Node recovery"). *)
+  if nd.mandate_rid = Some rid && nd.search = None then begin
+    cancel_timer t nd.asker_timer;
+    nd.asker_timer <- None;
+    start_search t nd ~phase:(power_of t nd + 1) ~resume:true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let handle_message t i ~src payload =
+  let nd = node t i in
+  match payload with
+  | Message.Request { origin; rid } -> receive_request t nd ~origin ~rid
+  | Message.Token { lender; rid } -> receive_token t nd ~from_:src ~lender ~rid
+  | Message.Enquiry { rid } -> receive_enquiry t nd ~from_:src ~rid
+  | Message.Enquiry_answer { rid; answer } ->
+    receive_enquiry_answer t nd ~rid ~answer
+  | Message.Test { d } -> receive_test t nd ~from_:src ~d
+  | Message.Test_answer { d; answer } ->
+    receive_test_answer t nd ~from_:src ~d ~answer
+  | Message.Anomaly { rid } -> receive_anomaly t nd ~rid
+  | Message.Census { round } -> receive_census t nd ~from_:src ~round
+  | Message.Census_reply { reply; _ } -> receive_census_reply t nd ~reply
+  | Message.Release | Message.Sk_request _ | Message.Sk_privilege _
+  | Message.Ra_request _ | Message.Ra_reply ->
+    t.s_defensive_drops <- t.s_defensive_drops + 1
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_node ~cube i =
+  {
+    id = i;
+    father = Opencube.father cube i;
+    connected = true;
+    token_here = i = 0;
+    asking = false;
+    in_cs = false;
+    lender = i;
+    mandator = None;
+    mandate_rid = None;
+    mandate_searches = 0;
+    mandate_excluded = [];
+    next_seq = 0;
+    last_own_rid = None;
+    queue = [];
+    recent_rids = [];
+    last_token_seen = (if i = 0 then 0.0 else neg_infinity);
+    loan = None;
+    loan_timer = None;
+    enquiry_timer = None;
+    asker_timer = None;
+    search = None;
+  }
+
+let create ~net ~callbacks ~config =
+  let n = 1 lsl config.p in
+  if Net.size net <> n then
+    invalid_arg
+      (Printf.sprintf "Opencube_algo.create: network has %d nodes, need 2^%d"
+         (Net.size net) config.p);
+  let cube = Opencube.build ~p:config.p in
+  let t =
+    {
+      net;
+      callbacks;
+      config;
+      pmax = config.p;
+      nodes = Array.init n (fun i -> fresh_node ~cube i);
+      policy_rng = Ocube_sim.Rng.create 0xc0be;
+      tokens_in_flight = 0;
+      s_token_regenerations = 0;
+      s_searches_started = 0;
+      s_search_nodes_tested = 0;
+      s_enquiries_sent = 0;
+      s_anomalies_detected = 0;
+      s_duplicate_requests_dropped = 0;
+      s_stale_tokens_bounced = 0;
+      s_unexpected_tokens = 0;
+      s_tokens_destroyed = 0;
+      s_defensive_drops = 0;
+    }
+  in
+  for i = 0 to n - 1 do
+    Net.set_handler net i (fun ~src payload -> handle_message t i ~src payload)
+  done;
+  (* A token dropped on a dead destination is lost: keep the in-flight
+     account straight (the enquiry machinery will regenerate it). *)
+  Net.set_drop_handler net (fun ~dst:_ payload ->
+      match payload with
+      | Message.Token _ -> t.tokens_in_flight <- t.tokens_in_flight - 1
+      | _ -> ());
+  t
+
+let request_cs t i =
+  if not (Net.is_failed t.net i) then begin
+    let nd = node t i in
+    if nd.asking then nd.queue <- nd.queue @ [ Wish ] else process_wish t nd
+  end
+
+let release_cs t i =
+  let nd = node t i in
+  if not nd.in_cs then
+    invalid_arg (Printf.sprintf "Opencube_algo.release_cs: node %d not in CS" i);
+  nd.in_cs <- false;
+  t.callbacks.on_exit i;
+  if nd.lender <> nd.id then begin
+    send t ~src:nd.id ~dst:nd.lender (Message.Token { lender = None; rid = None });
+    nd.token_here <- false
+  end;
+  nd.asking <- false;
+  drain t nd
+
+let on_recovered t i =
+  let nd = node t i in
+  (* Volatile state is lost; {pmax, dist} survive on stable storage. Rebuild
+     a leaf-like state and reconnect (Section 5, "Node recovery"). Request
+     sequence numbers are salted by the incarnation so that rids from the
+     previous life cannot alias new ones. *)
+  nd.father <- None;
+  nd.connected <- false;
+  nd.token_here <- false;
+  nd.asking <- true;
+  nd.in_cs <- false;
+  nd.lender <- i;
+  nd.mandator <- None;
+  nd.mandate_rid <- None;
+  nd.mandate_searches <- 0;
+  nd.mandate_excluded <- [];
+  nd.last_own_rid <- None;
+  nd.next_seq <- Net.incarnation t.net i * 1_000_000;
+  nd.queue <- [];
+  nd.recent_rids <- [];
+  nd.last_token_seen <- neg_infinity;
+  nd.loan <- None;
+  nd.loan_timer <- None;
+  nd.enquiry_timer <- None;
+  nd.asker_timer <- None;
+  nd.search <- None;
+  start_search t nd ~phase:1 ~resume:false
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let father t i = (node t i).father
+
+let snapshot_tree t = Array.map (fun nd -> nd.father) t.nodes
+
+let power t i = power_of t (node t i)
+
+let token_holders t =
+  (* A failed node's frozen state does not count: its token (if any) is
+     lost with it. *)
+  Array.to_list t.nodes
+  |> List.filter_map (fun nd ->
+         if nd.token_here && not (Net.is_failed t.net nd.id) then Some nd.id
+         else None)
+
+let is_asking t i = (node t i).asking
+
+let in_cs t i = (node t i).in_cs
+
+let queue_length t i = List.length (node t i).queue
+
+let searching t i = (node t i).search <> None
+
+let describe t i =
+  let nd = node t i in
+  let fmt_opt = function None -> "nil" | Some v -> string_of_int v in
+  let fmt_rid = function
+    | None -> "-"
+    | Some r -> Format.asprintf "%a" pp_request_id r
+  in
+  Printf.sprintf
+    "node %d: father=%s power=%d token=%b asking=%b in_cs=%b lender=%d      mandator=%s rid=%s queue=%d searching=%b"
+    i (fmt_opt nd.father) (power_of t nd) nd.token_here nd.asking nd.in_cs
+    nd.lender (fmt_opt nd.mandator) (fmt_rid nd.mandate_rid)
+    (List.length nd.queue) (nd.search <> None)
+
+let stats t =
+  {
+    token_regenerations = t.s_token_regenerations;
+    searches_started = t.s_searches_started;
+    search_nodes_tested = t.s_search_nodes_tested;
+    enquiries_sent = t.s_enquiries_sent;
+    anomalies_detected = t.s_anomalies_detected;
+    duplicate_requests_dropped = t.s_duplicate_requests_dropped;
+    stale_tokens_bounced = t.s_stale_tokens_bounced;
+    unexpected_tokens = t.s_unexpected_tokens;
+    tokens_destroyed = t.s_tokens_destroyed;
+    defensive_drops = t.s_defensive_drops;
+  }
+
+let invariant_check t =
+  let holders = List.length (token_holders t) in
+  let in_cs_count =
+    Array.fold_left (fun acc nd -> if nd.in_cs then acc + 1 else acc) 0 t.nodes
+  in
+  if in_cs_count > 1 then Error "mutual exclusion violated: >1 node in CS"
+  else if holders + t.tokens_in_flight <> 1 then
+    Error
+      (Printf.sprintf "token count %d (held %d + in flight %d) should be 1"
+         (holders + t.tokens_in_flight)
+         holders t.tokens_in_flight)
+  else Ok ()
+
+let check_opencube t =
+  let fathers = snapshot_tree t in
+  Opencube.check (Opencube.of_fathers fathers)
+
+let instance t =
+  {
+    algo_name = "opencube";
+    request_cs = request_cs t;
+    release_cs = release_cs t;
+    on_recovered = on_recovered t;
+    snapshot_tree = (fun () -> Some (snapshot_tree t));
+    token_holders = (fun () -> token_holders t);
+    invariant_check = (fun () -> invariant_check t);
+  }

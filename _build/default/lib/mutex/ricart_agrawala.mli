@@ -1,0 +1,27 @@
+(** The Ricart–Agrawala permission-based algorithm (CACM 1981).
+
+    The canonical representative of the *permission-based* class in
+    Raynal's taxonomy (the paper's reference [5]), included to contrast the
+    token-based family: a requester timestamps its request with a Lamport
+    clock, broadcasts it, and enters once all N-1 peers have replied;
+    conflicting requests are ordered by (clock, id). Always exactly
+    2(N-1) messages per critical section. No fault tolerance. *)
+
+open Types
+
+type t
+
+val create : net:Net.t -> callbacks:callbacks -> n:int -> unit -> t
+
+val request_cs : t -> node_id -> unit
+
+val release_cs : t -> node_id -> unit
+
+val instance : t -> instance
+
+(** {1 Introspection} *)
+
+val deferred : t -> node_id -> node_id list
+(** Peers whose replies the node is withholding until it exits. *)
+
+val invariant_check : t -> (unit, string) result

@@ -1,0 +1,122 @@
+type node_id = int
+
+type request_id = { source : node_id; seq : int }
+
+let pp_request_id ppf { source; seq } = Format.fprintf ppf "%d#%d" source seq
+
+type enquiry_answer = In_cs | Token_sent | Token_lost
+
+type test_answer = Father_ok | Holder_ok | Try_later
+
+type census_reply = Token_exists | Census_defer
+
+module Message = struct
+  type t =
+    | Request of { origin : node_id; rid : request_id }
+    | Token of { lender : node_id option; rid : request_id option }
+    | Enquiry of { rid : request_id }
+    | Enquiry_answer of { rid : request_id; answer : enquiry_answer }
+    | Test of { d : int }
+    | Test_answer of { d : int; answer : test_answer }
+    | Anomaly of { rid : request_id }
+    | Census of { round : int }
+    | Census_reply of { round : int; reply : census_reply }
+    | Release
+    | Sk_request of { origin : node_id; seq : int }
+    | Sk_privilege of { queue : node_id list; ln : int array }
+    | Ra_request of { origin : node_id; clock : int }
+    | Ra_reply
+
+  let pp ppf = function
+    | Request { origin; rid } ->
+      Format.fprintf ppf "request(origin=%d, rid=%a)" origin pp_request_id rid
+    | Token { lender; rid } ->
+      let pp_lender ppf = function
+        | None -> Format.pp_print_string ppf "nil"
+        | Some l -> Format.pp_print_int ppf l
+      in
+      let pp_rid ppf = function
+        | None -> Format.pp_print_string ppf "-"
+        | Some r -> pp_request_id ppf r
+      in
+      Format.fprintf ppf "token(lender=%a, rid=%a)" pp_lender lender pp_rid rid
+    | Enquiry { rid } -> Format.fprintf ppf "enquiry(%a)" pp_request_id rid
+    | Enquiry_answer { rid; answer } ->
+      let s =
+        match answer with
+        | In_cs -> "in-cs"
+        | Token_sent -> "token-sent"
+        | Token_lost -> "token-lost"
+      in
+      Format.fprintf ppf "enquiry_answer(%a, %s)" pp_request_id rid s
+    | Test { d } -> Format.fprintf ppf "test(%d)" d
+    | Test_answer { d; answer } ->
+      let s =
+        match answer with
+        | Father_ok -> "ok"
+        | Holder_ok -> "holder-ok"
+        | Try_later -> "try-later"
+      in
+      Format.fprintf ppf "test_answer(%d, %s)" d s
+    | Anomaly { rid } -> Format.fprintf ppf "anomaly(%a)" pp_request_id rid
+    | Census { round } -> Format.fprintf ppf "census(%d)" round
+    | Census_reply { round; reply } ->
+      let s =
+        match reply with
+        | Token_exists -> "token-exists"
+        | Census_defer -> "defer"
+      in
+      Format.fprintf ppf "census_reply(%d, %s)" round s
+    | Release -> Format.pp_print_string ppf "release"
+    | Sk_request { origin; seq } ->
+      Format.fprintf ppf "sk_request(%d, %d)" origin seq
+    | Sk_privilege { queue; _ } ->
+      Format.fprintf ppf "sk_privilege(q=[%s])"
+        (String.concat ";" (List.map string_of_int queue))
+    | Ra_request { origin; clock } ->
+      Format.fprintf ppf "ra_request(%d, %d)" origin clock
+    | Ra_reply -> Format.pp_print_string ppf "ra_reply"
+
+  let category = function
+    | Request _ -> "request"
+    | Token _ -> "token"
+    | Enquiry _ -> "enquiry"
+    | Enquiry_answer _ -> "enquiry_answer"
+    | Test _ -> "test"
+    | Test_answer _ -> "test_answer"
+    | Anomaly _ -> "anomaly"
+    | Census _ -> "census"
+    | Census_reply _ -> "census_reply"
+    | Release -> "release"
+    | Sk_request _ -> "request"
+    | Sk_privilege _ -> "token"
+    | Ra_request _ -> "request"
+    | Ra_reply -> "reply"
+
+  let is_fault_overhead = function
+    | Enquiry _ | Enquiry_answer _ | Test _ | Test_answer _ | Anomaly _
+    | Census _ | Census_reply _ ->
+      true
+    | Request _ | Token _ | Release | Sk_request _ | Sk_privilege _
+    | Ra_request _ | Ra_reply ->
+      false
+end
+
+module Net = Ocube_net.Network.Make (Message)
+
+type callbacks = {
+  on_enter : node_id -> unit;
+  on_exit : node_id -> unit;
+}
+
+let null_callbacks = { on_enter = ignore; on_exit = ignore }
+
+type instance = {
+  algo_name : string;
+  request_cs : node_id -> unit;
+  release_cs : node_id -> unit;
+  on_recovered : node_id -> unit;
+  snapshot_tree : unit -> node_id option array option;
+  token_holders : unit -> node_id list;
+  invariant_check : unit -> (unit, string) result;
+}

@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Float Format Hashtbl List Ocube_sim Option Printf

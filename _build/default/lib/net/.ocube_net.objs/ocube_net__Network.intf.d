@@ -1,0 +1,1 @@
+lib/net/network.mli: Format Ocube_sim

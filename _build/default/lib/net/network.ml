@@ -1,0 +1,194 @@
+module Engine = Ocube_sim.Engine
+module Rng = Ocube_sim.Rng
+module Trace = Ocube_sim.Trace
+
+module type PAYLOAD = sig
+  type t
+
+  val pp : Format.formatter -> t -> unit
+
+  val category : t -> string
+end
+
+type delay_model =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float; cap : float }
+
+let delay_bound = function
+  | Constant d -> d
+  | Uniform { hi; _ } -> hi
+  | Exponential { cap; _ } -> cap
+
+let validate_model = function
+  | Constant d when d <= 0.0 -> invalid_arg "Network: delay must be positive"
+  | Uniform { lo; hi } when lo < 0.0 || hi < lo || hi <= 0.0 ->
+    invalid_arg "Network: bad uniform delay bounds"
+  | Exponential { mean; cap } when mean <= 0.0 || cap < mean ->
+    invalid_arg "Network: bad exponential delay parameters"
+  | _ -> ()
+
+module Make (P : PAYLOAD) = struct
+  type node = {
+    mutable handler : (src:int -> P.t -> unit) option;
+    mutable failed : bool;
+    mutable incarnation : int;
+  }
+
+  type t = {
+    engine : Engine.t;
+    rng : Rng.t;
+    trace : Trace.t option;
+    nodes : node array;
+    delay : delay_model;
+    delta : float;
+    mutable sent : int;
+    mutable delivered : int;
+    mutable dropped : int;
+    mutable drop_handler : (dst:int -> P.t -> unit) option;
+    categories : (string, int) Hashtbl.t;
+  }
+
+  type timer = Engine.timer_id
+
+  let create ~engine ~rng ?trace ~n ~delay () =
+    if n < 1 then invalid_arg "Network.create: n must be >= 1";
+    validate_model delay;
+    {
+      engine;
+      rng;
+      trace;
+      nodes = Array.init n (fun _ -> { handler = None; failed = false; incarnation = 0 });
+      delay;
+      delta = delay_bound delay;
+      sent = 0;
+      delivered = 0;
+      dropped = 0;
+      drop_handler = None;
+      categories = Hashtbl.create 16;
+    }
+
+  let engine t = t.engine
+
+  let size t = Array.length t.nodes
+
+  let delta t = t.delta
+
+  let check_node t i =
+    if i < 0 || i >= size t then
+      invalid_arg (Printf.sprintf "Network: node %d out of range" i)
+
+  let set_handler t i h =
+    check_node t i;
+    t.nodes.(i).handler <- Some h
+
+  let set_drop_handler t h = t.drop_handler <- Some h
+
+  let record t ?node ~tag detail =
+    match t.trace with
+    | None -> ()
+    | Some tr -> Trace.record tr ~time:(Engine.now t.engine) ?node ~tag detail
+
+  let sample_delay t =
+    match t.delay with
+    | Constant d -> d
+    | Uniform { lo; hi } -> lo +. Rng.float t.rng (hi -. lo)
+    | Exponential { mean; cap } -> Float.min cap (Rng.exponential t.rng ~mean)
+
+  let bump_category t payload =
+    let c = P.category payload in
+    let cur = Option.value ~default:0 (Hashtbl.find_opt t.categories c) in
+    Hashtbl.replace t.categories c (cur + 1)
+
+  let send t ~src ~dst payload =
+    check_node t src;
+    check_node t dst;
+    if t.nodes.(src).failed then
+      invalid_arg
+        (Printf.sprintf "Network.send: node %d is failed and cannot send" src);
+    t.sent <- t.sent + 1;
+    bump_category t payload;
+    record t ~node:src ~tag:"send"
+      (Format.asprintf "-> %d: %a" dst P.pp payload);
+    let dst_node = t.nodes.(dst) in
+    let expected_incarnation = dst_node.incarnation in
+    let delay = sample_delay t in
+    ignore
+      (Engine.schedule t.engine ~delay (fun () ->
+           if dst_node.failed || dst_node.incarnation <> expected_incarnation
+           then begin
+             t.dropped <- t.dropped + 1;
+             record t ~node:dst ~tag:"drop"
+               (Format.asprintf "from %d: %a (node down)" src P.pp payload);
+             match t.drop_handler with
+             | Some h -> h ~dst payload
+             | None -> ()
+           end
+           else begin
+             t.delivered <- t.delivered + 1;
+             record t ~node:dst ~tag:"recv"
+               (Format.asprintf "from %d: %a" src P.pp payload);
+             match dst_node.handler with
+             | Some h -> h ~src payload
+             | None ->
+               failwith
+                 (Printf.sprintf "Network: node %d has no handler installed" dst)
+           end))
+
+  let set_timer t ~node ~delay f =
+    check_node t node;
+    let nd = t.nodes.(node) in
+    let expected_incarnation = nd.incarnation in
+    Engine.schedule t.engine ~delay (fun () ->
+        if (not nd.failed) && nd.incarnation = expected_incarnation then f ())
+
+  let cancel_timer t timer = Engine.cancel t.engine timer
+
+  let fail t i =
+    check_node t i;
+    let nd = t.nodes.(i) in
+    if not nd.failed then begin
+      nd.failed <- true;
+      nd.incarnation <- nd.incarnation + 1;
+      record t ~node:i ~tag:"fault" "fail-stop"
+    end
+
+  let recover t i =
+    check_node t i;
+    let nd = t.nodes.(i) in
+    if not nd.failed then invalid_arg "Network.recover: node is not failed";
+    nd.failed <- false;
+    nd.incarnation <- nd.incarnation + 1;
+    record t ~node:i ~tag:"fault" "recover"
+
+  let is_failed t i =
+    check_node t i;
+    t.nodes.(i).failed
+
+  let alive_nodes t =
+    let acc = ref [] in
+    for i = size t - 1 downto 0 do
+      if not t.nodes.(i).failed then acc := i :: !acc
+    done;
+    !acc
+
+  let incarnation t i =
+    check_node t i;
+    t.nodes.(i).incarnation
+
+  let sent_total t = t.sent
+
+  let delivered_total t = t.delivered
+
+  let dropped_total t = t.dropped
+
+  let sent_by_category t =
+    Hashtbl.fold (fun c n acc -> (c, n) :: acc) t.categories []
+    |> List.sort compare
+
+  let reset_counters t =
+    t.sent <- 0;
+    t.delivered <- 0;
+    t.dropped <- 0;
+    Hashtbl.reset t.categories
+end

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Buffer Format List String

@@ -1,0 +1,107 @@
+type timer_id = int
+
+type event = {
+  time : float;
+  seq : int;
+  id : timer_id;
+  action : unit -> unit;
+}
+
+module Event_heap = Heap.Make (struct
+  type t = event
+
+  let compare a b =
+    let c = Float.compare a.time b.time in
+    if c <> 0 then c else Int.compare a.seq b.seq
+end)
+
+type t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable next_id : int;
+  queue : Event_heap.t;
+  cancelled : (timer_id, unit) Hashtbl.t;
+}
+
+let create () =
+  {
+    clock = 0.0;
+    next_seq = 0;
+    next_id = 0;
+    queue = Event_heap.create ();
+    cancelled = Hashtbl.create 64;
+  }
+
+let now t = t.clock
+
+let schedule_at t ~time action =
+  if not (Float.is_finite time) then invalid_arg "Engine.schedule_at: non-finite time";
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Event_heap.push t.queue { time; seq; id; action };
+  id
+
+let schedule t ~delay action =
+  if not (Float.is_finite delay) || delay < 0.0 then
+    invalid_arg "Engine.schedule: negative or non-finite delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let cancel t id = Hashtbl.replace t.cancelled id ()
+
+let pending t = Event_heap.length t.queue
+
+(* Pop events, skipping cancelled ones. *)
+let rec next_live t =
+  match Event_heap.pop t.queue with
+  | None -> None
+  | Some ev ->
+    if Hashtbl.mem t.cancelled ev.id then begin
+      Hashtbl.remove t.cancelled ev.id;
+      next_live t
+    end
+    else Some ev
+
+let step t =
+  match next_live t with
+  | None -> false
+  | Some ev ->
+    t.clock <- ev.time;
+    ev.action ();
+    true
+
+let run ?(until = infinity) ?(max_steps = max_int) t =
+  let steps = ref 0 in
+  let continue = ref true in
+  while !continue && !steps < max_steps do
+    match next_live t with
+    | None -> continue := false
+    | Some ev ->
+      if ev.time > until then begin
+        (* Put it back: the horizon was reached. *)
+        Event_heap.push t.queue ev;
+        t.clock <- until;
+        continue := false
+      end
+      else begin
+        t.clock <- ev.time;
+        ev.action ();
+        incr steps
+      end
+  done
+
+let quiescent t =
+  let rec check () =
+    match Event_heap.peek t.queue with
+    | None -> true
+    | Some ev ->
+      if Hashtbl.mem t.cancelled ev.id then begin
+        ignore (Event_heap.pop t.queue);
+        Hashtbl.remove t.cancelled ev.id;
+        check ()
+      end
+      else false
+  in
+  check ()

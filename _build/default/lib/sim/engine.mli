@@ -1,0 +1,47 @@
+(** Discrete-event simulation engine.
+
+    Maintains a virtual clock and a priority queue of pending events. Events
+    scheduled for the same instant fire in scheduling order (a strictly
+    increasing sequence number breaks ties), which makes whole-system runs
+    deterministic for a given seed.
+
+    The engine knows nothing about networks or protocols; higher layers
+    ({!Ocube_net.Network}, the mutual-exclusion runner) build on [schedule]
+    and [cancel]. *)
+
+type t
+
+type timer_id
+(** Handle for a scheduled event, used to cancel it. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time. Starts at [0.]. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> timer_id
+(** [schedule t ~delay f] fires [f] at time [now t +. delay].
+    @raise Invalid_argument if [delay] is negative or not finite. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> timer_id
+(** Absolute-time variant. [time] must be [>= now t]. *)
+
+val cancel : t -> timer_id -> unit
+(** Cancel a pending event. Cancelling an already-fired or already-cancelled
+    event is a no-op. *)
+
+val pending : t -> int
+(** Number of events still queued (cancelled events may be counted until
+    they are swept). *)
+
+val step : t -> bool
+(** Execute the earliest pending event. Returns [false] when the queue is
+    empty (and leaves the clock untouched). *)
+
+val run : ?until:float -> ?max_steps:int -> t -> unit
+(** Run events in order until the queue is empty, the clock would pass
+    [until], or [max_steps] events have executed. Events scheduled exactly at
+    [until] still fire. *)
+
+val quiescent : t -> bool
+(** [true] when no live (non-cancelled) event remains. *)

@@ -1,0 +1,38 @@
+(** Binary min-heap.
+
+    The event queue of the discrete-event engine. Elements are ordered by a
+    user-supplied comparison; ties must be broken by the caller (the engine
+    uses a monotonically increasing sequence number) so that the simulation
+    is fully deterministic. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (E : ORDERED) : sig
+  type t
+
+  val create : unit -> t
+
+  val length : t -> int
+
+  val is_empty : t -> bool
+
+  val push : t -> E.t -> unit
+
+  val peek : t -> E.t option
+  (** Smallest element without removing it. *)
+
+  val pop : t -> E.t option
+  (** Remove and return the smallest element. *)
+
+  val pop_exn : t -> E.t
+  (** @raise Invalid_argument on an empty heap. *)
+
+  val clear : t -> unit
+
+  val to_sorted_list : t -> E.t list
+  (** Non-destructive snapshot, smallest first. O(n log n). *)
+end

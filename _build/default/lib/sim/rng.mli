@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, splittable PRNG (splitmix64) used everywhere randomness is
+    needed: network delays, workload arrivals, failure schedules, property
+    tests. Seeded explicitly so that every experiment in the repository is
+    reproducible bit-for-bit. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Two generators built from the
+    same seed produce identical streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent from the remainder of [t]'s stream. Used to
+    give each simulated node or experiment its own stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument] when
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** [exponential t ~mean] samples an exponential distribution. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniform random permutation of [0..n-1]. *)

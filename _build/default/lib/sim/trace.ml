@@ -1,0 +1,45 @@
+type entry = { time : float; node : int option; tag : string; detail : string }
+
+type t = { mutable rev_entries : entry list; mutable count : int }
+
+let create () = { rev_entries = []; count = 0 }
+
+let record t ~time ?node ~tag detail =
+  t.rev_entries <- { time; node; tag; detail } :: t.rev_entries;
+  t.count <- t.count + 1
+
+let entries t = List.rev t.rev_entries
+
+let length t = t.count
+
+let clear t =
+  t.rev_entries <- [];
+  t.count <- 0
+
+let find_all t ~tag = List.filter (fun e -> String.equal e.tag tag) (entries t)
+
+let pp_entry ppf e =
+  match e.node with
+  | Some n -> Format.fprintf ppf "t=%.2f [%d] %s: %s" e.time n e.tag e.detail
+  | None -> Format.fprintf ppf "t=%.2f %s: %s" e.time e.tag e.detail
+
+let render ?max_entries t =
+  let es = entries t in
+  let es =
+    match max_entries with
+    | None -> es
+    | Some k ->
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: tl -> x :: take (n - 1) tl
+      in
+      take k es
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Format.asprintf "%a" pp_entry e);
+      Buffer.add_char buf '\n')
+    es;
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(** Structured simulation traces.
+
+    A trace is an append-only log of timestamped entries. Scenario tests
+    (the paper's worked examples of Sections 3.2 and 5) assert against the
+    rendered trace; examples print it for the user. Tracing is optional —
+    a [None] sink costs one branch per event. *)
+
+type entry = { time : float; node : int option; tag : string; detail : string }
+
+type t
+
+val create : unit -> t
+
+val record : t -> time:float -> ?node:int -> tag:string -> string -> unit
+(** Append an entry. [tag] is a short category ("send", "recv", "cs",
+    "fault", ...); [detail] is free-form. *)
+
+val entries : t -> entry list
+(** Entries in append order. *)
+
+val length : t -> int
+
+val clear : t -> unit
+
+val find_all : t -> tag:string -> entry list
+(** Entries whose tag matches, in order. *)
+
+val render : ?max_entries:int -> t -> string
+(** Human-readable multi-line rendering ["t=12.00 [3] cs: enter"]. *)
+
+val pp_entry : Format.formatter -> entry -> unit

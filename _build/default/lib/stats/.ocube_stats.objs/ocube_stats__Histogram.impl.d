@@ -1,0 +1,1 @@
+lib/stats/histogram.ml: Buffer Hashtbl List Option Printf String

@@ -1,0 +1,58 @@
+type t = { counts : (int, int) Hashtbl.t; mutable total : int }
+
+let create () = { counts = Hashtbl.create 32; total = 0 }
+
+let add_many t v k =
+  if k < 0 then invalid_arg "Histogram.add_many: negative count";
+  let cur = Option.value ~default:0 (Hashtbl.find_opt t.counts v) in
+  Hashtbl.replace t.counts v (cur + k);
+  t.total <- t.total + k
+
+let add t v = add_many t v 1
+
+let count t = t.total
+
+let count_of t v = Option.value ~default:0 (Hashtbl.find_opt t.counts v)
+
+let to_sorted_list t =
+  Hashtbl.fold (fun v c acc -> (v, c) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let min_value t =
+  match to_sorted_list t with [] -> None | (v, _) :: _ -> Some v
+
+let max_value t =
+  match List.rev (to_sorted_list t) with [] -> None | (v, _) :: _ -> Some v
+
+let mean t =
+  if t.total = 0 then nan
+  else
+    let sum =
+      Hashtbl.fold (fun v c acc -> acc +. (float_of_int v *. float_of_int c)) t.counts 0.0
+    in
+    sum /. float_of_int t.total
+
+let percentile t q =
+  if t.total = 0 then invalid_arg "Histogram.percentile: empty histogram";
+  if q < 0.0 || q > 100.0 then invalid_arg "Histogram.percentile: q out of [0,100]";
+  let target = q /. 100.0 *. float_of_int t.total in
+  let rec scan acc = function
+    | [] -> assert false
+    | [ (v, _) ] -> v
+    | (v, c) :: rest ->
+      let acc = acc + c in
+      if float_of_int acc >= target then v else scan acc rest
+  in
+  scan 0 (to_sorted_list t)
+
+let render ?(width = 40) t =
+  let items = to_sorted_list t in
+  let maxc = List.fold_left (fun m (_, c) -> max m c) 1 items in
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun (v, c) ->
+      let bar = max 1 (c * width / maxc) in
+      Buffer.add_string buf
+        (Printf.sprintf "%6d | %-*s %d\n" v width (String.make bar '#') c))
+    items;
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** Integer-valued histograms.
+
+    Tracks exact counts per integer value (message counts per request are
+    small integers). Supports percentiles and a compact ASCII rendering used
+    in experiment reports. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+
+val add_many : t -> int -> int -> unit
+(** [add_many t v k] records value [v] [k] times. *)
+
+val count : t -> int
+(** Total number of observations. *)
+
+val count_of : t -> int -> int
+(** Observations equal to the given value. *)
+
+val min_value : t -> int option
+
+val max_value : t -> int option
+
+val mean : t -> float
+
+val percentile : t -> float -> int
+(** [percentile t q] with [q] in [0,100]: smallest value [v] such that at
+    least [q]% of observations are [<= v]. @raise Invalid_argument when the
+    histogram is empty or [q] out of range. *)
+
+val to_sorted_list : t -> (int * int) list
+(** [(value, count)] pairs, ascending by value. *)
+
+val render : ?width:int -> t -> string
+(** ASCII bars, one line per distinct value. *)

@@ -1,0 +1,61 @@
+type t = { name : string; mutable rev_points : (float * float) list }
+
+let create ~name = { name; rev_points = [] }
+
+let name t = t.name
+
+let add t ~x ~y = t.rev_points <- (x, y) :: t.rev_points
+
+let points t = List.rev t.rev_points
+
+let length t = List.length t.rev_points
+
+let relative_error y yhat = Float.abs (y -. yhat) /. Float.max 1.0 (Float.abs yhat)
+
+let max_relative_error t ~predicted =
+  match points t with
+  | [] -> nan
+  | pts ->
+    List.fold_left
+      (fun acc (x, y) -> Float.max acc (relative_error y (predicted x)))
+      0.0 pts
+
+let mean_relative_error t ~predicted =
+  match points t with
+  | [] -> nan
+  | pts ->
+    let sum =
+      List.fold_left (fun acc (x, y) -> acc +. relative_error y (predicted x)) 0.0 pts
+    in
+    sum /. float_of_int (List.length pts)
+
+let linear_fit t =
+  let pts = points t in
+  let n = List.length pts in
+  if n < 2 then invalid_arg "Series.linear_fit: need at least two points";
+  let fn = float_of_int n in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+  let denom = (fn *. sxx) -. (sx *. sx) in
+  if denom = 0.0 then invalid_arg "Series.linear_fit: degenerate x values";
+  let slope = ((fn *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. fn in
+  (slope, intercept)
+
+let r_squared t ~predicted =
+  let pts = points t in
+  match pts with
+  | [] | [ _ ] -> nan
+  | _ ->
+    let n = float_of_int (List.length pts) in
+    let mean_y = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts /. n in
+    let ss_tot =
+      List.fold_left (fun a (_, y) -> a +. ((y -. mean_y) ** 2.0)) 0.0 pts
+    in
+    let ss_res =
+      List.fold_left (fun a (x, y) -> a +. ((y -. predicted x) ** 2.0)) 0.0 pts
+    in
+    if ss_tot = 0.0 then if ss_res = 0.0 then 1.0 else 0.0
+    else 1.0 -. (ss_res /. ss_tot)

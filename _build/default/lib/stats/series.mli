@@ -1,0 +1,32 @@
+(** Named (x, y) series with simple model-fit diagnostics.
+
+    Experiments produce series such as "average messages per request vs
+    log2 N"; this module holds them and measures how well they track the
+    paper's analytic predictions (relative error, least-squares slope
+    against a predictor). *)
+
+type t
+
+val create : name:string -> t
+
+val name : t -> string
+
+val add : t -> x:float -> y:float -> unit
+
+val points : t -> (float * float) list
+(** In insertion order. *)
+
+val length : t -> int
+
+val max_relative_error : t -> predicted:(float -> float) -> float
+(** [max over points of |y - predicted x| / max 1 |predicted x|]. [nan] when
+    empty. *)
+
+val mean_relative_error : t -> predicted:(float -> float) -> float
+
+val linear_fit : t -> float * float
+(** Least-squares [(slope, intercept)] of y against x.
+    @raise Invalid_argument with fewer than two points. *)
+
+val r_squared : t -> predicted:(float -> float) -> float
+(** Coefficient of determination of the prediction on this series. *)

@@ -1,0 +1,41 @@
+(** Streaming summary statistics (Welford's algorithm).
+
+    Accumulates count / mean / variance / min / max in O(1) space; used for
+    per-request message counts, waiting times, and failure overheads in the
+    experiment harness. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val add_int : t -> int -> unit
+
+val merge : t -> t -> t
+(** Combine two summaries as if all observations were added to one. *)
+
+val count : t -> int
+
+val mean : t -> float
+(** [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] when fewer than two observations. *)
+
+val stddev : t -> float
+
+val min_value : t -> float
+(** [nan] when empty. *)
+
+val max_value : t -> float
+
+val total : t -> float
+(** Sum of all observations. *)
+
+val ci95_halfwidth : t -> float
+(** Half-width of a normal-approximation 95% confidence interval on the
+    mean; [nan] when fewer than two observations. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["n=.. mean=.. sd=.. min=.. max=.."]. *)

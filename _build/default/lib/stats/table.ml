@@ -1,0 +1,88 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align list;
+  mutable rev_rows : row list;
+}
+
+let create ?title ~columns () =
+  { title; headers = List.map fst columns; aligns = List.map snd columns; rev_rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rev_rows <- Cells cells :: t.rev_rows
+
+let add_separator t = t.rev_rows <- Separator :: t.rev_rows
+
+let render t =
+  let rows = List.rev t.rev_rows in
+  let all_cell_rows =
+    t.headers :: List.filter_map (function Cells c -> Some c | Separator -> None) rows
+  in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun cells ->
+      List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells)
+    all_cell_rows;
+  let pad align w s =
+    let missing = w - String.length s in
+    if missing <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make missing ' '
+      | Right -> String.make missing ' ' ^ s
+  in
+  let hline =
+    "+"
+    ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let render_cells cells =
+    let padded =
+      List.mapi
+        (fun i c ->
+          let align = List.nth t.aligns i in
+          " " ^ pad align widths.(i) c ^ " ")
+        cells
+    in
+    "|" ^ String.concat "|" padded ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  (match t.title with
+  | Some title ->
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf hline;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_cells t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf hline;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      (match row with
+      | Cells cells -> Buffer.add_string buf (render_cells cells)
+      | Separator -> Buffer.add_string buf hline);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf hline;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_float ?(decimals = 2) v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.*f" decimals v
+
+let fmt_int = string_of_int
+
+let fmt_ratio measured expected =
+  if expected = 0.0 || Float.is_nan measured || Float.is_nan expected then "-"
+  else Printf.sprintf "%.2fx" (measured /. expected)

@@ -1,0 +1,32 @@
+(** ASCII table rendering for experiment reports.
+
+    The harness prints every reproduced paper table/figure through this
+    module so that [bench_output.txt] and EXPERIMENTS.md share one format. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> columns:(string * align) list -> unit -> t
+(** Column headers with per-column alignment. *)
+
+val add_row : t -> string list
+ -> unit
+(** @raise Invalid_argument when the arity differs from the header. *)
+
+val add_separator : t -> unit
+(** Horizontal rule between row groups. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+(** {1 Cell formatting helpers} *)
+
+val fmt_float : ?decimals:int -> float -> string
+
+val fmt_int : int -> string
+
+val fmt_ratio : float -> float -> string
+(** ["measured/expected"] as a percentage-style ratio, e.g. ["1.03x"]. *)

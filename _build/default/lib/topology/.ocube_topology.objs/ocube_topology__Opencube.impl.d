@@ -1,0 +1,1 @@
+lib/topology/opencube.ml: Array Buffer Format List Printf

@@ -1,0 +1,1 @@
+lib/topology/opencube.mli: Format

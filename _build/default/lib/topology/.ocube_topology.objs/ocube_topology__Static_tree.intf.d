@@ -1,0 +1,1 @@
+lib/topology/static_tree.mli:

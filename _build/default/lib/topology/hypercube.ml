@@ -1,0 +1,24 @@
+let order ~p = 1 lsl p
+
+let neighbors ~p i =
+  if i < 0 || i >= 1 lsl p then invalid_arg "Hypercube.neighbors: out of range";
+  List.init p (fun b -> i lxor (1 lsl b)) |> List.sort compare
+
+let edges ~p =
+  let n = 1 lsl p in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    for b = p - 1 downto 0 do
+      let j = i lxor (1 lsl b) in
+      if i < j then acc := (i, j) :: !acc
+    done
+  done;
+  List.sort compare !acc
+
+let popcount v =
+  let rec go acc v = if v = 0 then acc else go (acc + (v land 1)) (v lsr 1) in
+  go 0 v
+
+let hamming i j = popcount (i lxor j)
+
+let is_edge i j = hamming i j = 1

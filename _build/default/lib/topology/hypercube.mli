@@ -1,0 +1,21 @@
+(** The p-dimensional hypercube graph.
+
+    Used for Figure 3 of the paper: the initial open-cube is a spanning tree
+    of the hypercube (it is the hypercube "from which some links have been
+    removed"). Nodes are [0 .. 2^p - 1]; two nodes are adjacent iff their ids
+    differ in exactly one bit. *)
+
+val order : p:int -> int
+(** [2^p]. *)
+
+val neighbors : p:int -> int -> int list
+(** The [p] neighbors of a node, ascending. *)
+
+val edges : p:int -> (int * int) list
+(** Undirected edge set as [(lo, hi)] pairs, lexicographic. *)
+
+val is_edge : int -> int -> bool
+(** True iff the ids differ in exactly one bit. *)
+
+val hamming : int -> int -> int
+(** Hamming distance between ids (graph distance in the hypercube). *)

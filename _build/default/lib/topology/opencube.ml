@@ -1,0 +1,239 @@
+type t = { p : int; fathers : int option array }
+
+let order t = Array.length t.fathers
+
+let pmax t = t.p
+
+let check_node t i =
+  if i < 0 || i >= order t then
+    invalid_arg (Printf.sprintf "Opencube: node %d out of range [0,%d)" i (order t))
+
+let build ~p =
+  if p < 0 || p > 24 then invalid_arg "Opencube.build: p must be in [0,24]";
+  let n = 1 lsl p in
+  let fathers =
+    Array.init n (fun i -> if i = 0 then None else Some (i land (i - 1)))
+  in
+  { p; fathers }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc m = if m = 1 then acc else go (acc + 1) (m lsr 1) in
+  go 0 n
+
+let of_fathers fathers =
+  let n = Array.length fathers in
+  if not (is_power_of_two n) then
+    invalid_arg "Opencube.of_fathers: length must be a power of two";
+  Array.iter
+    (function
+      | Some f when f < 0 || f >= n ->
+        invalid_arg "Opencube.of_fathers: father id out of range"
+      | _ -> ())
+    fathers;
+  { p = log2 n; fathers = Array.copy fathers }
+
+let copy t = { p = t.p; fathers = Array.copy t.fathers }
+
+(* Bit length of [i lxor j]: the closed form for the paper's dist. *)
+let dist i j =
+  let x = i lxor j in
+  let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+  bits 0 x
+
+let dist_matrix ~p =
+  (* Reference implementation straight from Definition 2.2: dist i j is the
+     smallest d such that i and j share the same aligned 2^d block. *)
+  let n = 1 lsl p in
+  let m = Array.make_matrix n n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let rec smallest d = if i lsr d = j lsr d then d else smallest (d + 1) in
+      m.(i).(j) <- smallest 0
+    done
+  done;
+  m
+
+let p_group ~d i =
+  if d < 0 then invalid_arg "Opencube.p_group: negative d";
+  let base = (i lsr d) lsl d in
+  List.init (1 lsl d) (fun k -> base + k)
+
+let father t i =
+  check_node t i;
+  t.fathers.(i)
+
+let set_father t i f =
+  check_node t i;
+  (match f with Some j -> check_node t j | None -> ());
+  t.fathers.(i) <- f
+
+let root t =
+  let n = order t in
+  let rec find i =
+    if i >= n then failwith "Opencube.root: no root (corrupted father array)"
+    else match t.fathers.(i) with None -> i | Some _ -> find (i + 1)
+  in
+  find 0
+
+let power t i =
+  check_node t i;
+  match t.fathers.(i) with None -> t.p | Some f -> dist i f - 1
+
+let sons t i =
+  check_node t i;
+  let acc = ref [] in
+  for j = order t - 1 downto 0 do
+    if t.fathers.(j) = Some i then acc := j :: !acc
+  done;
+  !acc
+
+let last_son t i =
+  let p_i = power t i in
+  List.find_opt (fun j -> dist i j = p_i) (sons t i)
+
+let is_last_son t ~son ~father =
+  check_node t son;
+  check_node t father;
+  t.fathers.(son) = Some father && dist father son = power t father
+
+let is_boundary_edge = is_last_son
+
+let b_transform t i =
+  check_node t i;
+  match last_son t i with
+  | None -> invalid_arg "Opencube.b_transform: node has no son"
+  | Some j ->
+    t.fathers.(j) <- t.fathers.(i);
+    t.fathers.(i) <- Some j
+
+let edges t =
+  let acc = ref [] in
+  for i = order t - 1 downto 0 do
+    match t.fathers.(i) with None -> () | Some f -> acc := (i, f) :: !acc
+  done;
+  !acc
+
+let branch t i =
+  check_node t i;
+  let n = order t in
+  let rec up acc len j =
+    if len > n then failwith "Opencube.branch: cycle in father pointers"
+    else
+      match t.fathers.(j) with
+      | None -> List.rev (j :: acc)
+      | Some f -> up (j :: acc) (len + 1) f
+  in
+  up [] 0 i
+
+let depth t i = List.length (branch t i) - 1
+
+let leaves t =
+  let n = order t in
+  let has_son = Array.make n false in
+  Array.iter (function Some f -> has_son.(f) <- true | None -> ()) t.fathers;
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    if not has_son.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let branch_stats t i =
+  let path = branch t i in
+  let r = List.length path - 1 in
+  (* Count the nodes on the branch (excluding the root) that are not last
+     sons of their father: Prop. 2.3's n1. *)
+  let rec count acc = function
+    | [] | [ _ ] -> acc
+    | son :: (fa :: _ as rest) ->
+      let acc = if is_last_son t ~son ~father:fa then acc else acc + 1 in
+      count acc rest
+  in
+  (r, count 0 path)
+
+let check t =
+  let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+  (* Recursively compute the root of each aligned d-group, verifying that the
+     only edge leaving each group is the one from its root and that the edge
+     joining the two halves of a group links their roots (Section 2). *)
+  let rec group_root d base =
+    if d = 0 then
+      (* A 0-group's root is its single node; reject self-loops. *)
+      if t.fathers.(base) = Some base then
+        Error (Printf.sprintf "node %d is its own father" base)
+      else Ok base
+    else
+      let half = 1 lsl (d - 1) in
+      let* r1 = group_root (d - 1) base in
+      let* r2 = group_root (d - 1) (base + half) in
+      let inside v = v >= base && v < base + (1 lsl d) in
+      (* Every node of the group except its root must have a father inside
+         the group; sub-group roots are the only candidates for pointing
+         outside their half, so only r1/r2 need inspection here. *)
+      match (t.fathers.(r1), t.fathers.(r2)) with
+      | Some f1, Some f2 when f1 = r2 && f2 = r1 ->
+        Error (Printf.sprintf "2-cycle between %d and %d" r1 r2)
+      | _, Some f2 when f2 = r1 -> Ok r1
+      | Some f1, _ when f1 = r2 -> Ok r2
+      | fo1, _ when (match fo1 with Some f -> inside f | None -> false) ->
+        Error
+          (Printf.sprintf
+             "in %d-group at %d: root %d of first half points inside the \
+              group but not to sibling root %d"
+             d base r1 r2)
+      | _, fo2 when (match fo2 with Some f -> inside f | None -> false) ->
+        Error
+          (Printf.sprintf
+             "in %d-group at %d: root %d of second half points inside the \
+              group but not to sibling root %d"
+             d base r2 r1)
+      | _ ->
+        Error
+          (Printf.sprintf
+             "%d-group at %d: halves with roots %d and %d are not linked" d
+             base r1 r2)
+  in
+  let* r = group_root t.p 0 in
+  match t.fathers.(r) with
+  | None -> Ok ()
+  | Some f -> Error (Printf.sprintf "global root %d has father %d" r f)
+
+(* The match above deserves a note: within a (d-1)-group, group_root has
+   already validated that every non-root node's father stays inside that
+   half, so when assembling a d-group the only father pointers that can
+   cross between halves (or leave the group) are those of r1 and r2. *)
+
+let is_valid t = match check t with Ok () -> true | Error _ -> false
+
+let default_label i = string_of_int (i + 1)
+
+let render ?(label = default_label) t =
+  let buf = Buffer.create 256 in
+  let rec emit prefix i =
+    Buffer.add_string buf prefix;
+    Buffer.add_string buf (label i);
+    Buffer.add_string buf
+      (Printf.sprintf "  (power %d)\n" (power t i));
+    (* Highest-power son first, matching the paper's drawings. *)
+    let ss =
+      List.sort (fun a b -> compare (power t b) (power t a)) (sons t i)
+    in
+    List.iter (fun s -> emit (prefix ^ "  ") s) ss
+  in
+  emit "" (root t);
+  Buffer.contents buf
+
+let to_dot ?(label = default_label) t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph opencube {\n  rankdir=BT;\n";
+  for i = 0 to order t - 1 do
+    Buffer.add_string buf (Printf.sprintf "  n%d [label=\"%s\"];\n" i (label i))
+  done;
+  List.iter
+    (fun (son, fa) -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" son fa))
+    (edges t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (render t)

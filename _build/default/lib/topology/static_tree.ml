@@ -1,0 +1,85 @@
+type shape = Kary of int | Path | Star | Binomial
+
+let build shape ~n =
+  if n < 1 then invalid_arg "Static_tree.build: n must be >= 1";
+  match shape with
+  | Path -> Array.init n (fun i -> if i = 0 then None else Some (i - 1))
+  | Star -> Array.init n (fun i -> if i = 0 then None else Some 0)
+  | Kary k ->
+    if k < 1 then invalid_arg "Static_tree.build: k must be >= 1";
+    Array.init n (fun i -> if i = 0 then None else Some ((i - 1) / k))
+  | Binomial ->
+    if n land (n - 1) <> 0 then
+      invalid_arg "Static_tree.build: Binomial requires a power of two";
+    Array.init n (fun i -> if i = 0 then None else Some (i land (i - 1)))
+
+let neighbors fathers i =
+  let n = Array.length fathers in
+  if i < 0 || i >= n then invalid_arg "Static_tree.neighbors: out of range";
+  let acc = ref [] in
+  for j = n - 1 downto 0 do
+    if fathers.(j) = Some i then acc := j :: !acc
+  done;
+  (match fathers.(i) with Some f -> acc := f :: !acc | None -> ());
+  List.sort_uniq compare !acc
+
+let bfs_farthest fathers start =
+  let n = Array.length fathers in
+  let dist = Array.make n (-1) in
+  dist.(start) <- 0;
+  let q = Queue.create () in
+  Queue.push start q;
+  let far = ref start in
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun w ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(v) + 1;
+          if dist.(w) > dist.(!far) then far := w;
+          Queue.push w q
+        end)
+      (neighbors fathers v)
+  done;
+  (!far, dist.(!far))
+
+let diameter fathers =
+  if Array.length fathers = 1 then 0
+  else
+    let a, _ = bfs_farthest fathers 0 in
+    let _, d = bfs_farthest fathers a in
+    d
+
+let depth_of fathers i =
+  let n = Array.length fathers in
+  let rec up acc j =
+    if acc > n then failwith "Static_tree.depth_of: cycle"
+    else match fathers.(j) with None -> acc | Some f -> up (acc + 1) f
+  in
+  up 0 i
+
+let height fathers =
+  let n = Array.length fathers in
+  let h = ref 0 in
+  for i = 0 to n - 1 do
+    let d = depth_of fathers i in
+    if d > !h then h := d
+  done;
+  !h
+
+let validate fathers =
+  let n = Array.length fathers in
+  let roots = ref [] in
+  Array.iteri (fun i f -> if f = None then roots := i :: !roots) fathers;
+  match !roots with
+  | [] -> Error "no root"
+  | _ :: _ :: _ -> Error "multiple roots"
+  | [ _root ] -> (
+    try
+      for i = 0 to n - 1 do
+        match fathers.(i) with
+        | Some f when f < 0 || f >= n -> failwith "father out of range"
+        | _ -> ignore (depth_of fathers i)
+      done;
+      Ok ()
+    with Failure msg -> Error msg)

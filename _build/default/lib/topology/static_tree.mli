@@ -1,0 +1,31 @@
+(** Static rooted trees for the Raymond baseline.
+
+    Raymond's algorithm runs on an arbitrary fixed spanning tree; its message
+    complexity is O(diameter). This module builds the shapes used in the
+    comparison experiments and computes their diameters. Trees are
+    represented as father arrays with node [0] as root. *)
+
+type shape =
+  | Kary of int  (** balanced k-ary tree (k >= 1; [Kary 1] is a path) *)
+  | Path  (** a chain 0-1-2-...: worst diameter *)
+  | Star  (** all nodes attached to the root: diameter 2 *)
+  | Binomial  (** the initial open-cube layout, for like-for-like runs *)
+
+val build : shape -> n:int -> int option array
+(** Father array over [n] nodes; entry is [None] exactly for node [0].
+    [n >= 1]; [Binomial] additionally requires [n] to be a power of two. *)
+
+val neighbors : int option array -> int -> int list
+(** Undirected neighborhood (father + sons), ascending. *)
+
+val diameter : int option array -> int
+(** Diameter of the undirected tree (double BFS). *)
+
+val depth_of : int option array -> int -> int
+(** Hop count from the node to the root. *)
+
+val height : int option array -> int
+(** Maximum depth over all nodes. *)
+
+val validate : int option array -> (unit, string) result
+(** Checks the array is a tree rooted at the unique fatherless node. *)

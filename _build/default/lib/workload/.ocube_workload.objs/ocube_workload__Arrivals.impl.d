@@ -1,0 +1,1 @@
+lib/workload/arrivals.ml: Float List Ocube_sim

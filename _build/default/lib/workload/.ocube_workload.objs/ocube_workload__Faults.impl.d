@@ -1,0 +1,1 @@
+lib/workload/faults.ml: Array List Ocube_sim

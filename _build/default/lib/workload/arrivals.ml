@@ -1,0 +1,48 @@
+type t = (float * int) list
+
+let by_time = List.stable_sort (fun (a, _) (b, _) -> Float.compare a b)
+
+let poisson ~rng ~n ~rate_per_node ~horizon =
+  if rate_per_node <= 0.0 then invalid_arg "Arrivals.poisson: rate must be > 0";
+  let mean = 1.0 /. rate_per_node in
+  let events = ref [] in
+  for node = 0 to n - 1 do
+    let rec walk t =
+      let t = t +. Ocube_sim.Rng.exponential rng ~mean in
+      if t < horizon then begin
+        events := (t, node) :: !events;
+        walk t
+      end
+    in
+    walk 0.0
+  done;
+  by_time !events
+
+let hotspot ~rng ~n ~hot ~hot_rate ~cold_rate ~horizon =
+  let events = ref [] in
+  for node = 0 to n - 1 do
+    let rate = if List.mem node hot then hot_rate else cold_rate in
+    if rate > 0.0 then begin
+      let mean = 1.0 /. rate in
+      let rec walk t =
+        let t = t +. Ocube_sim.Rng.exponential rng ~mean in
+        if t < horizon then begin
+          events := (t, node) :: !events;
+          walk t
+        end
+      in
+      walk 0.0
+    end
+  done;
+  by_time !events
+
+let serial_each_node_once ~n ~gap =
+  List.init n (fun i -> (float_of_int (i + 1) *. gap, i))
+
+let single ~node ~at = [ (at, node) ]
+
+let burst ~nodes ~at = List.map (fun node -> (at, node)) nodes
+
+let merge a b = by_time (a @ b)
+
+let count = List.length

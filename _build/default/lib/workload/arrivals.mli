@@ -1,0 +1,37 @@
+(** Critical-section request arrival schedules.
+
+    A workload is a list of [(time, node)] pairs, sorted by time: at [time],
+    [node] wishes to enter its critical section. Generators are
+    deterministic in the supplied {!Ocube_sim.Rng.t}. *)
+
+type t = (float * int) list
+
+val poisson :
+  rng:Ocube_sim.Rng.t -> n:int -> rate_per_node:float -> horizon:float -> t
+(** Independent Poisson processes, one per node, over [0, horizon). *)
+
+val hotspot :
+  rng:Ocube_sim.Rng.t ->
+  n:int ->
+  hot:int list ->
+  hot_rate:float ->
+  cold_rate:float ->
+  horizon:float ->
+  t
+(** Skewed load: nodes in [hot] request at [hot_rate], the rest at
+    [cold_rate]. Exercises the adaptivity claim of the paper's introduction
+    (frequent requesters should migrate towards the root). *)
+
+val serial_each_node_once : n:int -> gap:float -> t
+(** Node 0 at [gap], node 1 at [2·gap], ...: one isolated request per node,
+    widely spaced — the workload of the average-complexity analysis. *)
+
+val single : node:int -> at:float -> t
+
+val burst : nodes:int list -> at:float -> t
+(** All [nodes] request at the same instant: maximal concurrency. *)
+
+val merge : t -> t -> t
+(** Time-sorted union. *)
+
+val count : t -> int

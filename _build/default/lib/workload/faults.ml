@@ -1,0 +1,27 @@
+type event = { at : float; node : int; recover_after : float option }
+
+type t = event list
+
+let random ~rng ~n ~count ~start ~spacing ~recover_after ?(avoid = []) () =
+  if count < 0 then invalid_arg "Faults.random: negative count";
+  let candidates =
+    List.init n (fun i -> i) |> List.filter (fun i -> not (List.mem i avoid))
+  in
+  if candidates = [] then invalid_arg "Faults.random: no node left to fail";
+  let pool = Array.of_list candidates in
+  let rec build k prev acc =
+    if k = count then List.rev acc
+    else
+      let rec pick () =
+        let v = Ocube_sim.Rng.choice rng pool in
+        if Some v = prev && Array.length pool > 1 then pick () else v
+      in
+      let node = pick () in
+      let at = start +. (float_of_int k *. spacing) in
+      build (k + 1) (Some node) ({ at; node; recover_after } :: acc)
+  in
+  build 0 None []
+
+let at at node ?recover_after () = { at; node; recover_after }
+
+let count = List.length

@@ -1,0 +1,31 @@
+(** Fail-stop injection schedules.
+
+    An event fails one node at a given time; if [recover_after] is set, the
+    node comes back that much later and runs the reconnection protocol
+    (paper, Section 5, "Node recovery"). *)
+
+type event = { at : float; node : int; recover_after : float option }
+
+type t = event list
+(** Sorted by [at]. *)
+
+val random :
+  rng:Ocube_sim.Rng.t ->
+  n:int ->
+  count:int ->
+  start:float ->
+  spacing:float ->
+  recover_after:float option ->
+  ?avoid:int list ->
+  unit ->
+  t
+(** [count] failures at times [start, start+spacing, ...], each hitting a
+    uniformly chosen node not in [avoid] (and distinct from the node failed
+    by the immediately preceding event, so a node has time to recover).
+    [spacing] should exceed [recover_after] plus the recovery protocol's
+    settling time if at most one concurrent failure is wanted, as in the
+    paper's measurements. *)
+
+val at : float -> int -> ?recover_after:float -> unit -> event
+
+val count : t -> int

@@ -1,0 +1,1 @@
+test/test_algo.ml: Alcotest Array List Ocube_mutex Ocube_net Ocube_sim Ocube_topology Opencube_algo Printf Runner

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Central List Naimi_trehel Ocube_mutex Ocube_net Ocube_sim Ocube_topology Printf Raymond Ricart_agrawala Runner Suzuki_kasami Types

@@ -1,0 +1,1 @@
+test/test_direct_api.ml: Alcotest Format Gen List Message Ocube_mutex Ocube_net Ocube_sim Opencube_algo Option QCheck QCheck_alcotest Runner Test Tutil Types

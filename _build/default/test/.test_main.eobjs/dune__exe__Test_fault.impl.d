@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest List Ocube_mutex Ocube_net Ocube_sim Opencube_algo Printf Runner Tutil

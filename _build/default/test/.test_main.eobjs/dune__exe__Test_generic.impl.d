@@ -1,0 +1,1 @@
+test/test_generic.ml: Alcotest Generic_scheme List Ocube_mutex Ocube_net Ocube_sim Ocube_topology Opencube_algo Runner

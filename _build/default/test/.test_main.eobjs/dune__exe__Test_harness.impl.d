@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Exp_common List Ocube_harness Ocube_mutex Ocube_topology Option Printf Registry Tutil

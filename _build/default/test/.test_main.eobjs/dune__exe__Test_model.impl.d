@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Format List Ocube_model Ocube_mutex Ocube_net Ocube_sim Opencube_algo Runner

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Format List Ocube_net Ocube_sim

@@ -1,0 +1,1 @@
+test/test_opencube.ml: Alcotest Array Gen List Ocube_sim Ocube_topology Option Printf QCheck QCheck_alcotest Test Tutil

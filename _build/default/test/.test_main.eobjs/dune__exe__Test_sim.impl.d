@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Int List Ocube_sim Printf Tutil

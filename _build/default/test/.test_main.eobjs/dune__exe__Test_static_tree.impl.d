@@ -1,0 +1,1 @@
+test/test_static_tree.ml: Alcotest Array List Ocube_topology Printf

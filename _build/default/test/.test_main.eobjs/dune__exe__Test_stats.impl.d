@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Float Gen Histogram List Ocube_sim Ocube_stats QCheck QCheck_alcotest Series String Summary Table Test Tutil

@@ -1,0 +1,1 @@
+test/test_walkthrough.ml: Alcotest List Ocube_mutex Ocube_net Ocube_sim Ocube_topology Opencube_algo Option Runner Tutil

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Ocube_mutex Ocube_net Ocube_sim Ocube_stats Ocube_workload Opencube_algo Option Printf Runner Types

@@ -1,0 +1,378 @@
+(* Functional tests of the open-cube mutual-exclusion algorithm
+   (paper, Sections 3 and 4), fault-free. *)
+
+open Ocube_mutex
+module Opencube = Ocube_topology.Opencube
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+type setup = {
+  env : Runner.env;
+  algo : Opencube_algo.t;
+}
+
+let make ?(seed = 42) ?(delay = Ocube_net.Network.Constant 1.0)
+    ?(cs = Runner.Fixed 5.0) ?(fault_tolerance = false) ?(trace = false) p =
+  let n = 1 lsl p in
+  let env = Runner.make_env ~seed ~n ~delay ~cs ~trace () in
+  let config =
+    { (Opencube_algo.default_config ~p) with fault_tolerance }
+  in
+  let algo =
+    Opencube_algo.create ~net:(Runner.net env)
+      ~callbacks:(Runner.callbacks env) ~config
+  in
+  Runner.attach env (Opencube_algo.instance algo);
+  { env; algo }
+
+let quiesce s = Runner.run_to_quiescence s.env
+
+let assert_clean s =
+  checki "violations" 0 (Runner.violations s.env);
+  checki "outstanding" 0 (Runner.outstanding s.env);
+  (match Opencube_algo.invariant_check s.algo with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invariant: %s" m);
+  match Opencube_algo.check_opencube s.algo with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "not an open-cube at quiescence: %s" m
+
+(* --- basic flows ------------------------------------------------------ *)
+
+let test_root_self_entry () =
+  let s = make 3 in
+  Runner.submit s.env 0;
+  quiesce s;
+  checki "entries" 1 (Runner.cs_entries s.env);
+  checki "no messages for a root self-entry" 0 (Runner.messages_sent s.env);
+  assert_clean s
+
+let test_transit_request_gives_up_token () =
+  let s = make 4 in
+  (* Node 8 is the root's last son (power 3): transit behaviour, so the
+     root gives the token up for good — request + token = 2 messages. *)
+  Runner.submit s.env 8;
+  quiesce s;
+  checki "entries" 1 (Runner.cs_entries s.env);
+  checki "messages" 2 (Runner.messages_sent s.env);
+  assert_clean s;
+  check
+    Alcotest.(list int)
+    "token at node 8" [ 8 ]
+    (Opencube_algo.token_holders s.algo);
+  check Alcotest.(option int) "node 8 is root" None (Opencube_algo.father s.algo 8)
+
+let test_proxy_request_costs_three () =
+  let s = make 4 in
+  (* Node 1 (power 0) is NOT the root's last son: the root lends the token
+     (proxy behaviour) and it must come back — request + loan + return. *)
+  Runner.submit s.env 1;
+  quiesce s;
+  checki "entries" 1 (Runner.cs_entries s.env);
+  checki "messages" 3 (Runner.messages_sent s.env);
+  assert_clean s;
+  check
+    Alcotest.(list int)
+    "token back at the root" [ 0 ]
+    (Opencube_algo.token_holders s.algo);
+  check
+    Alcotest.(option int)
+    "node 1 still under the root" (Some 0)
+    (Opencube_algo.father s.algo 1)
+
+let test_proxy_loan_returns_token () =
+  let s = make 4 in
+  (* Node 5 (0-based; paper node 6) reaches the root through a proxy chain:
+     the token is lent and must come back. *)
+  Runner.submit s.env 5;
+  quiesce s;
+  checki "entries" 1 (Runner.cs_entries s.env);
+  assert_clean s
+
+let test_every_node_can_enter () =
+  let s = make 4 in
+  for i = 0 to 15 do
+    Runner.submit s.env i;
+    quiesce s
+  done;
+  checki "entries" 16 (Runner.cs_entries s.env);
+  assert_clean s
+
+let test_concurrent_burst () =
+  let p = 4 in
+  let s = make ~cs:(Runner.Fixed 2.0) p in
+  let nodes = List.init (1 lsl p) (fun i -> i) in
+  Runner.run_arrivals s.env (Runner.Arrivals.burst ~nodes ~at:1.0);
+  quiesce s;
+  checki "entries" 16 (Runner.cs_entries s.env);
+  assert_clean s
+
+let test_repeated_requests_same_node () =
+  let s = make 3 in
+  for _ = 1 to 10 do
+    Runner.submit s.env 6
+  done;
+  quiesce s;
+  (* 9 of the 10 wishes were backlogged and re-issued serially. *)
+  checki "entries" 10 (Runner.cs_entries s.env);
+  assert_clean s
+
+let test_random_load_preserves_everything () =
+  let p = 5 in
+  let s = make ~seed:7 ~cs:(Runner.Fixed 1.0) p in
+  let arrivals =
+    Runner.Arrivals.poisson ~rng:(Runner.rng s.env) ~n:(1 lsl p)
+      ~rate_per_node:0.01 ~horizon:2000.0
+  in
+  Runner.run_arrivals s.env arrivals;
+  quiesce s;
+  checki "all satisfied" (Runner.issued s.env) (Runner.cs_entries s.env);
+  assert_clean s
+
+(* --- message-complexity bounds (Section 4) ---------------------------- *)
+
+let messages_for_one_request s node =
+  let before = Runner.messages_sent s.env in
+  Runner.submit s.env node;
+  quiesce s;
+  Runner.messages_sent s.env - before
+
+let test_worst_case_bound_serial () =
+  (* Reproduction finding (see EXPERIMENTS.md): the paper claims a worst
+     case of log2 N + 1 messages per request, but the algorithm as formally
+     specified reaches log2 N + 2 when a *transit* root gives the token up
+     towards a *proxy* below it (the token(nil) hop to the proxy plus the
+     proxy's loan to its mandator cost one message more than the Section 4
+     count). The average analysis is unaffected (alpha_p matches exactly).
+     We therefore assert the true attained bound, log2 N + 2. *)
+  List.iter
+    (fun p ->
+      let s = make ~seed:(100 + p) p in
+      let n = 1 lsl p in
+      let rng = Runner.rng s.env in
+      for _ = 1 to 60 do
+        let node = Ocube_sim.Rng.int rng n in
+        let m = messages_for_one_request s node in
+        if m > p + 2 then
+          Alcotest.failf "request used %d messages > log2 N + 2 = %d (p=%d)" m
+            (p + 2) p
+      done;
+      assert_clean s)
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_worst_case_boundary_only_paths () =
+  (* When every edge of the request path is a boundary edge (pure transit
+     chain), the paper's log2 N + 1 bound does hold: from the initial
+     configuration, the path 2^p-1 -> ... -> 8 -> 0 up the last-son chain
+     uses exactly one request per edge plus one final token. *)
+  List.iter
+    (fun p ->
+      let s = make p in
+      (* Node with all-boundary path in the binomial layout: the root's
+         last son 2^(p-1). *)
+      let node = 1 lsl (p - 1) in
+      let m = messages_for_one_request s node in
+      checki (Printf.sprintf "pure-transit cost (p=%d)" p) 2 m)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_average_from_initial_configuration () =
+  (* Section 4: sum over all nodes of c(i) from the initial configuration
+     follows alpha_p: alpha_1 = 2, alpha_{p+1} = 2 alpha_p + 3·2^(p-1) + p.
+     Each request is measured on a fresh open-cube. *)
+  let rec alpha p = if p = 1 then 2 else (2 * alpha (p - 1)) + (3 * (1 lsl (p - 2))) + (p - 1) in
+  List.iter
+    (fun p ->
+      let n = 1 lsl p in
+      let total = ref 0 in
+      for i = 0 to n - 1 do
+        let s = make p in
+        total := !total + messages_for_one_request s i
+      done;
+      checki
+        (Printf.sprintf "alpha_%d (sum of c(i))" p)
+        (alpha p) !total)
+    [ 1; 2; 3; 4; 5 ]
+
+(* --- structure preservation (Section 4 proof) -------------------------- *)
+
+let test_structure_preserved_under_random_serial_load () =
+  let p = 4 in
+  let s = make ~seed:3 p in
+  let rng = Runner.rng s.env in
+  for _ = 1 to 200 do
+    let node = Ocube_sim.Rng.int rng (1 lsl p) in
+    Runner.submit s.env node;
+    quiesce s;
+    match Opencube_algo.check_opencube s.algo with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "structure broken: %s" m
+  done
+
+let test_structure_preserved_under_concurrency () =
+  let p = 4 in
+  let s = make ~seed:11 ~cs:(Runner.Fixed 1.5) p in
+  let arrivals =
+    Runner.Arrivals.poisson ~rng:(Runner.rng s.env) ~n:(1 lsl p)
+      ~rate_per_node:0.05 ~horizon:500.0
+  in
+  Runner.run_arrivals s.env arrivals;
+  quiesce s;
+  assert_clean s
+
+let depth_of s node =
+  let fathers = Opencube_algo.snapshot_tree s.algo in
+  let rec up acc i =
+    match fathers.(i) with None -> acc | Some f -> up (acc + 1) f
+  in
+  up 0 node
+
+let test_adaptivity_requester_moves_towards_root () =
+  (* The paper's motivation: a requesting node ends up adjacent to the new
+     root (or becomes the root itself), so frequent requesters stay close
+     to the token. Node 13 starts at depth 3; after one served request it
+     sits at depth 1 under the new root 12 (its closest proxy). *)
+  let s = make 4 in
+  checki "initial depth" 3 (depth_of s 13);
+  Runner.submit s.env 13;
+  quiesce s;
+  checki "depth after service" 1 (depth_of s 13);
+  check
+    Alcotest.(option int)
+    "proxy 12 became root" None
+    (Opencube_algo.father s.algo 12);
+  check
+    Alcotest.(list int)
+    "token at the new root" [ 12 ]
+    (Opencube_algo.token_holders s.algo)
+
+let test_power_bookkeeping () =
+  let s = make 4 in
+  checki "root power" 4 (Opencube_algo.power s.algo 0);
+  checki "leaf power" 0 (Opencube_algo.power s.algo 1);
+  checki "power of node 8" 3 (Opencube_algo.power s.algo 8);
+  Runner.submit s.env 8;
+  quiesce s;
+  (* 8 was the root's last son: after the swap, 8 is root (power 4) and 0
+     lost one power level. *)
+  checki "new root power" 4 (Opencube_algo.power s.algo 8);
+  checki "old root power" 3 (Opencube_algo.power s.algo 0)
+
+let test_non_fifo_channels () =
+  (* Out-of-order delivery (uniform delays) must not break anything. *)
+  let s =
+    make ~seed:19 ~delay:(Ocube_net.Network.Uniform { lo = 0.1; hi = 4.0 })
+      ~cs:(Runner.Fixed 1.0) 4
+  in
+  let arrivals =
+    Runner.Arrivals.poisson ~rng:(Runner.rng s.env) ~n:16 ~rate_per_node:0.02
+      ~horizon:1000.0
+  in
+  Runner.run_arrivals s.env arrivals;
+  quiesce s;
+  checki "all satisfied" (Runner.issued s.env) (Runner.cs_entries s.env);
+  assert_clean s
+
+let test_fairness_no_starvation () =
+  (* Every node requests repeatedly; all wishes complete. *)
+  let s = make ~seed:23 ~cs:(Runner.Fixed 0.5) 3 in
+  let arrivals =
+    List.concat_map
+      (fun round ->
+        List.init 8 (fun i -> (float_of_int (1 + (round * 3)), i)))
+      [ 0; 1; 2; 3; 4 ]
+  in
+  Runner.run_arrivals s.env arrivals;
+  quiesce s;
+  checki "entries" 40 (Runner.cs_entries s.env);
+  assert_clean s
+
+let test_queue_policies_safe_and_live () =
+  (* The paper assumes only fairness of the waiting queue; FIFO and random
+     are fair, LIFO is not - but on a finite workload all three must stay
+     safe and serve everything. *)
+  List.iter
+    (fun policy ->
+      let n = 16 in
+      let env =
+        Runner.make_env ~seed:61 ~n ~delay:(Ocube_net.Network.Constant 1.0)
+          ~cs:(Runner.Fixed 0.5) ()
+      in
+      let algo =
+        Opencube_algo.create ~net:(Runner.net env)
+          ~callbacks:(Runner.callbacks env)
+          ~config:
+            {
+              (Opencube_algo.default_config ~p:4) with
+              fault_tolerance = false;
+              queue_policy = policy;
+            }
+      in
+      Runner.attach env (Opencube_algo.instance algo);
+      let arrivals =
+        Runner.Arrivals.poisson ~rng:(Runner.rng env) ~n ~rate_per_node:0.02
+          ~horizon:500.0
+      in
+      Runner.run_arrivals env arrivals;
+      Runner.run_to_quiescence env;
+      checki "violations" 0 (Runner.violations env);
+      checki "all served" (Runner.issued env) (Runner.cs_entries env);
+      match Opencube_algo.check_opencube algo with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "structure: %s" m)
+    Opencube_algo.[ Fifo; Lifo; Random_order ]
+
+let test_waiting_queue_depth () =
+  let s = make ~cs:(Runner.Fixed 10.0) 2 in
+  Runner.run_arrivals s.env (Runner.Arrivals.burst ~nodes:[ 0; 1; 2; 3 ] ~at:1.0);
+  Runner.run ~until:2.0 s.env;
+  (* While 0 is in CS, others' requests pile up in waiting queues. *)
+  checkb "some queueing happened"
+    true
+    (Opencube_algo.queue_length s.algo 0 > 0
+    || Opencube_algo.is_asking s.algo 1
+    || Opencube_algo.is_asking s.algo 2);
+  quiesce s;
+  checki "entries" 4 (Runner.cs_entries s.env);
+  assert_clean s
+
+let suite =
+  [
+    Alcotest.test_case "root self-entry costs 0 messages" `Quick
+      test_root_self_entry;
+    Alcotest.test_case "transit request gives up the token (2 msgs)" `Quick
+      test_transit_request_gives_up_token;
+    Alcotest.test_case "proxy request borrows the token (3 msgs)" `Quick
+      test_proxy_request_costs_three;
+    Alcotest.test_case "proxy loan returns token" `Quick
+      test_proxy_loan_returns_token;
+    Alcotest.test_case "every node can enter" `Quick test_every_node_can_enter;
+    Alcotest.test_case "concurrent burst of all nodes" `Quick
+      test_concurrent_burst;
+    Alcotest.test_case "repeated requests from one node" `Quick
+      test_repeated_requests_same_node;
+    Alcotest.test_case "random Poisson load, all satisfied" `Quick
+      test_random_load_preserves_everything;
+    Alcotest.test_case "worst case <= log2 N + 2 messages (see notes)" `Quick
+      test_worst_case_bound_serial;
+    Alcotest.test_case "pure-transit paths cost 2 messages" `Quick
+      test_worst_case_boundary_only_paths;
+    Alcotest.test_case "sum of c(i) matches alpha_p recurrence" `Quick
+      test_average_from_initial_configuration;
+    Alcotest.test_case "open-cube preserved under serial load" `Quick
+      test_structure_preserved_under_random_serial_load;
+    Alcotest.test_case "open-cube preserved under concurrency" `Quick
+      test_structure_preserved_under_concurrency;
+    Alcotest.test_case "requester migrates towards the root" `Quick
+      test_adaptivity_requester_moves_towards_root;
+    Alcotest.test_case "power bookkeeping across a swap" `Quick
+      test_power_bookkeeping;
+    Alcotest.test_case "non-FIFO channels" `Quick test_non_fifo_channels;
+    Alcotest.test_case "no starvation under repeated rounds" `Quick
+      test_fairness_no_starvation;
+    Alcotest.test_case "waiting queues absorb concurrency" `Quick
+      test_waiting_queue_depth;
+    Alcotest.test_case "queue policies (fifo/lifo/random) safe" `Quick
+      test_queue_policies_safe_and_live;
+  ]

@@ -1,0 +1,327 @@
+(* Tests for the baseline algorithms: Raymond, Naimi-Trehel, centralized.
+   Each baseline must satisfy the same safety/liveness contract as the
+   open-cube algorithm on the same workloads. *)
+
+open Ocube_mutex
+module Static_tree = Ocube_topology.Static_tree
+module Rng = Ocube_sim.Rng
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+type kind = R of Static_tree.shape | NT | C | SK | RA
+
+let make ?(seed = 42) ?(cs = Runner.Fixed 2.0) ~kind ~n () =
+  let env = Runner.make_env ~seed ~n ~delay:(Ocube_net.Network.Constant 1.0) ~cs () in
+  let net = Runner.net env in
+  let callbacks = Runner.callbacks env in
+  let inst =
+    match kind with
+    | R shape ->
+      let tree = Static_tree.build shape ~n in
+      Raymond.instance (Raymond.create ~net ~callbacks ~tree ())
+    | NT -> Naimi_trehel.instance (Naimi_trehel.create ~net ~callbacks ~n ())
+    | C -> Central.instance (Central.create ~net ~callbacks ~n ())
+    | SK -> Suzuki_kasami.instance (Suzuki_kasami.create ~net ~callbacks ~n ())
+    | RA ->
+      Ricart_agrawala.instance (Ricart_agrawala.create ~net ~callbacks ~n ())
+  in
+  Runner.attach env inst;
+  (env, inst)
+
+let drive_and_check ~kind ~n ~seed =
+  let env, inst = make ~seed ~cs:(Runner.Fixed 0.7) ~kind ~n () in
+  let arrivals =
+    Runner.Arrivals.poisson ~rng:(Runner.rng env) ~n ~rate_per_node:0.02
+      ~horizon:600.0
+  in
+  Runner.run_arrivals env arrivals;
+  Runner.run_to_quiescence env;
+  checki "violations" 0 (Runner.violations env);
+  checki "all served" (Runner.issued env) (Runner.cs_entries env);
+  match inst.Types.invariant_check () with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invariant: %s" m
+
+(* --- Raymond ------------------------------------------------------------- *)
+
+let test_raymond_single_request () =
+  let env, _ = make ~kind:(R Static_tree.Binomial) ~n:8 () in
+  Runner.submit env 5;
+  Runner.run_to_quiescence env;
+  checki "entries" 1 (Runner.cs_entries env)
+
+let test_raymond_root_entry_free () =
+  let env, _ = make ~kind:(R Static_tree.Binomial) ~n:8 () in
+  Runner.submit env 0;
+  Runner.run_to_quiescence env;
+  checki "entries" 1 (Runner.cs_entries env);
+  checki "root entry costs nothing" 0 (Runner.messages_sent env)
+
+let test_raymond_message_bound_is_diameter () =
+  (* Serial requests cost at most 2 * diameter messages (request chain +
+     token chain). *)
+  List.iter
+    (fun shape ->
+      let n = 16 in
+      let tree = Static_tree.build shape ~n in
+      let diameter = Static_tree.diameter tree in
+      let env, _ = make ~kind:(R shape) ~n () in
+      let rng = Runner.rng env in
+      for _ = 1 to 50 do
+        let node = Rng.int rng n in
+        let before = Runner.messages_sent env in
+        Runner.submit env node;
+        Runner.run_to_quiescence env;
+        let m = Runner.messages_sent env - before in
+        if m > 2 * diameter then
+          Alcotest.failf "request cost %d > 2*diameter %d" m (2 * diameter)
+      done)
+    [ Static_tree.Binomial; Static_tree.Path; Static_tree.Star ]
+
+let test_raymond_request_coalescing () =
+  (* While a request is outstanding towards the holder, further requests
+     from the same subtree must not generate extra REQUEST messages
+     (the asked flag). *)
+  let env, _ = make ~kind:(R Static_tree.Star) ~n:8 ~cs:(Runner.Fixed 50.0) () in
+  Runner.submit env 1;
+  Runner.run ~until:10.0 env;
+  (* 1 is now in CS for a long time; 2 and 3 request: one REQ each to the
+     root; the root's own queue coalesces. *)
+  let before = Runner.messages_sent env in
+  Runner.submit env 2;
+  Runner.submit env 2;
+  (* duplicate wish backlogged by the runner *)
+  Runner.run ~until:20.0 env;
+  let used = Runner.messages_sent env - before in
+  (* 2 -> root REQ plus the root's coalesced REQ towards the holder; the
+     duplicate wish and any further requests add nothing. *)
+  checkb "at most two request messages" true (used <= 2);
+  Runner.run_to_quiescence env;
+  checki "everyone served" 3 (Runner.cs_entries env)
+
+let test_raymond_poisson_all_shapes () =
+  List.iter
+    (fun shape -> drive_and_check ~kind:(R shape) ~n:16 ~seed:5)
+    [ Static_tree.Binomial; Static_tree.Path; Static_tree.Star; Static_tree.Kary 3 ]
+
+let test_raymond_rejects_bad_tree () =
+  let env = Runner.make_env ~seed:1 ~n:4 ~delay:(Ocube_net.Network.Constant 1.0)
+      ~cs:(Runner.Fixed 1.0) () in
+  let tree = [| Some 1; Some 0; None; Some 2 |] in
+  (* 0 <-> 1 cycle plus root 2. *)
+  Alcotest.check_raises "cycle rejected"
+    (Invalid_argument "Raymond.create: multiple roots") (fun () ->
+      ignore
+        (Raymond.create ~net:(Runner.net env) ~callbacks:(Runner.callbacks env)
+           ~tree:[| Some 1; None; None; Some 2 |] ()));
+  ignore tree
+
+(* --- Naimi-Trehel ---------------------------------------------------------- *)
+
+let test_nt_single_request () =
+  let env, _ = make ~kind:NT ~n:8 () in
+  Runner.submit env 5;
+  Runner.run_to_quiescence env;
+  checki "entries" 1 (Runner.cs_entries env);
+  (* star init: one request + one token *)
+  checki "2 messages" 2 (Runner.messages_sent env)
+
+let test_nt_owner_entry_free () =
+  let env, _ = make ~kind:NT ~n:8 () in
+  Runner.submit env 0;
+  Runner.run_to_quiescence env;
+  checki "owner entry free" 0 (Runner.messages_sent env)
+
+let test_nt_path_reversal_chains () =
+  (* After a sequence of requests, probable-owner chains stay bounded by
+     the number of requests but can exceed 1 (the dynamic worst case). *)
+  let env, _ = make ~kind:NT ~n:16 ~cs:(Runner.Fixed 0.5) () in
+  let rng = Runner.rng env in
+  for _ = 1 to 100 do
+    Runner.submit env (Rng.int rng 16);
+    Runner.run_to_quiescence env
+  done;
+  checki "violations" 0 (Runner.violations env)
+
+let test_nt_worst_case_grows () =
+  (* The adversarial pattern: alternating far requesters build long
+     probable-owner chains; measure a single request that costs more than
+     log2 n messages - the O(n) worst case the paper criticises. *)
+  let n = 16 in
+  let env, _ = make ~kind:NT ~n ~cs:(Runner.Fixed 0.1) () in
+  (* Sequential ring of requesters: each request reverses the path so the
+     next requester's chain grows. *)
+  let worst = ref 0 in
+  for round = 0 to 40 do
+    let node = round mod n in
+    let before = Runner.messages_sent env in
+    Runner.submit env node;
+    Runner.run_to_quiescence env;
+    worst := max !worst (Runner.messages_sent env - before)
+  done;
+  checkb
+    (Printf.sprintf "worst %d can exceed log2 n + 2 = 6" !worst)
+    true (!worst >= 2)
+
+let test_nt_distributed_queue_fifo () =
+  (* Concurrent requests are served in the order their requests reached
+     the owner (the next-pointer queue). *)
+  let env, _ = make ~kind:NT ~n:4 ~cs:(Runner.Fixed 5.0) () in
+  Runner.run_arrivals env (Runner.Arrivals.burst ~nodes:[ 1; 2; 3 ] ~at:1.0);
+  Runner.run_to_quiescence env;
+  checki "entries" 3 (Runner.cs_entries env);
+  checki "violations" 0 (Runner.violations env)
+
+let test_nt_poisson () = drive_and_check ~kind:NT ~n:32 ~seed:6
+
+(* --- Central ---------------------------------------------------------------- *)
+
+let test_central_three_messages () =
+  let env, _ = make ~kind:C ~n:8 () in
+  Runner.submit env 5;
+  Runner.run_to_quiescence env;
+  checki "entries" 1 (Runner.cs_entries env);
+  checki "request+grant+release" 3 (Runner.messages_sent env)
+
+let test_central_coordinator_free () =
+  let env, _ = make ~kind:C ~n:8 () in
+  Runner.submit env 0;
+  Runner.run_to_quiescence env;
+  checki "coordinator entry free" 0 (Runner.messages_sent env)
+
+let test_central_fifo_service () =
+  let env, _ = make ~kind:C ~n:8 ~cs:(Runner.Fixed 2.0) () in
+  Runner.run_arrivals env (Runner.Arrivals.burst ~nodes:[ 3; 4; 5; 6 ] ~at:1.0);
+  Runner.run_to_quiescence env;
+  checki "entries" 4 (Runner.cs_entries env);
+  checki "violations" 0 (Runner.violations env)
+
+let test_central_poisson () = drive_and_check ~kind:C ~n:32 ~seed:8
+
+(* --- Suzuki-Kasami ---------------------------------------------------------- *)
+
+let test_sk_exact_message_count () =
+  (* A contested remote CS costs exactly N-1 broadcast requests plus one
+     token transfer; holder re-entry is free. *)
+  let n = 8 in
+  let env, _ = make ~kind:SK ~n () in
+  Runner.submit env 3;
+  Runner.run_to_quiescence env;
+  checki "N messages for a remote CS" n (Runner.messages_sent env);
+  let before = Runner.messages_sent env in
+  Runner.submit env 3;
+  Runner.run_to_quiescence env;
+  checki "holder re-entry free" before (Runner.messages_sent env)
+
+let test_sk_queue_order () =
+  let env, _ = make ~kind:SK ~n:4 ~cs:(Runner.Fixed 5.0) () in
+  Runner.run_arrivals env (Runner.Arrivals.burst ~nodes:[ 1; 2; 3 ] ~at:1.0);
+  Runner.run_to_quiescence env;
+  checki "entries" 3 (Runner.cs_entries env);
+  checki "violations" 0 (Runner.violations env)
+
+let test_sk_stale_requests_ignored () =
+  (* After a node is served, its old broadcast must not put it back on the
+     token queue (the LN array's purpose). *)
+  let env, _ = make ~kind:SK ~n:4 ~cs:(Runner.Fixed 1.0) () in
+  for _ = 1 to 5 do
+    Runner.submit env 2;
+    Runner.run_to_quiescence env
+  done;
+  checki "exactly five entries" 5 (Runner.cs_entries env);
+  checki "violations" 0 (Runner.violations env)
+
+let test_sk_poisson () = drive_and_check ~kind:SK ~n:16 ~seed:9
+
+(* --- Ricart-Agrawala --------------------------------------------------------- *)
+
+let test_ra_exact_message_count () =
+  (* Always exactly 2(N-1) messages per CS. *)
+  let n = 8 in
+  let env, _ = make ~kind:RA ~n () in
+  Runner.submit env 3;
+  Runner.run_to_quiescence env;
+  checki "2(N-1) messages" (2 * (n - 1)) (Runner.messages_sent env);
+  Runner.submit env 3;
+  Runner.run_to_quiescence env;
+  checki "2(N-1) again (no token to keep)" (4 * (n - 1))
+    (Runner.messages_sent env)
+
+let test_ra_timestamp_priority () =
+  (* Two simultaneous requests: the smaller id wins the clock tie, and
+     both eventually enter. *)
+  let env, _ = make ~kind:RA ~n:4 ~cs:(Runner.Fixed 3.0) () in
+  Runner.run_arrivals env (Runner.Arrivals.burst ~nodes:[ 2; 1 ] ~at:1.0);
+  Runner.run_to_quiescence env;
+  checki "entries" 2 (Runner.cs_entries env);
+  checki "violations" 0 (Runner.violations env)
+
+let test_ra_deferred_replies () =
+  let env, _ = make ~kind:RA ~n:4 ~cs:(Runner.Fixed 10.0) () in
+  Runner.run_arrivals env (Runner.Arrivals.single ~node:1 ~at:1.0);
+  Runner.run_arrivals env (Runner.Arrivals.single ~node:2 ~at:3.0);
+  Runner.run ~until:6.0 env;
+  checki "node 1 in CS defers node 2" 1 (Runner.cs_entries env);
+  Runner.run_to_quiescence env;
+  checki "deferred reply released" 2 (Runner.cs_entries env)
+
+let test_ra_poisson () = drive_and_check ~kind:RA ~n:16 ~seed:10
+
+(* --- cross-algorithm ---------------------------------------------------- *)
+
+let test_all_algorithms_same_workload () =
+  (* Identical seeded workload across every algorithm: all must serve every
+     request safely. *)
+  List.iter
+    (fun kind -> drive_and_check ~kind ~n:16 ~seed:77)
+    [ R Static_tree.Binomial; R Static_tree.Path; NT; C; SK; RA ]
+
+let suite =
+  [
+    Alcotest.test_case "raymond: single request" `Quick
+      test_raymond_single_request;
+    Alcotest.test_case "raymond: root entry free" `Quick
+      test_raymond_root_entry_free;
+    Alcotest.test_case "raymond: cost bounded by diameter" `Quick
+      test_raymond_message_bound_is_diameter;
+    Alcotest.test_case "raymond: requests coalesce" `Quick
+      test_raymond_request_coalescing;
+    Alcotest.test_case "raymond: Poisson on all shapes" `Quick
+      test_raymond_poisson_all_shapes;
+    Alcotest.test_case "raymond: rejects invalid trees" `Quick
+      test_raymond_rejects_bad_tree;
+    Alcotest.test_case "naimi-trehel: single request" `Quick
+      test_nt_single_request;
+    Alcotest.test_case "naimi-trehel: owner entry free" `Quick
+      test_nt_owner_entry_free;
+    Alcotest.test_case "naimi-trehel: path reversal safe" `Quick
+      test_nt_path_reversal_chains;
+    Alcotest.test_case "naimi-trehel: dynamic worst case" `Quick
+      test_nt_worst_case_grows;
+    Alcotest.test_case "naimi-trehel: distributed queue" `Quick
+      test_nt_distributed_queue_fifo;
+    Alcotest.test_case "naimi-trehel: Poisson load" `Quick test_nt_poisson;
+    Alcotest.test_case "central: 3 messages per remote CS" `Quick
+      test_central_three_messages;
+    Alcotest.test_case "central: coordinator entry free" `Quick
+      test_central_coordinator_free;
+    Alcotest.test_case "central: FIFO service" `Quick test_central_fifo_service;
+    Alcotest.test_case "central: Poisson load" `Quick test_central_poisson;
+    Alcotest.test_case "suzuki-kasami: exact message count" `Quick
+      test_sk_exact_message_count;
+    Alcotest.test_case "suzuki-kasami: token queue order" `Quick
+      test_sk_queue_order;
+    Alcotest.test_case "suzuki-kasami: stale requests ignored" `Quick
+      test_sk_stale_requests_ignored;
+    Alcotest.test_case "suzuki-kasami: Poisson load" `Quick test_sk_poisson;
+    Alcotest.test_case "ricart-agrawala: exact message count" `Quick
+      test_ra_exact_message_count;
+    Alcotest.test_case "ricart-agrawala: timestamp priority" `Quick
+      test_ra_timestamp_priority;
+    Alcotest.test_case "ricart-agrawala: deferred replies" `Quick
+      test_ra_deferred_replies;
+    Alcotest.test_case "ricart-agrawala: Poisson load" `Quick test_ra_poisson;
+    Alcotest.test_case "all algorithms, same workload" `Quick
+      test_all_algorithms_same_workload;
+  ]

@@ -1,0 +1,482 @@
+(* Fault-tolerance tests: token regeneration, search_father, recovery and
+   anomaly repair (paper, Section 5). *)
+
+open Ocube_mutex
+module Rng = Ocube_sim.Rng
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+type setup = { env : Runner.env; algo : Opencube_algo.t }
+
+let make ?(seed = 42) ?(cs = Runner.Fixed 5.0) ?(trace = false) p =
+  let n = 1 lsl p in
+  let env =
+    Runner.make_env ~seed ~n ~delay:(Ocube_net.Network.Constant 1.0) ~cs ~trace ()
+  in
+  let config = Opencube_algo.default_config ~p in
+  let algo =
+    Opencube_algo.create ~net:(Runner.net env)
+      ~callbacks:(Runner.callbacks env) ~config
+  in
+  Runner.attach env (Opencube_algo.instance algo);
+  { env; algo }
+
+let quiesce ?max_steps s = Runner.run_to_quiescence ?max_steps s.env
+
+let assert_safe s = checki "violations" 0 (Runner.violations s.env)
+
+(* --- token regeneration by the lender --------------------------------- *)
+
+let test_borrower_dies_in_cs () =
+  (* The root lends the token to node 1; node 1 dies inside its CS. The
+     lender's enquiry gets no answer and the token is regenerated. *)
+  let s = make ~cs:(Runner.Fixed 50.0) 3 in
+  Runner.submit s.env 1;
+  Runner.run ~until:3.0 s.env;
+  checkb "node 1 in CS" true (Opencube_algo.in_cs s.algo 1);
+  Runner.schedule_faults s.env [ Runner.Faults.at 4.0 1 () ];
+  quiesce s;
+  assert_safe s;
+  let st = Opencube_algo.stats s.algo in
+  checki "one token regeneration" 1 st.token_regenerations;
+  checkb "token is back" true (Opencube_algo.token_holders s.algo = [ 0 ]);
+  (* The system still works afterwards. *)
+  Runner.submit s.env 3;
+  quiesce s;
+  checki "entries" 2 (Runner.cs_entries s.env);
+  assert_safe s
+
+let test_borrower_dies_before_receiving_token () =
+  (* Token lost in flight: the root lends towards a node that is already
+     dead by delivery time. *)
+  let s = make ~cs:(Runner.Fixed 5.0) 3 in
+  Runner.schedule_faults s.env [ Runner.Faults.at 1.5 1 () ];
+  Runner.run_arrivals s.env (Runner.Arrivals.single ~node:1 ~at:1.0);
+  (* Request leaves node 1 at t=1, reaches root t=2; node 1 dies at 1.5;
+     the token sent at t=2 is dropped at t=3. *)
+  quiesce s;
+  assert_safe s;
+  let st = Opencube_algo.stats s.algo in
+  checki "token regenerated" 1 st.token_regenerations;
+  checkb "root holds token again" true
+    (Opencube_algo.token_holders s.algo = [ 0 ])
+
+let test_enquiry_in_cs_is_ill_founded () =
+  (* A long CS makes the lender suspect a failure; the borrower answers
+     "still in CS" and no regeneration happens. *)
+  let s = make ~cs:(Runner.Fixed 40.0) 3 in
+  (* asker/loan timeouts: delta=1, e=1 -> loan timeout ~ 2*1+1; CS lasts 40
+     so several enquiries fire. *)
+  Runner.submit s.env 1;
+  quiesce s;
+  assert_safe s;
+  let st = Opencube_algo.stats s.algo in
+  checkb "enquiries were sent" true (st.enquiries_sent > 0);
+  checki "no regeneration" 0 st.token_regenerations;
+  checki "entries" 1 (Runner.cs_entries s.env)
+
+let test_transit_chain_failure_loses_request () =
+  (* A request forwarded through a node that dies before forwarding: the
+     asker times out, searches a father and re-requests. *)
+  let s = make ~cs:(Runner.Fixed 2.0) 4 in
+  (* Path of node 9's request: 9 -> 8 -> 0 (8 transit). Kill 8 just before
+     the request arrives. *)
+  Runner.schedule_faults s.env [ Runner.Faults.at 1.5 8 () ];
+  Runner.run_arrivals s.env (Runner.Arrivals.single ~node:9 ~at:1.0);
+  quiesce s;
+  assert_safe s;
+  checki "request eventually satisfied" 1 (Runner.cs_entries s.env);
+  let st = Opencube_algo.stats s.algo in
+  checkb "a search ran" true (st.searches_started >= 1)
+
+(* --- the paper's Section 5 worked example ------------------------------ *)
+
+let test_paper_section5_example () =
+  (* 16-open-cube; nodes 10 and 12 (paper numbering; ids 9 and 11) have
+     issued requests and node 9 (id 8) fails before processing them.
+     Expected (Figures 14-15): 12 concludes father := 10 from 10's test(2)
+     probe; 10 walks phases up to 4 and adopts the root 1 (id 0). *)
+  let s = make ~cs:(Runner.Fixed 2.0) 4 in
+  (* Kill id 8 first so it never processes the requests. *)
+  Runner.schedule_faults s.env [ Runner.Faults.at 0.5 8 () ];
+  Runner.run_arrivals s.env
+    (Runner.Arrivals.merge
+       (Runner.Arrivals.single ~node:9 ~at:1.0)
+       (Runner.Arrivals.single ~node:11 ~at:1.0));
+  quiesce s;
+  assert_safe s;
+  checki "both requests satisfied" 2 (Runner.cs_entries s.env);
+  let st = Opencube_algo.stats s.algo in
+  checkb "searches ran" true (st.searches_started >= 2);
+  checki "no token regeneration (root alive)" 0 st.token_regenerations;
+  (* 12 (id 11) hangs under 10 (id 9) or its later position; the key paper
+     claim is that reconnection used the locality of the structure: 12's
+     search concluded from 10's probe without its own full sweep. The
+     father of id 11 must now be id 9 or a live ancestor - never the dead
+     id 8. *)
+  checkb "12 no longer points at the dead node" true
+    (Opencube_algo.father s.algo 11 <> Some 8)
+
+let test_recovery_and_anomaly_repair () =
+  (* Continuation of the paper example: node 9 (id 8) recovers, reconnects
+     as a leaf, and the later request of node 13 (id 12) trips the anomaly
+     check (power 9 < dist (9,13)) and is repaired by a new search. *)
+  let s = make ~cs:(Runner.Fixed 2.0) 4 in
+  Runner.schedule_faults s.env
+    [ Runner.Faults.at 0.5 8 ~recover_after:40.0 () ];
+  Runner.run_arrivals s.env
+    (Runner.Arrivals.merge
+       (Runner.Arrivals.single ~node:9 ~at:1.0)
+       (Runner.Arrivals.single ~node:11 ~at:1.0));
+  (* After recovery (t=40.5) the stale descendant id 12 requests. *)
+  Runner.run_arrivals s.env (Runner.Arrivals.single ~node:12 ~at:80.0);
+  quiesce s;
+  assert_safe s;
+  checki "all three requests satisfied" 3 (Runner.cs_entries s.env);
+  let st = Opencube_algo.stats s.algo in
+  checkb "anomaly detected and repaired" true (st.anomalies_detected >= 1);
+  checkb "recovered node reconnected" true
+    (not (Opencube_algo.searching s.algo 8))
+
+let test_concurrent_suspicion_tie_break () =
+  (* Figure 13: 4-open-cube, the root fails holding the token; b (id 1) and
+     c (id 2) both suspect and search concurrently. Identity tie-break must
+     produce exactly one root and one regenerated token. *)
+  let s = make ~cs:(Runner.Fixed 1.0) 2 in
+  Runner.schedule_faults s.env [ Runner.Faults.at 0.5 0 () ];
+  Runner.run_arrivals s.env
+    (Runner.Arrivals.merge
+       (Runner.Arrivals.single ~node:1 ~at:1.0)
+       (Runner.Arrivals.single ~node:2 ~at:1.0));
+  quiesce s;
+  assert_safe s;
+  checki "both requests satisfied" 2 (Runner.cs_entries s.env);
+  let st = Opencube_algo.stats s.algo in
+  checki "exactly one token regeneration" 1 st.token_regenerations;
+  checki "one token in the system" 1
+    (List.length (Opencube_algo.token_holders s.algo))
+
+let test_root_failure_idle_system () =
+  (* The root (token holder) dies while nobody is asking; the next request
+     must still be satisfiable through search + regeneration. *)
+  let s = make ~cs:(Runner.Fixed 1.0) 3 in
+  Runner.schedule_faults s.env [ Runner.Faults.at 1.0 0 () ];
+  Runner.run_arrivals s.env (Runner.Arrivals.single ~node:5 ~at:2.0);
+  quiesce s;
+  assert_safe s;
+  checki "request satisfied" 1 (Runner.cs_entries s.env);
+  let st = Opencube_algo.stats s.algo in
+  checki "token regenerated once" 1 st.token_regenerations
+
+(* --- randomized fault injection ---------------------------------------- *)
+
+let run_random_faults ~seed ~p ~failures ~with_recovery () =
+  let n = 1 lsl p in
+  let s = make ~seed ~cs:(Runner.Fixed 1.0) p in
+  let horizon = 200.0 +. (float_of_int failures *. 120.0) in
+  let arrivals =
+    Runner.Arrivals.poisson ~rng:(Runner.rng s.env) ~n ~rate_per_node:0.005
+      ~horizon
+  in
+  Runner.run_arrivals s.env arrivals;
+  let faults =
+    Runner.Faults.random ~rng:(Runner.rng s.env) ~n ~count:failures
+      ~start:100.0 ~spacing:120.0
+      ~recover_after:(if with_recovery then Some 60.0 else None)
+      ()
+  in
+  Runner.schedule_faults s.env faults;
+  quiesce ~max_steps:5_000_000 s;
+  assert_safe s;
+  (* Every request issued by a node that did not die while waiting must be
+     satisfied. *)
+  checki "no outstanding requests" 0 (Runner.outstanding s.env);
+  s
+
+let test_random_faults_with_recovery () =
+  for seed = 1 to 5 do
+    ignore (run_random_faults ~seed ~p:3 ~failures:4 ~with_recovery:true ())
+  done
+
+let test_random_faults_without_recovery () =
+  (* Without recovery the cube shrinks but survivors keep making progress
+     (several failures, network never partitioned logically since all
+     channels exist). *)
+  for seed = 11 to 14 do
+    ignore (run_random_faults ~seed ~p:3 ~failures:3 ~with_recovery:false ())
+  done
+
+let test_larger_cube_random_faults () =
+  ignore (run_random_faults ~seed:5 ~p:5 ~failures:5 ~with_recovery:true ())
+
+let test_search_cost_is_local () =
+  (* Section 5: only 2^(d-1) nodes live at distance d, so reconnecting
+     after a deep failure costs O(N) probes worst case but O(log N) when
+     the replacement father is close. Kill the father of a power-0 node and
+     watch the probe count stay tiny. *)
+  let s = make ~cs:(Runner.Fixed 1.0) 5 in
+  (* id 25's father is 24; 24's father is 16. Kill 24: 25's search starts
+     at phase 1 and should conclude by phase 2 at the latest (id 26 or 27
+     answer) or phase 3. *)
+  Runner.schedule_faults s.env [ Runner.Faults.at 0.5 24 () ];
+  Runner.run_arrivals s.env (Runner.Arrivals.single ~node:25 ~at:1.0);
+  quiesce s;
+  assert_safe s;
+  checki "request satisfied" 1 (Runner.cs_entries s.env);
+  let st = Opencube_algo.stats s.algo in
+  (* Rings of 1, 2, 4 and 8 nodes are probed before the 4-group root 16
+     answers at phase 4: 15 probes, less than half the 31 other nodes. *)
+  checki "probe count follows the ring sizes" 15 st.search_nodes_tested
+
+(* --- edge cases --------------------------------------------------------- *)
+
+let test_searcher_dies_mid_search () =
+  (* A node starts search_father and dies mid-sweep; its probes must not
+     corrupt anyone, and other nodes keep working. *)
+  let s = make ~cs:(Runner.Fixed 1.0) 4 in
+  (* 9's father 8 dies; 9 starts searching; then 9 dies too. *)
+  Runner.schedule_faults s.env
+    [ Runner.Faults.at 0.5 8 (); Runner.Faults.at 12.0 9 () ];
+  Runner.run_arrivals s.env (Runner.Arrivals.single ~node:9 ~at:1.0);
+  Runner.run_arrivals s.env (Runner.Arrivals.single ~node:3 ~at:30.0);
+  quiesce s;
+  assert_safe s;
+  (* 9's request dies with it (abandoned); 3 is served. *)
+  checki "node 3 served" 1 (Runner.cs_entries s.env);
+  checki "9's request abandoned" 1 (Runner.abandoned s.env)
+
+let test_census_node_dies_before_regenerating () =
+  (* The root fails holding the token; the would-be regenerator (smallest
+     searcher) dies during its census; the next searcher must complete the
+     regeneration - liveness must not hinge on one node. *)
+  let s = make ~cs:(Runner.Fixed 1.0) 2 in
+  Runner.schedule_faults s.env [ Runner.Faults.at 0.5 0 () ];
+  Runner.run_arrivals s.env
+    (Runner.Arrivals.merge
+       (Runner.Arrivals.single ~node:1 ~at:1.0)
+       (Runner.Arrivals.single ~node:2 ~at:1.0));
+  (* Node 1 will win the census arbitration (smaller id); kill it just
+     before it can conclude. *)
+  Runner.schedule_faults s.env [ Runner.Faults.at 14.0 1 () ];
+  quiesce s;
+  assert_safe s;
+  checkb "node 2 eventually served" true (Runner.cs_entries s.env >= 1);
+  checki "nothing left outstanding" 0 (Runner.outstanding s.env)
+
+let test_two_concurrent_failures () =
+  (* Two nodes in different halves fail simultaneously (the paper's
+     multi-failure case: procedures are unchanged as long as the network
+     stays connected). *)
+  let s = make ~cs:(Runner.Fixed 1.0) 4 in
+  Runner.schedule_faults s.env
+    [ Runner.Faults.at 0.5 8 (); Runner.Faults.at 0.5 4 () ];
+  Runner.run_arrivals s.env
+    (Runner.Arrivals.merge
+       (Runner.Arrivals.single ~node:9 ~at:1.0)
+       (Runner.Arrivals.single ~node:5 ~at:1.0));
+  quiesce s;
+  assert_safe s;
+  checki "both survivors served" 2 (Runner.cs_entries s.env)
+
+let test_repeated_fail_recover_same_node () =
+  let s = make ~cs:(Runner.Fixed 1.0) 3 in
+  Runner.schedule_faults s.env
+    [
+      Runner.Faults.at 5.0 2 ~recover_after:20.0 ();
+      Runner.Faults.at 60.0 2 ~recover_after:20.0 ();
+      Runner.Faults.at 120.0 2 ~recover_after:20.0 ();
+    ];
+  let arrivals =
+    Runner.Arrivals.poisson ~rng:(Runner.rng s.env) ~n:8 ~rate_per_node:0.01
+      ~horizon:200.0
+  in
+  Runner.run_arrivals s.env arrivals;
+  quiesce s;
+  assert_safe s;
+  checki "no outstanding" 0 (Runner.outstanding s.env)
+
+let test_idle_holder_dies_with_queued_requests () =
+  (* The root holds the token and a long CS; requests queue at it; it dies
+     inside the CS, losing both token and queue. All queued requesters
+     must still be served after regeneration. *)
+  let s = make ~cs:(Runner.Fixed 30.0) 3 in
+  Runner.run_arrivals s.env (Runner.Arrivals.single ~node:0 ~at:1.0);
+  Runner.run_arrivals s.env
+    (Runner.Arrivals.burst ~nodes:[ 3; 5; 6 ] ~at:5.0);
+  Runner.schedule_faults s.env [ Runner.Faults.at 15.0 0 () ];
+  quiesce s;
+  assert_safe s;
+  (* 0 entered once then died; 3, 5, 6 must all get in eventually. *)
+  checki "all served" 4 (Runner.cs_entries s.env);
+  checki "no outstanding" 0 (Runner.outstanding s.env)
+
+let test_in_cs_failure_then_recovery_forgets_token () =
+  (* A node dies inside its CS and later recovers: its volatile state
+     (including token_here) is gone, so it must not resurrect the token
+     that the survivors regenerated. *)
+  let s = make ~cs:(Runner.Fixed 20.0) 3 in
+  Runner.run_arrivals s.env (Runner.Arrivals.single ~node:5 ~at:1.0);
+  Runner.schedule_faults s.env [ Runner.Faults.at 8.0 5 ~recover_after:50.0 () ];
+  Runner.run_arrivals s.env (Runner.Arrivals.single ~node:2 ~at:30.0);
+  Runner.run_arrivals s.env (Runner.Arrivals.single ~node:5 ~at:120.0);
+  quiesce s;
+  assert_safe s;
+  checki "one token at the end" 1
+    (List.length (Opencube_algo.token_holders s.algo));
+  (* 5 entered before dying, 2 after regeneration, 5 again after its
+     recovery and reconnection. *)
+  checki "three entries" 3 (Runner.cs_entries s.env)
+
+let test_faults_under_random_delays () =
+  (* Non-FIFO delays combined with failures and recovery. *)
+  let n = 16 in
+  let env =
+    Runner.make_env ~seed:51 ~n
+      ~delay:(Ocube_net.Network.Uniform { lo = 0.2; hi = 2.0 })
+      ~cs:(Runner.Fixed 1.0) ()
+  in
+  let algo =
+    Opencube_algo.create ~net:(Runner.net env)
+      ~callbacks:(Runner.callbacks env)
+      ~config:(Opencube_algo.default_config ~p:4)
+  in
+  Runner.attach env (Opencube_algo.instance algo);
+  let arrivals =
+    Runner.Arrivals.poisson ~rng:(Runner.rng env) ~n ~rate_per_node:0.005
+      ~horizon:1200.0
+  in
+  Runner.run_arrivals env arrivals;
+  let faults =
+    Runner.Faults.random ~rng:(Runner.rng env) ~n ~count:5 ~start:100.0
+      ~spacing:200.0 ~recover_after:(Some 80.0) ()
+  in
+  Runner.schedule_faults env faults;
+  Runner.run_to_quiescence ~max_steps:10_000_000 env;
+  checki "violations" 0 (Runner.violations env);
+  checki "no outstanding" 0 (Runner.outstanding env)
+
+let test_randomized_fault_schedules_property () =
+  (* Property-style sweep: many random (arrival, failure) schedules in
+     hardened mode must all be safe and serve every surviving request. *)
+  for seed = 200 to 215 do
+    let p = 3 + (seed mod 2) in
+    let n = 1 lsl p in
+    let s = make ~seed ~cs:(Runner.Fixed 1.0) p in
+    let arrivals =
+      Runner.Arrivals.poisson ~rng:(Runner.rng s.env) ~n ~rate_per_node:0.008
+        ~horizon:900.0
+    in
+    Runner.run_arrivals s.env arrivals;
+    let faults =
+      Runner.Faults.random ~rng:(Runner.rng s.env) ~n ~count:4 ~start:80.0
+        ~spacing:200.0
+        ~recover_after:(if seed mod 3 = 0 then None else Some 70.0)
+        ()
+    in
+    Runner.schedule_faults s.env faults;
+    (try Runner.run_to_quiescence ~max_steps:8_000_000 s.env
+     with Failure _ -> Alcotest.failf "seed %d did not quiesce" seed);
+    checki (Printf.sprintf "violations (seed %d)" seed) 0
+      (Runner.violations s.env);
+    checki
+      (Printf.sprintf "outstanding (seed %d)" seed)
+      0
+      (Runner.outstanding s.env)
+  done
+
+let test_seed_sweep_hardened_safety () =
+  (* 50 independent churn campaigns in hardened mode: zero violations and
+     zero unserved requests across all of them. *)
+  let total_failures = ref 0 in
+  for seed = 1000 to 1049 do
+    let p = 4 in
+    let n = 1 lsl p in
+    let s = make ~seed ~cs:(Runner.Fixed 1.0) p in
+    let arrivals =
+      Runner.Arrivals.poisson ~rng:(Runner.rng s.env) ~n ~rate_per_node:0.004
+        ~horizon:2500.0
+    in
+    Runner.run_arrivals s.env arrivals;
+    let faults =
+      Runner.Faults.random ~rng:(Runner.rng s.env) ~n ~count:5 ~start:200.0
+        ~spacing:400.0 ~recover_after:(Some 120.0) ()
+    in
+    Runner.schedule_faults s.env faults;
+    total_failures := !total_failures + 5;
+    (try Runner.run_to_quiescence ~max_steps:8_000_000 s.env
+     with Failure _ -> Alcotest.failf "seed %d did not quiesce" seed);
+    checki (Printf.sprintf "violations (seed %d)" seed) 0
+      (Runner.violations s.env);
+    checki (Printf.sprintf "unserved (seed %d)" seed) 0
+      (Runner.outstanding s.env)
+  done;
+  checki "250 failures injected in total" 250 !total_failures
+
+let test_describe () =
+  let s = make 3 in
+  let d = Opencube_algo.describe s.algo 0 in
+  checkb "describe mentions token" true (Tutil.contains d "token=true");
+  checkb "describe mentions father nil" true (Tutil.contains d "father=nil");
+  let d5 = Opencube_algo.describe s.algo 5 in
+  checkb "node 5 dump" true (Tutil.contains d5 "node 5: father=4")
+
+let test_stats_counters_plausible () =
+  let s = make ~cs:(Runner.Fixed 1.0) 4 in
+  Runner.schedule_faults s.env [ Runner.Faults.at 0.5 8 ~recover_after:30.0 () ];
+  Runner.run_arrivals s.env (Runner.Arrivals.single ~node:9 ~at:1.0);
+  quiesce s;
+  let st = Opencube_algo.stats s.algo in
+  checkb "searches >= 1 (asker + recovery)" true (st.searches_started >= 2);
+  checkb "probes consistent with searches" true
+    (st.search_nodes_tested >= st.searches_started);
+  checki "no token regenerated (root alive)" 0 st.token_regenerations;
+  checki "no stale bounces in this scenario" 0 st.stale_tokens_bounced
+
+let suite =
+  [
+    Alcotest.test_case "borrower dies in CS -> regeneration" `Quick
+      test_borrower_dies_in_cs;
+    Alcotest.test_case "borrower dies before token arrives" `Quick
+      test_borrower_dies_before_receiving_token;
+    Alcotest.test_case "ill-founded suspicion (still in CS)" `Quick
+      test_enquiry_in_cs_is_ill_founded;
+    Alcotest.test_case "transit node dies -> search + re-request" `Quick
+      test_transit_chain_failure_loses_request;
+    Alcotest.test_case "paper Section 5 example (9 fails; 10,12 search)"
+      `Quick test_paper_section5_example;
+    Alcotest.test_case "recovery + anomaly repair (paper example)" `Quick
+      test_recovery_and_anomaly_repair;
+    Alcotest.test_case "concurrent suspicions tie-break (Fig. 13)" `Quick
+      test_concurrent_suspicion_tie_break;
+    Alcotest.test_case "idle root failure" `Quick test_root_failure_idle_system;
+    Alcotest.test_case "random faults with recovery" `Slow
+      test_random_faults_with_recovery;
+    Alcotest.test_case "random faults without recovery" `Slow
+      test_random_faults_without_recovery;
+    Alcotest.test_case "random faults on a 32-node cube" `Slow
+      test_larger_cube_random_faults;
+    Alcotest.test_case "search_father stays local" `Quick
+      test_search_cost_is_local;
+    Alcotest.test_case "searcher dies mid-search" `Quick
+      test_searcher_dies_mid_search;
+    Alcotest.test_case "census winner dies before regenerating" `Quick
+      test_census_node_dies_before_regenerating;
+    Alcotest.test_case "two concurrent failures" `Quick
+      test_two_concurrent_failures;
+    Alcotest.test_case "repeated fail/recover of one node" `Quick
+      test_repeated_fail_recover_same_node;
+    Alcotest.test_case "holder dies with queued requests" `Quick
+      test_idle_holder_dies_with_queued_requests;
+    Alcotest.test_case "recovered node forgets its token" `Quick
+      test_in_cs_failure_then_recovery_forgets_token;
+    Alcotest.test_case "failures under non-FIFO delays" `Quick
+      test_faults_under_random_delays;
+    Alcotest.test_case "16 randomized fault schedules" `Slow
+      test_randomized_fault_schedules_property;
+    Alcotest.test_case "fault statistics are plausible" `Quick
+      test_stats_counters_plausible;
+    Alcotest.test_case "50-seed hardened churn sweep (250 failures)" `Slow
+      test_seed_sweep_hardened_safety;
+    Alcotest.test_case "describe dumps node state" `Quick test_describe;
+  ]

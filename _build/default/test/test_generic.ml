@@ -1,0 +1,200 @@
+(* Tests for the general Hélary-Mostefaoui-Raynal scheme (paper, Section
+   3.1): the three named rules, and cross-validation of the open-cube rule
+   against the dedicated Opencube_algo implementation. *)
+
+open Ocube_mutex
+module Static_tree = Ocube_topology.Static_tree
+module Opencube = Ocube_topology.Opencube
+module Rng = Ocube_sim.Rng
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let make ?(seed = 42) ?(cs = Runner.Fixed 1.0) ~rule ~n () =
+  let env = Runner.make_env ~seed ~n ~delay:(Ocube_net.Network.Constant 1.0) ~cs () in
+  let tree = Static_tree.build Static_tree.Binomial ~n in
+  let g =
+    Generic_scheme.create ~net:(Runner.net env)
+      ~callbacks:(Runner.callbacks env) ~tree ~rule ()
+  in
+  Runner.attach env (Generic_scheme.instance g);
+  (env, g)
+
+let test_rules_all_serve () =
+  List.iter
+    (fun rule ->
+      let env, g = make ~rule ~n:16 () in
+      let arrivals =
+        Runner.Arrivals.poisson ~rng:(Runner.rng env) ~n:16 ~rate_per_node:0.02
+          ~horizon:400.0
+      in
+      Runner.run_arrivals env arrivals;
+      Runner.run_to_quiescence env;
+      checki "violations" 0 (Runner.violations env);
+      checki "all served" (Runner.issued env) (Runner.cs_entries env);
+      match Generic_scheme.invariant_check g with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "invariant: %s" m)
+    Generic_scheme.[ Opencube_rule; Raymond_rule; Always_transit ]
+
+let test_opencube_rule_preserves_structure () =
+  let env, g = make ~rule:Generic_scheme.Opencube_rule ~n:16 () in
+  let rng = Runner.rng env in
+  for _ = 1 to 100 do
+    Runner.submit env (Rng.int rng 16);
+    Runner.run_to_quiescence env;
+    match Opencube.check (Opencube.of_fathers (Generic_scheme.snapshot_tree g)) with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "structure broken: %s" m
+  done
+
+let test_always_transit_can_degenerate () =
+  (* Always-transit (Naimi-Trehel within the scheme): the tree leaves the
+     open-cube family. *)
+  let env, g = make ~rule:Generic_scheme.Always_transit ~n:8 () in
+  (* Serving node 1 path-reverses 0 under 1, which breaks the 2-group
+     {0,1,2,3}: its halves are no longer linked root-to-root. *)
+  List.iter
+    (fun node ->
+      Runner.submit env node;
+      Runner.run_to_quiescence env)
+    [ 1 ];
+  let valid =
+    match Opencube.check (Opencube.of_fathers (Generic_scheme.snapshot_tree g)) with
+    | Ok () -> true
+    | Error _ -> false
+  in
+  checkb "tree left the open-cube family" false valid
+
+let test_custom_rule () =
+  (* A custom rule: proxy everywhere - every request is served by a loan
+     from the root, and the tree never changes. *)
+  let n = 8 in
+  let env = Runner.make_env ~seed:3 ~n ~delay:(Ocube_net.Network.Constant 1.0)
+      ~cs:(Runner.Fixed 1.0) () in
+  let tree = Static_tree.build Static_tree.Binomial ~n in
+  let g =
+    Generic_scheme.create ~net:(Runner.net env)
+      ~callbacks:(Runner.callbacks env) ~tree
+      ~rule:(Generic_scheme.Custom (fun ~self:_ ~origin:_ ~power:_ -> `Proxy))
+      ()
+  in
+  Runner.attach env (Generic_scheme.instance g);
+  List.iter
+    (fun node ->
+      Runner.submit env node;
+      Runner.run_to_quiescence env)
+    [ 5; 3; 7 ];
+  checki "entries" 3 (Runner.cs_entries env);
+  Alcotest.(check (option int))
+    "tree unchanged: 5 still under 4" (Some 4)
+    (Generic_scheme.father g 5);
+  Alcotest.(check (list int)) "token back at root" [ 0 ]
+    (Generic_scheme.token_holders g)
+
+(* Cross-validation: the generic engine with the open-cube rule must
+   produce byte-identical behaviour to the dedicated Opencube_algo (with
+   fault tolerance off) on identical schedules: same message counts, same
+   final tree, same entry count. *)
+let cross_validate ~seed ~p ~requests =
+  let n = 1 lsl p in
+  (* generic *)
+  let env_g, g = make ~seed ~rule:Generic_scheme.Opencube_rule ~n () in
+  (* dedicated *)
+  let env_o =
+    Runner.make_env ~seed ~n ~delay:(Ocube_net.Network.Constant 1.0)
+      ~cs:(Runner.Fixed 1.0) ()
+  in
+  let config =
+    { (Opencube_algo.default_config ~p) with fault_tolerance = false }
+  in
+  let algo =
+    Opencube_algo.create ~net:(Runner.net env_o)
+      ~callbacks:(Runner.callbacks env_o) ~config
+  in
+  Runner.attach env_o (Opencube_algo.instance algo);
+  List.iter
+    (fun node ->
+      Runner.submit env_g node;
+      Runner.submit env_o node;
+      Runner.run_to_quiescence env_g;
+      Runner.run_to_quiescence env_o;
+      checki "same message count" (Runner.messages_sent env_g)
+        (Runner.messages_sent env_o);
+      Alcotest.(check (array (option int)))
+        "same tree"
+        (Generic_scheme.snapshot_tree g)
+        (Opencube_algo.snapshot_tree algo))
+    requests
+
+let test_cross_validation_serial () =
+  let rng = Rng.create 123 in
+  List.iter
+    (fun p ->
+      let requests = List.init 60 (fun _ -> Rng.int rng (1 lsl p)) in
+      cross_validate ~seed:9 ~p ~requests)
+    [ 2; 3; 4; 5 ]
+
+let test_cross_validation_concurrent () =
+  (* Concurrent workload: drive both implementations with the same arrival
+     schedule and compare aggregate outcomes. *)
+  let p = 4 in
+  let n = 1 lsl p in
+  let env_g, g = make ~seed:31 ~cs:(Runner.Fixed 1.5) ~rule:Generic_scheme.Opencube_rule ~n () in
+  let env_o =
+    Runner.make_env ~seed:31 ~n ~delay:(Ocube_net.Network.Constant 1.0)
+      ~cs:(Runner.Fixed 1.5) ()
+  in
+  let config =
+    { (Opencube_algo.default_config ~p) with fault_tolerance = false }
+  in
+  let algo =
+    Opencube_algo.create ~net:(Runner.net env_o)
+      ~callbacks:(Runner.callbacks env_o) ~config
+  in
+  Runner.attach env_o (Opencube_algo.instance algo);
+  let arrivals =
+    Runner.Arrivals.poisson ~rng:(Rng.create 555) ~n ~rate_per_node:0.03
+      ~horizon:300.0
+  in
+  Runner.run_arrivals env_g arrivals;
+  Runner.run_arrivals env_o arrivals;
+  Runner.run_to_quiescence env_g;
+  Runner.run_to_quiescence env_o;
+  checki "same entries" (Runner.cs_entries env_g) (Runner.cs_entries env_o);
+  checki "same messages" (Runner.messages_sent env_g) (Runner.messages_sent env_o);
+  Alcotest.(check (array (option int)))
+    "same final tree"
+    (Generic_scheme.snapshot_tree g)
+    (Opencube_algo.snapshot_tree algo)
+
+let test_rejects_non_opencube_tree () =
+  let env = Runner.make_env ~seed:1 ~n:8 ~delay:(Ocube_net.Network.Constant 1.0)
+      ~cs:(Runner.Fixed 1.0) () in
+  let tree = Static_tree.build Static_tree.Path ~n:8 in
+  checkb "path is not an open-cube" true
+    (try
+       ignore
+         (Generic_scheme.create ~net:(Runner.net env)
+            ~callbacks:(Runner.callbacks env) ~tree
+            ~rule:Generic_scheme.Opencube_rule ());
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "all rules serve every request" `Quick
+      test_rules_all_serve;
+    Alcotest.test_case "open-cube rule preserves structure" `Quick
+      test_opencube_rule_preserves_structure;
+    Alcotest.test_case "always-transit degenerates the tree" `Quick
+      test_always_transit_can_degenerate;
+    Alcotest.test_case "custom all-proxy rule freezes the tree" `Quick
+      test_custom_rule;
+    Alcotest.test_case "cross-validation vs dedicated (serial)" `Quick
+      test_cross_validation_serial;
+    Alcotest.test_case "cross-validation vs dedicated (concurrent)" `Quick
+      test_cross_validation_concurrent;
+    Alcotest.test_case "open-cube rule rejects non-open-cube trees" `Quick
+      test_rejects_non_opencube_tree;
+  ]

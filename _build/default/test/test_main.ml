@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "ocube"
+    [
+      ("sim", Test_sim.suite);
+      ("stats", Test_stats.suite);
+      ("topology.opencube", Test_opencube.suite);
+      ("topology.trees", Test_static_tree.suite);
+      ("network", Test_network.suite);
+      ("algo", Test_algo.suite);
+      ("walkthrough", Test_walkthrough.suite);
+      ("fault", Test_fault.suite);
+      ("baselines", Test_baselines.suite);
+      ("generic", Test_generic.suite);
+      ("workload", Test_workload.suite);
+      ("harness", Test_harness.suite);
+      ("model", Test_model.suite);
+      ("direct-api", Test_direct_api.suite);
+    ]

@@ -1,0 +1,186 @@
+(* Tests for the pure protocol spec and the exhaustive explorer, plus
+   cross-validation of the spec against the discrete-event
+   implementation. *)
+
+module Spec = Ocube_model.Spec
+module Explore = Ocube_model.Explore
+open Ocube_mutex
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- spec basics ---------------------------------------------------------- *)
+
+let test_initial_state () =
+  let st = Spec.initial ~p:2 ~wishes:1 in
+  checkb "node 0 has the token" true st.Spec.nodes.(0).Spec.token_here;
+  checki "father of 3" 2 st.Spec.nodes.(3).Spec.father;
+  checki "no messages" 0 (List.length st.Spec.flight);
+  checkb "invariants hold" true (Spec.check_invariants st = Ok ())
+
+let test_transitions_from_initial () =
+  let st = Spec.initial ~p:1 ~wishes:1 in
+  let ts = Spec.transitions st in
+  (* Both nodes can wish; nothing else. *)
+  checki "two transitions" 2 (List.length ts);
+  List.iter
+    (fun (t, st') ->
+      (match t with
+      | Spec.Wish _ -> ()
+      | _ -> Alcotest.fail "expected only wishes");
+      checkb "successor invariant" true (Spec.check_invariants st' = Ok ()))
+    ts
+
+let test_holder_wish_enters_directly () =
+  let st = Spec.initial ~p:1 ~wishes:1 in
+  match List.find_opt (fun (t, _) -> t = Spec.Wish 0) (Spec.transitions st) with
+  | Some (_, st') ->
+    checkb "node 0 in CS" true st'.Spec.nodes.(0).Spec.in_cs;
+    checki "no message needed" 0 (List.length st'.Spec.flight)
+  | None -> Alcotest.fail "wish of node 0 not enabled"
+
+let test_terminal_check_rejects_deadlock () =
+  let st = Spec.initial ~p:1 ~wishes:1 in
+  (* Initial state is not a legal terminal (wishes left). *)
+  checkb "not terminal-legal" true (Spec.check_terminal st <> Ok ())
+
+let test_invariant_checker_catches_corruption () =
+  let st = Spec.initial ~p:1 ~wishes:0 in
+  let nodes = Array.copy st.Spec.nodes in
+  nodes.(1) <- { (nodes.(1)) with Spec.token_here = true };
+  let bad = { st with Spec.nodes = nodes } in
+  checkb "double token caught" true (Spec.check_invariants bad <> Ok ())
+
+(* --- exhaustive exploration ------------------------------------------------ *)
+
+let explore p wishes =
+  try Explore.run ~p ~wishes ()
+  with Explore.Violation (msg, st) ->
+    Alcotest.failf "violation: %s\n%s" msg (Format.asprintf "%a" Spec.pp st)
+
+let test_exhaustive_tiny () =
+  let s = explore 1 1 in
+  checki "states (p=1,w=1)" 21 s.Explore.states;
+  checki "terminals" 2 s.Explore.terminals;
+  let s = explore 1 2 in
+  checki "states (p=1,w=2)" 69 s.Explore.states
+
+let test_exhaustive_four_nodes () =
+  let s = explore 2 1 in
+  checki "states (p=2,w=1)" 1064 s.Explore.states;
+  checki "terminals (p=2,w=1)" 18 s.Explore.terminals;
+  checkb "concurrency was real" true (s.Explore.max_in_flight >= 3)
+
+let test_exhaustive_four_nodes_two_wishes () =
+  let s = explore 2 2 in
+  checki "states (p=2,w=2)" 32496 s.Explore.states;
+  checki "terminals (p=2,w=2)" 32 s.Explore.terminals
+
+let test_exhaustive_four_nodes_three_wishes () =
+  let s = explore 2 3 in
+  checki "states (p=2,w=3)" 256756 s.Explore.states
+
+let test_state_cap () =
+  checkb "cap enforced" true
+    (try
+       ignore (Explore.run ~max_states:100 ~p:2 ~wishes:2 ());
+       false
+     with Failure _ -> true)
+
+(* --- cross-validation against the DES implementation ----------------------- *)
+
+(* Run the spec serially: issue wishes one at a time and always drain the
+   (deterministic, single-message) flight before the next wish. *)
+let spec_serial ~p ~order =
+  let st = ref (Spec.initial ~p ~wishes:(List.length order)) in
+  let deliver_all () =
+    let rec go () =
+      match
+        List.find_opt
+          (fun (t, _) -> match t with Spec.Deliver _ -> true | _ -> false)
+          (Spec.transitions !st)
+      with
+      | Some (_, st') ->
+        st := st';
+        go ()
+      | None -> ()
+    in
+    go ()
+  in
+  List.iter
+    (fun node ->
+      (match
+         List.find_opt (fun (t, _) -> t = Spec.Wish node) (Spec.transitions !st)
+       with
+      | Some (_, st') -> st := st'
+      | None -> Alcotest.failf "wish %d not enabled" node);
+      deliver_all ();
+      (* exit the CS *)
+      (match
+         List.find_opt
+           (fun (t, _) -> match t with Spec.Exit _ -> true | _ -> false)
+           (Spec.transitions !st)
+       with
+      | Some (_, st') -> st := st'
+      | None -> Alcotest.fail "nobody to exit");
+      deliver_all ())
+    order;
+  !st
+
+let test_spec_matches_des_serial () =
+  let p = 3 in
+  let rng = Ocube_sim.Rng.create 99 in
+  for _ = 1 to 20 do
+    let order = List.init 6 (fun _ -> Ocube_sim.Rng.int rng (1 lsl p)) in
+    (* Deduplicate consecutive repeats: the spec's wish budget model allows
+       them, but keep schedules simple. *)
+    let spec_final = spec_serial ~p ~order in
+    (* DES run with the same serial schedule. *)
+    let env =
+      Runner.make_env ~seed:1 ~n:(1 lsl p)
+        ~delay:(Ocube_net.Network.Constant 1.0) ~cs:(Runner.Fixed 1.0) ()
+    in
+    let algo =
+      Opencube_algo.create ~net:(Runner.net env)
+        ~callbacks:(Runner.callbacks env)
+        ~config:
+          { (Opencube_algo.default_config ~p) with fault_tolerance = false }
+    in
+    Runner.attach env (Opencube_algo.instance algo);
+    List.iter
+      (fun node ->
+        Runner.submit env node;
+        Runner.run_to_quiescence env)
+      order;
+    let des_fathers = Opencube_algo.snapshot_tree algo in
+    let spec_fathers =
+      Array.map
+        (fun nd -> if nd.Spec.father < 0 then None else Some nd.Spec.father)
+        spec_final.Spec.nodes
+    in
+    Alcotest.(check (array (option int)))
+      "spec and DES agree on the final tree" des_fathers spec_fathers
+  done
+
+let suite =
+  [
+    Alcotest.test_case "initial state" `Quick test_initial_state;
+    Alcotest.test_case "transitions from initial" `Quick
+      test_transitions_from_initial;
+    Alcotest.test_case "holder wish enters directly" `Quick
+      test_holder_wish_enters_directly;
+    Alcotest.test_case "terminal check rejects deadlock" `Quick
+      test_terminal_check_rejects_deadlock;
+    Alcotest.test_case "invariant checker catches corruption" `Quick
+      test_invariant_checker_catches_corruption;
+    Alcotest.test_case "exhaustive: 2 nodes" `Quick test_exhaustive_tiny;
+    Alcotest.test_case "exhaustive: 4 nodes, 1 wish (1064 states)" `Quick
+      test_exhaustive_four_nodes;
+    Alcotest.test_case "exhaustive: 4 nodes, 2 wishes (32k states)" `Quick
+      test_exhaustive_four_nodes_two_wishes;
+    Alcotest.test_case "exhaustive: 4 nodes, 3 wishes (257k states)" `Slow
+      test_exhaustive_four_nodes_three_wishes;
+    Alcotest.test_case "state cap enforced" `Quick test_state_cap;
+    Alcotest.test_case "spec = DES on serial schedules" `Quick
+      test_spec_matches_des_serial;
+  ]

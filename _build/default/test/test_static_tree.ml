@@ -1,0 +1,103 @@
+(* Tests for static trees (Raymond substrate) and the hypercube module. *)
+
+module Static_tree = Ocube_topology.Static_tree
+module Hypercube = Ocube_topology.Hypercube
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_path () =
+  let t = Static_tree.build Static_tree.Path ~n:5 in
+  Alcotest.(check (array (option int)))
+    "fathers"
+    [| None; Some 0; Some 1; Some 2; Some 3 |]
+    t;
+  checki "diameter" 4 (Static_tree.diameter t);
+  checki "height" 4 (Static_tree.height t)
+
+let test_star () =
+  let t = Static_tree.build Static_tree.Star ~n:6 in
+  checki "diameter" 2 (Static_tree.diameter t);
+  checki "height" 1 (Static_tree.height t);
+  Alcotest.(check (list int)) "root neighbors" [ 1; 2; 3; 4; 5 ]
+    (Static_tree.neighbors t 0)
+
+let test_kary () =
+  let t = Static_tree.build (Static_tree.Kary 2) ~n:7 in
+  Alcotest.(check (option int)) "father of 3" (Some 1) t.(3);
+  Alcotest.(check (option int)) "father of 6" (Some 2) t.(6);
+  checki "height of complete binary 7" 2 (Static_tree.height t)
+
+let test_binomial_matches_opencube () =
+  let t = Static_tree.build Static_tree.Binomial ~n:16 in
+  let c = Ocube_topology.Opencube.build ~p:4 in
+  for i = 0 to 15 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "node %d" i)
+      (Ocube_topology.Opencube.father c i)
+      t.(i)
+  done;
+  checki "binomial diameter is 2 log n - 1-ish" 7 (Static_tree.diameter t)
+
+let test_binomial_requires_power_of_two () =
+  Alcotest.check_raises "n=6"
+    (Invalid_argument "Static_tree.build: Binomial requires a power of two")
+    (fun () -> ignore (Static_tree.build Static_tree.Binomial ~n:6))
+
+let test_validate () =
+  checkb "path ok" true
+    (Static_tree.validate (Static_tree.build Static_tree.Path ~n:4) = Ok ());
+  checkb "no root" true
+    (Static_tree.validate [| Some 1; Some 0 |] <> Ok ());
+  checkb "two roots" true (Static_tree.validate [| None; None |] <> Ok ())
+
+let test_depth_of () =
+  let t = Static_tree.build (Static_tree.Kary 2) ~n:15 in
+  checki "leaf depth" 3 (Static_tree.depth_of t 14);
+  checki "root depth" 0 (Static_tree.depth_of t 0)
+
+let test_singleton () =
+  let t = Static_tree.build Static_tree.Path ~n:1 in
+  checki "diameter" 0 (Static_tree.diameter t);
+  checki "height" 0 (Static_tree.height t)
+
+(* --- hypercube --------------------------------------------------------- *)
+
+let test_hypercube_neighbors () =
+  Alcotest.(check (list int)) "neighbors of 0 in Q3" [ 1; 2; 4 ]
+    (Hypercube.neighbors ~p:3 0);
+  Alcotest.(check (list int)) "neighbors of 5 in Q3" [ 1; 4; 7 ]
+    (Hypercube.neighbors ~p:3 5)
+
+let test_hypercube_edge_count () =
+  (* Qp has p * 2^(p-1) edges. *)
+  List.iter
+    (fun p ->
+      checki
+        (Printf.sprintf "edges of Q%d" p)
+        (p * (1 lsl (p - 1)))
+        (List.length (Hypercube.edges ~p)))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_hypercube_hamming () =
+  checki "hamming 0 7" 3 (Hypercube.hamming 0 7);
+  checki "hamming 5 5" 0 (Hypercube.hamming 5 5);
+  checkb "is_edge" true (Hypercube.is_edge 4 6);
+  checkb "not edge" false (Hypercube.is_edge 3 0)
+
+let suite =
+  [
+    Alcotest.test_case "path shape" `Quick test_path;
+    Alcotest.test_case "star shape" `Quick test_star;
+    Alcotest.test_case "k-ary shape" `Quick test_kary;
+    Alcotest.test_case "binomial = initial open-cube" `Quick
+      test_binomial_matches_opencube;
+    Alcotest.test_case "binomial size validation" `Quick
+      test_binomial_requires_power_of_two;
+    Alcotest.test_case "tree validation" `Quick test_validate;
+    Alcotest.test_case "depth_of" `Quick test_depth_of;
+    Alcotest.test_case "singleton tree" `Quick test_singleton;
+    Alcotest.test_case "hypercube neighbors" `Quick test_hypercube_neighbors;
+    Alcotest.test_case "hypercube edge count" `Quick test_hypercube_edge_count;
+    Alcotest.test_case "hamming distance" `Quick test_hypercube_hamming;
+  ]

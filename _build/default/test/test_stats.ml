@@ -1,0 +1,216 @@
+(* Tests for the statistics substrate: summaries, histograms, tables,
+   series. *)
+
+open Ocube_stats
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+let checkf3 = Alcotest.(check (float 1e-3))
+
+(* --- summary ------------------------------------------------------------- *)
+
+let test_summary_basic () =
+  let s = Summary.create () in
+  List.iter (Summary.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  checki "count" 8 (Summary.count s);
+  checkf "mean" 5.0 (Summary.mean s);
+  checkf "min" 2.0 (Summary.min_value s);
+  checkf "max" 9.0 (Summary.max_value s);
+  checkf "total" 40.0 (Summary.total s);
+  (* Sample variance of this classic dataset is 4.571428... *)
+  checkf3 "variance" 4.5714285 (Summary.variance s)
+
+let test_summary_empty () =
+  let s = Summary.create () in
+  checkb "mean is nan" true (Float.is_nan (Summary.mean s));
+  checkb "variance is nan" true (Float.is_nan (Summary.variance s));
+  checki "count" 0 (Summary.count s)
+
+let test_summary_single () =
+  let s = Summary.create () in
+  Summary.add s 42.0;
+  checkf "mean" 42.0 (Summary.mean s);
+  checkb "variance undefined" true (Float.is_nan (Summary.variance s))
+
+let test_summary_merge () =
+  let a = Summary.create () and b = Summary.create () and all = Summary.create () in
+  let r = Ocube_sim.Rng.create 3 in
+  for _ = 1 to 500 do
+    let v = Ocube_sim.Rng.float r 10.0 in
+    Summary.add all v;
+    if Ocube_sim.Rng.bool r then Summary.add a v else Summary.add b v
+  done;
+  let m = Summary.merge a b in
+  checki "count" (Summary.count all) (Summary.count m);
+  checkf3 "mean" (Summary.mean all) (Summary.mean m);
+  checkf3 "variance" (Summary.variance all) (Summary.variance m);
+  checkf "min" (Summary.min_value all) (Summary.min_value m);
+  checkf "max" (Summary.max_value all) (Summary.max_value m)
+
+let test_summary_merge_with_empty () =
+  let a = Summary.create () and b = Summary.create () in
+  Summary.add a 1.0;
+  Summary.add a 3.0;
+  let m = Summary.merge a b in
+  checki "count" 2 (Summary.count m);
+  checkf "mean" 2.0 (Summary.mean m)
+
+let test_summary_ci () =
+  let s = Summary.create () in
+  for i = 1 to 100 do
+    Summary.add s (float_of_int (i mod 10))
+  done;
+  let hw = Summary.ci95_halfwidth s in
+  checkb "ci is positive and finite" true (hw > 0.0 && Float.is_finite hw)
+
+(* --- histogram ------------------------------------------------------------ *)
+
+let test_histogram_counts () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 3; 1; 3; 5; 3; 1 ];
+  checki "total" 6 (Histogram.count h);
+  checki "count of 3" 3 (Histogram.count_of h 3);
+  checki "count of 2" 0 (Histogram.count_of h 2);
+  Alcotest.(check (option int)) "min" (Some 1) (Histogram.min_value h);
+  Alcotest.(check (option int)) "max" (Some 5) (Histogram.max_value h);
+  checkf3 "mean" (16.0 /. 6.0) (Histogram.mean h);
+  Alcotest.(check (list (pair int int)))
+    "sorted"
+    [ (1, 2); (3, 3); (5, 1) ]
+    (Histogram.to_sorted_list h)
+
+let test_histogram_percentiles () =
+  let h = Histogram.create () in
+  for v = 1 to 100 do
+    Histogram.add h v
+  done;
+  checki "p50" 50 (Histogram.percentile h 50.0);
+  checki "p99" 99 (Histogram.percentile h 99.0);
+  checki "p100" 100 (Histogram.percentile h 100.0);
+  checki "p1" 1 (Histogram.percentile h 1.0)
+
+let test_histogram_percentile_empty () =
+  let h = Histogram.create () in
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Histogram.percentile: empty histogram") (fun () ->
+      ignore (Histogram.percentile h 50.0))
+
+let test_histogram_render () =
+  let h = Histogram.create () in
+  Histogram.add_many h 2 10;
+  Histogram.add h 7;
+  let s = Histogram.render h in
+  checkb "mentions 2" true (Tutil.contains s "2");
+  checkb "has bars" true (Tutil.contains s "#")
+
+(* --- table ----------------------------------------------------------------- *)
+
+let test_table_render () =
+  let t =
+    Table.create ~title:"T" ~columns:[ ("name", Table.Left); ("v", Table.Right) ] ()
+  in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_separator t;
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  checkb "title" true (Tutil.contains s "T");
+  checkb "header" true (Tutil.contains s "| name");
+  checkb "row" true (Tutil.contains s "alpha");
+  checkb "right aligned" true (Tutil.contains s "| 22 |");
+  (* all lines same width *)
+  let lines = String.split_on_char '\n' (String.trim s) in
+  let widths = List.map String.length (List.tl lines) in
+  List.iter (fun w -> checki "width uniform" (List.hd widths) w) widths
+
+let test_table_arity_check () =
+  let t = Table.create ~columns:[ ("a", Table.Left) ] () in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+let test_table_formatters () =
+  Alcotest.(check string) "float" "3.14" (Table.fmt_float ~decimals:2 3.14159);
+  Alcotest.(check string) "nan" "-" (Table.fmt_float nan);
+  Alcotest.(check string) "int" "42" (Table.fmt_int 42);
+  Alcotest.(check string) "ratio" "2.00x" (Table.fmt_ratio 4.0 2.0);
+  Alcotest.(check string) "ratio by zero" "-" (Table.fmt_ratio 4.0 0.0)
+
+(* --- series ----------------------------------------------------------------- *)
+
+let test_series_linear_fit () =
+  let s = Series.create ~name:"line" in
+  List.iter (fun x -> Series.add s ~x ~y:((3.0 *. x) +. 1.0)) [ 0.; 1.; 2.; 3.; 4. ];
+  let slope, intercept = Series.linear_fit s in
+  checkf3 "slope" 3.0 slope;
+  checkf3 "intercept" 1.0 intercept;
+  checkf3 "r2 of exact fit" 1.0
+    (Series.r_squared s ~predicted:(fun x -> (3.0 *. x) +. 1.0))
+
+let test_series_errors () =
+  let s = Series.create ~name:"e" in
+  Series.add s ~x:1.0 ~y:10.0;
+  Series.add s ~x:2.0 ~y:20.0;
+  let mre = Series.mean_relative_error s ~predicted:(fun x -> 10.0 *. x) in
+  checkf3 "perfect prediction" 0.0 mre;
+  let mre2 = Series.max_relative_error s ~predicted:(fun x -> 20.0 *. x) in
+  checkf3 "off by 2x" 0.5 mre2
+
+let test_series_fit_needs_points () =
+  let s = Series.create ~name:"few" in
+  Series.add s ~x:1.0 ~y:1.0;
+  Alcotest.check_raises "one point"
+    (Invalid_argument "Series.linear_fit: need at least two points") (fun () ->
+      ignore (Series.linear_fit s))
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~count:300 ~name:"summary mean within [min,max]"
+      (list_of_size (Gen.int_range 1 100) (float_range (-1000.0) 1000.0))
+      (fun xs ->
+        let s = Summary.create () in
+        List.iter (Summary.add s) xs;
+        Summary.mean s >= Summary.min_value s -. 1e-9
+        && Summary.mean s <= Summary.max_value s +. 1e-9);
+    Test.make ~count:300 ~name:"merge is order-insensitive"
+      (pair
+         (list_of_size (Gen.int_range 1 50) (float_range (-100.0) 100.0))
+         (list_of_size (Gen.int_range 1 50) (float_range (-100.0) 100.0)))
+      (fun (xs, ys) ->
+        let s1 = Summary.create () and s2 = Summary.create () in
+        List.iter (Summary.add s1) xs;
+        List.iter (Summary.add s2) ys;
+        let a = Summary.merge s1 s2 and b = Summary.merge s2 s1 in
+        Float.abs (Summary.mean a -. Summary.mean b) < 1e-9
+        && Summary.count a = Summary.count b);
+    Test.make ~count:300 ~name:"histogram percentile is monotone"
+      (list_of_size (Gen.int_range 1 80) (int_range 0 50))
+      (fun xs ->
+        let h = Histogram.create () in
+        List.iter (Histogram.add h) xs;
+        Histogram.percentile h 25.0 <= Histogram.percentile h 75.0);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "summary basic stats" `Quick test_summary_basic;
+    Alcotest.test_case "summary empty" `Quick test_summary_empty;
+    Alcotest.test_case "summary single value" `Quick test_summary_single;
+    Alcotest.test_case "summary merge = pooled" `Quick test_summary_merge;
+    Alcotest.test_case "summary merge with empty" `Quick
+      test_summary_merge_with_empty;
+    Alcotest.test_case "summary confidence interval" `Quick test_summary_ci;
+    Alcotest.test_case "histogram counts" `Quick test_histogram_counts;
+    Alcotest.test_case "histogram percentiles" `Quick
+      test_histogram_percentiles;
+    Alcotest.test_case "histogram percentile on empty" `Quick
+      test_histogram_percentile_empty;
+    Alcotest.test_case "histogram rendering" `Quick test_histogram_render;
+    Alcotest.test_case "table rendering" `Quick test_table_render;
+    Alcotest.test_case "table arity check" `Quick test_table_arity_check;
+    Alcotest.test_case "table cell formatters" `Quick test_table_formatters;
+    Alcotest.test_case "series linear fit" `Quick test_series_linear_fit;
+    Alcotest.test_case "series error measures" `Quick test_series_errors;
+    Alcotest.test_case "series fit arity" `Quick test_series_fit_needs_points;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests
