@@ -242,9 +242,65 @@ let bench_fig8_walkthrough =
      Runner.run_arrivals env (Runner.Arrivals.single ~node:7 ~at:6.0);
      Runner.run_to_quiescence env)
 
+(* --- large-N scaling kernels -------------------------------------------- *)
+
+(* These do not mirror a table or figure; they pin the asymptotic cost of
+   the hot path so BENCH_*.json diffs catch complexity regressions. The
+   probe ladder p = 10/12/14 quadruples N per rung: per-probe cost must
+   grow like the O(log N) message count, not like N. *)
+
+let bench_scale_probe p =
+  let env, _ = Exp_common.make_opencube ~fault_tolerance:false ~p () in
+  let n = 1 lsl p in
+  let rng = Rng.create 6 in
+  Test.make ~name:(Printf.sprintf "scale_probe_p%d" p)
+    (Staged.stage @@ fun () -> ignore (Exp_common.probe env (Rng.int rng n)))
+
+let bench_scale_probe_p10 = bench_scale_probe 10
+
+let bench_scale_probe_p12 = bench_scale_probe 12
+
+let bench_scale_probe_p14 = bench_scale_probe 14
+
+(* Trace on vs off over the same workload: with lazy details the gap is
+   one closure+cons per event, not a Format.asprintf per message. *)
+let bench_scale_trace trace name =
+  let env, _ = Exp_common.make_opencube ~fault_tolerance:false ~trace ~p:6 () in
+  let rng = Rng.create 7 in
+  Test.make ~name
+    (Staged.stage @@ fun () -> ignore (Exp_common.probe env (Rng.int rng 64)))
+
+let bench_scale_trace_off = bench_scale_trace false "scale_probe_traceoff_n64"
+
+let bench_scale_trace_on = bench_scale_trace true "scale_probe_traceon_n64"
+
+(* Chains of b-transformations exercise [last_son] + the sons index; the
+   p = 10 -> 14 pair (16x the nodes) must show sub-linear per-op growth. *)
+let bench_scale_btransform p =
+  let cube = Opencube.build ~p in
+  let n = 1 lsl p in
+  let rng = Rng.create 8 in
+  Test.make ~name:(Printf.sprintf "scale_btransform_chain_p%d" p)
+    (Staged.stage @@ fun () ->
+     for _ = 1 to 64 do
+       let i = Rng.int rng n in
+       if Opencube.last_son cube i <> None then Opencube.b_transform cube i
+     done)
+
+let bench_scale_btransform_p10 = bench_scale_btransform 10
+
+let bench_scale_btransform_p14 = bench_scale_btransform 14
+
 let tests =
   Test.make_grouped ~name:"ocube"
     [
+      bench_scale_probe_p10;
+      bench_scale_probe_p12;
+      bench_scale_probe_p14;
+      bench_scale_trace_off;
+      bench_scale_trace_on;
+      bench_scale_btransform_p10;
+      bench_scale_btransform_p14;
       bench_fig2_build;
       bench_fig3_subset;
       bench_thm21_btransform;
@@ -270,6 +326,20 @@ let tests =
     ]
 
 (* --- runner ---------------------------------------------------------------- *)
+
+let write_json file rows =
+  let oc = open_out file in
+  let num v = if Float.is_nan v then "null" else Printf.sprintf "%.4f" v in
+  output_string oc "[\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun k (name, t, r2) ->
+      Printf.fprintf oc "  { \"kernel\": %S, \"ns_per_iter\": %s, \"r2\": %s }%s\n"
+        name (num t) (num r2)
+        (if k = last then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc
 
 let run_microbenchmarks () =
   let cfg =
@@ -313,19 +383,40 @@ let run_microbenchmarks () =
     else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
     else Printf.sprintf "%.0f ns" ns
   in
+  let rows = List.sort compare !rows in
   List.iter
     (fun (name, t, r2) ->
       Ocube_stats.Table.add_row table
         [ name; pretty_time t; Ocube_stats.Table.fmt_float ~decimals:4 r2 ])
-    (List.sort compare !rows);
-  Ocube_stats.Table.print table
+    rows;
+  Ocube_stats.Table.print table;
+  rows
 
 let () =
   let skip_bench = Array.exists (String.equal "--no-bench") Sys.argv in
   let skip_experiments = Array.exists (String.equal "--no-experiments") Sys.argv in
+  let json_file =
+    let argc = Array.length Sys.argv in
+    let rec find i =
+      if i >= argc then None
+      else if String.equal Sys.argv.(i) "--json" then
+        if i = argc - 1 then begin
+          prerr_endline "bench: --json requires a file argument";
+          exit 2
+        end
+        else Some Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
   if not skip_bench then begin
     print_endline "=== Part 1: micro-benchmarks ===\n";
-    run_microbenchmarks ();
+    let rows = run_microbenchmarks () in
+    (match json_file with
+    | Some file ->
+      write_json file rows;
+      Printf.printf "wrote %d kernel estimates to %s\n" (List.length rows) file
+    | None -> ());
     print_newline ()
   end;
   if not skip_experiments then begin

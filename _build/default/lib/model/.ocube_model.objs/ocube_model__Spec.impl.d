@@ -1,1 +1,1 @@
-lib/model/spec.ml: Array Format Hashtbl List Marshal Ocube_topology Printf String
+lib/model/spec.ml: Array Format Hashtbl List Marshal Ocube_sim Ocube_topology Printf String

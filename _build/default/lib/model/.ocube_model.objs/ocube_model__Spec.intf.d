@@ -1,1 +1,1 @@
-lib/model/spec.mli: Format
+lib/model/spec.mli: Format Ocube_sim

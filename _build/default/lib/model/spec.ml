@@ -1,4 +1,5 @@
 module Opencube = Ocube_topology.Opencube
+module Fdeque = Ocube_sim.Fdeque
 
 type payload = Req of int | Tok of int
 
@@ -11,7 +12,7 @@ type node = {
   in_cs : bool;
   lender : int;
   mandator : int;
-  queue : int list;
+  queue : int Fdeque.t;
   wishes_left : int;
 }
 
@@ -33,7 +34,7 @@ let initial ~p ~wishes =
             in_cs = false;
             lender = i;
             mandator = -1;
-            queue = [];
+            queue = Fdeque.empty;
             wishes_left = wishes;
           });
     flight = [];
@@ -88,9 +89,9 @@ and drain st i =
   let nd = st.nodes.(i) in
   if nd.asking then st
   else
-    match nd.queue with
-    | [] -> st
-    | j :: rest ->
+    match Fdeque.pop_front nd.queue with
+    | None -> st
+    | Some (j, rest) ->
       let st = set st i { nd with queue = rest } in
       let st = process_request st i j in
       drain st i
@@ -99,7 +100,7 @@ let deliver st { src; dst = i; payload } =
   match payload with
   | Req j ->
     let nd = st.nodes.(i) in
-    if nd.asking then set st i { nd with queue = nd.queue @ [ j ] }
+    if nd.asking then set st i { nd with queue = Fdeque.push_back nd.queue j }
     else drain (process_request st i j) i
   | Tok l ->
     let nd = st.nodes.(i) in
@@ -160,7 +161,21 @@ let exit_cs st i =
 
 (* --- transition enumeration ------------------------------------------- *)
 
-let canonical st = { st with flight = List.sort compare st.flight }
+(* States are deduplicated by their Marshal image, so every component must
+   be in a normal form: sort the in-flight bag and rebalance any deque a
+   transition left in a non-canonical split (same elements => same
+   bytes). *)
+let canonical st =
+  let nodes =
+    if Array.exists (fun nd -> not (Fdeque.is_canonical nd.queue)) st.nodes then
+      Array.map
+        (fun nd ->
+          if Fdeque.is_canonical nd.queue then nd
+          else { nd with queue = Fdeque.canonical nd.queue })
+        st.nodes
+    else st.nodes
+  in
+  { nodes; flight = List.sort compare st.flight }
 
 let rec remove_first m = function
   | [] -> []
@@ -199,7 +214,7 @@ let check_invariants st =
           errors := Printf.sprintf "node %d in CS without the token" i :: !errors
       end;
       if nd.token_here then incr held;
-      if (not nd.asking) && nd.queue <> [] then
+      if (not nd.asking) && not (Fdeque.is_empty nd.queue) then
         errors := Printf.sprintf "idle node %d has a non-empty queue" i :: !errors)
     st.nodes;
   let in_flight =
@@ -239,7 +254,11 @@ let check_terminal st =
     st.nodes;
   match !errors with [] -> Ok () | e :: _ -> Error e
 
-let encode st = Marshal.to_string st []
+(* [No_sharing]: the image must depend only on the state's structure.
+   Deque records that happen to be physically shared (e.g. the unique
+   [Fdeque.empty]) would otherwise marshal differently from equal but
+   freshly built ones, splitting one logical state into several keys. *)
+let encode st = Marshal.to_string st [ Marshal.No_sharing ]
 
 let pp ppf st =
   Array.iteri
@@ -248,7 +267,7 @@ let pp ppf st =
         "node %d: father=%d token=%b asking=%b in_cs=%b lender=%d mandator=%d \
          queue=[%s] wishes=%d@."
         i nd.father nd.token_here nd.asking nd.in_cs nd.lender nd.mandator
-        (String.concat ";" (List.map string_of_int nd.queue))
+        (String.concat ";" (List.map string_of_int (Fdeque.to_list nd.queue)))
         nd.wishes_left)
     st.nodes;
   List.iter

@@ -24,7 +24,7 @@ type node = {
   in_cs : bool;
   lender : int;
   mandator : int;  (** [-1] = none *)
-  queue : int list;  (** deferred request origins, FIFO *)
+  queue : int Ocube_sim.Fdeque.t;  (** deferred request origins, FIFO *)
   wishes_left : int;  (** how many more times this node will want the CS *)
 }
 

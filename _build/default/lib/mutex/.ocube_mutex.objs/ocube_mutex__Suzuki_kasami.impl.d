@@ -1,1 +1,1 @@
-lib/mutex/suzuki_kasami.ml: Array List Message Net Printf Types
+lib/mutex/suzuki_kasami.ml: Array List Message Net Ocube_sim Printf Types

@@ -1,5 +1,7 @@
 open Types
 module Opencube = Ocube_topology.Opencube
+module Fdeque = Ocube_sim.Fdeque
+module Ringbuf = Ocube_sim.Ringbuf
 
 type queue_policy = Fifo | Lifo | Random_order
 
@@ -71,11 +73,12 @@ type node = {
          arriving; their ok answers are ignored on repeat searches *)
   mutable next_seq : int;
   mutable last_own_rid : request_id option;
-  mutable queue : pending list;  (* deferred events, service order per
-                                    config.queue_policy *)
-  mutable recent_rids : request_id list;
-      (* own recently *satisfied* request ids, consulted when answering a
-         lender's enquiry (Token_sent vs Token_lost) *)
+  mutable queue : pending Fdeque.t;  (* deferred events, service order per
+                                        config.queue_policy *)
+  recent_rids : request_id Ringbuf.t;
+      (* own recently *satisfied* request ids (last [dedup_window] of
+         them), consulted when answering a lender's enquiry (Token_sent
+         vs Token_lost) *)
   (* --- fault-tolerance state --- *)
   mutable last_token_seen : float;
       (* virtual time this node last held, sent or received the token; lets
@@ -140,16 +143,9 @@ let fresh_rid nd =
   nd.next_seq <- nd.next_seq + 1;
   rid
 
-let remember_rid t nd rid =
-  nd.recent_rids <- rid :: nd.recent_rids;
-  let rec trim n = function
-    | [] -> []
-    | _ when n = 0 -> []
-    | x :: tl -> x :: trim (n - 1) tl
-  in
-  nd.recent_rids <- trim t.config.dedup_window nd.recent_rids
+let remember_rid nd rid = Ringbuf.add nd.recent_rids rid
 
-let seen_rid nd rid = List.mem rid nd.recent_rids
+let seen_rid nd rid = Ringbuf.mem nd.recent_rids rid
 
 let send t ~src ~dst payload =
   (match payload with
@@ -214,18 +210,21 @@ and pop_queued t nd =
   (* The paper only assumes the waiting-queue service policy is fair
      ("for example, the FIFO policy"); Lifo is deliberately unfair and
      exists for the fairness ablation. *)
-  match nd.queue with
-  | [] -> None
-  | q ->
-    let idx =
+  if Fdeque.is_empty nd.queue then None
+  else
+    let popped =
       match t.config.queue_policy with
-      | Fifo -> 0
-      | Lifo -> List.length q - 1
-      | Random_order -> Ocube_sim.Rng.int t.policy_rng (List.length q)
+      | Fifo -> Fdeque.pop_front nd.queue
+      | Lifo -> Fdeque.pop_back nd.queue
+      | Random_order ->
+        Fdeque.pop_nth nd.queue
+          (Ocube_sim.Rng.int t.policy_rng (Fdeque.length nd.queue))
     in
-    let ev = List.nth q idx in
-    nd.queue <- List.filteri (fun k _ -> k <> idx) q;
-    Some ev
+    match popped with
+    | None -> None
+    | Some (ev, rest) ->
+      nd.queue <- rest;
+      Some ev
 
 and drain t nd =
   (* Serve deferred events while the node is idle. Processing an event may
@@ -334,13 +333,13 @@ and receive_request t nd ~origin ~rid =
        originals; DESIGN.md §5). *)
     let duplicate =
       nd.mandate_rid = Some rid
-      || List.exists
+      || Fdeque.exists
            (function Preq r -> r.rid = rid | Wish -> false)
            nd.queue
     in
     if duplicate then
       t.s_duplicate_requests_dropped <- t.s_duplicate_requests_dropped + 1
-    else nd.queue <- nd.queue @ [ Preq { origin; rid } ]
+    else nd.queue <- Fdeque.push_back nd.queue (Preq { origin; rid })
   end
   else process_request t nd ~origin ~rid
 
@@ -401,7 +400,7 @@ and receive_token_accept t nd ~from_ ~lender ~rid =
     nd.connected <- true;
     nd.mandator <- None;
     nd.mandate_rid <- None;
-    (match rid with Some r -> remember_rid t nd r | None -> ());
+    (match rid with Some r -> remember_rid nd r | None -> ());
     enter_cs t nd
   | Some m -> (
     (* We are proxy for m: honour the mandate. *)
@@ -764,7 +763,7 @@ and regenerate_as_root t nd =
   match nd.mandator with
   | Some m when m = nd.id ->
     nd.mandator <- None;
-    (match nd.mandate_rid with Some r -> remember_rid t nd r | None -> ());
+    (match nd.mandate_rid with Some r -> remember_rid nd r | None -> ());
     nd.mandate_rid <- None;
     enter_cs t nd
   | Some m ->
@@ -879,7 +878,7 @@ let handle_message t i ~src payload =
 (* Public API                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let fresh_node ~cube i =
+let fresh_node ~cube ~dedup_window i =
   {
     id = i;
     father = Opencube.father cube i;
@@ -894,8 +893,8 @@ let fresh_node ~cube i =
     mandate_excluded = [];
     next_seq = 0;
     last_own_rid = None;
-    queue = [];
-    recent_rids = [];
+    queue = Fdeque.empty;
+    recent_rids = Ringbuf.create ~capacity:dedup_window;
     last_token_seen = (if i = 0 then 0.0 else neg_infinity);
     loan = None;
     loan_timer = None;
@@ -917,7 +916,9 @@ let create ~net ~callbacks ~config =
       callbacks;
       config;
       pmax = config.p;
-      nodes = Array.init n (fun i -> fresh_node ~cube i);
+      nodes =
+        Array.init n (fun i ->
+            fresh_node ~cube ~dedup_window:config.dedup_window i);
       policy_rng = Ocube_sim.Rng.create 0xc0be;
       tokens_in_flight = 0;
       s_token_regenerations = 0;
@@ -946,7 +947,8 @@ let create ~net ~callbacks ~config =
 let request_cs t i =
   if not (Net.is_failed t.net i) then begin
     let nd = node t i in
-    if nd.asking then nd.queue <- nd.queue @ [ Wish ] else process_wish t nd
+    if nd.asking then nd.queue <- Fdeque.push_back nd.queue Wish
+    else process_wish t nd
   end
 
 let release_cs t i =
@@ -980,8 +982,8 @@ let on_recovered t i =
   nd.mandate_excluded <- [];
   nd.last_own_rid <- None;
   nd.next_seq <- Net.incarnation t.net i * 1_000_000;
-  nd.queue <- [];
-  nd.recent_rids <- [];
+  nd.queue <- Fdeque.empty;
+  Ringbuf.clear nd.recent_rids;
   nd.last_token_seen <- neg_infinity;
   nd.loan <- None;
   nd.loan_timer <- None;
@@ -1012,7 +1014,7 @@ let is_asking t i = (node t i).asking
 
 let in_cs t i = (node t i).in_cs
 
-let queue_length t i = List.length (node t i).queue
+let queue_length t i = Fdeque.length (node t i).queue
 
 let searching t i = (node t i).search <> None
 
@@ -1027,7 +1029,7 @@ let describe t i =
     "node %d: father=%s power=%d token=%b asking=%b in_cs=%b lender=%d      mandator=%s rid=%s queue=%d searching=%b"
     i (fmt_opt nd.father) (power_of t nd) nd.token_here nd.asking nd.in_cs
     nd.lender (fmt_opt nd.mandator) (fmt_rid nd.mandate_rid)
-    (List.length nd.queue) (nd.search <> None)
+    (Fdeque.length nd.queue) (nd.search <> None)
 
 let stats t =
   {

@@ -1,4 +1,5 @@
 open Types
+module Fdeque = Ocube_sim.Fdeque
 
 type node = {
   id : node_id;
@@ -7,7 +8,7 @@ type node = {
   mutable in_cs : bool;
   mutable requesting : bool;
   (* token state, meaningful only at the holder: *)
-  mutable tq : node_id list;  (* token queue *)
+  mutable tq : node_id Fdeque.t;  (* token queue *)
   mutable ln : int array;  (* last served request number per node *)
 }
 
@@ -37,22 +38,26 @@ let send_token t nd dst =
   nd.has_token <- false;
   t.tokens_in_flight <- t.tokens_in_flight + 1;
   Net.send t.net ~src:nd.id ~dst
-    (Message.Sk_privilege { queue = nd.tq; ln = Array.copy nd.ln })
+    (Message.Sk_privilege { queue = Fdeque.to_list nd.tq; ln = Array.copy nd.ln })
 
 (* Holder-side: after a release (or on receiving a request while idle),
    update the token queue with every node whose request is newer than the
    last one served, then pass the token to the head. *)
 let update_queue_and_pass t nd =
   if nd.has_token && (not nd.in_cs) && not nd.requesting then begin
+    (* One O(n + |tq|) membership table instead of an O(n * |tq|)
+       List.mem sweep. *)
+    let queued = Array.make (n_of t) false in
+    Fdeque.iter (fun j -> queued.(j) <- true) nd.tq;
     for j = 0 to n_of t - 1 do
-      if j <> nd.id && (not (List.mem j nd.tq)) && nd.rn.(j) = nd.ln.(j) + 1
-      then nd.tq <- nd.tq @ [ j ]
+      if j <> nd.id && (not queued.(j)) && nd.rn.(j) = nd.ln.(j) + 1 then
+        nd.tq <- Fdeque.push_back nd.tq j
     done;
-    match nd.tq with
-    | dst :: rest ->
+    match Fdeque.pop_front nd.tq with
+    | Some (dst, rest) ->
       nd.tq <- rest;
       send_token t nd dst
-    | [] -> ()
+    | None -> ()
   end
 
 let handle_message t i ~src payload =
@@ -65,7 +70,7 @@ let handle_message t i ~src payload =
   | Message.Sk_privilege { queue; ln } ->
     t.tokens_in_flight <- t.tokens_in_flight - 1;
     nd.has_token <- true;
-    nd.tq <- queue;
+    nd.tq <- Fdeque.of_list queue;
     nd.ln <- ln;
     (* The token only travels towards a requester. *)
     enter t nd
@@ -85,7 +90,7 @@ let create ~net ~callbacks ~n () =
               has_token = i = 0;
               in_cs = false;
               requesting = false;
-              tq = [];
+              tq = Fdeque.empty;
               ln = Array.make n 0;
             });
       tokens_in_flight = 0;
@@ -122,7 +127,9 @@ let token_holders t =
   |> List.filter_map (fun nd -> if nd.has_token then Some nd.id else None)
 
 let token_queue t =
-  match token_holders t with [ h ] -> (node t h).tq | _ -> []
+  match token_holders t with
+  | [ h ] -> Fdeque.to_list (node t h).tq
+  | _ -> []
 
 let invariant_check t =
   let holders = List.length (token_holders t) in

@@ -84,10 +84,13 @@ module Make (P : PAYLOAD) = struct
 
   let set_drop_handler t h = t.drop_handler <- Some h
 
+  (* [detail] is a thunk: with tracing off it is never called, so the hot
+     path allocates no format buffers; with tracing on it is stored
+     unevaluated and rendered only when the trace is read. *)
   let record t ?node ~tag detail =
     match t.trace with
     | None -> ()
-    | Some tr -> Trace.record tr ~time:(Engine.now t.engine) ?node ~tag detail
+    | Some tr -> Trace.record_thunk tr ~time:(Engine.now t.engine) ?node ~tag detail
 
   let sample_delay t =
     match t.delay with
@@ -108,8 +111,8 @@ module Make (P : PAYLOAD) = struct
         (Printf.sprintf "Network.send: node %d is failed and cannot send" src);
     t.sent <- t.sent + 1;
     bump_category t payload;
-    record t ~node:src ~tag:"send"
-      (Format.asprintf "-> %d: %a" dst P.pp payload);
+    record t ~node:src ~tag:"send" (fun () ->
+        Format.asprintf "-> %d: %a" dst P.pp payload);
     let dst_node = t.nodes.(dst) in
     let expected_incarnation = dst_node.incarnation in
     let delay = sample_delay t in
@@ -118,16 +121,16 @@ module Make (P : PAYLOAD) = struct
            if dst_node.failed || dst_node.incarnation <> expected_incarnation
            then begin
              t.dropped <- t.dropped + 1;
-             record t ~node:dst ~tag:"drop"
-               (Format.asprintf "from %d: %a (node down)" src P.pp payload);
+             record t ~node:dst ~tag:"drop" (fun () ->
+                 Format.asprintf "from %d: %a (node down)" src P.pp payload);
              match t.drop_handler with
              | Some h -> h ~dst payload
              | None -> ()
            end
            else begin
              t.delivered <- t.delivered + 1;
-             record t ~node:dst ~tag:"recv"
-               (Format.asprintf "from %d: %a" src P.pp payload);
+             record t ~node:dst ~tag:"recv" (fun () ->
+                 Format.asprintf "from %d: %a" src P.pp payload);
              match dst_node.handler with
              | Some h -> h ~src payload
              | None ->
@@ -150,7 +153,7 @@ module Make (P : PAYLOAD) = struct
     if not nd.failed then begin
       nd.failed <- true;
       nd.incarnation <- nd.incarnation + 1;
-      record t ~node:i ~tag:"fault" "fail-stop"
+      record t ~node:i ~tag:"fault" (fun () -> "fail-stop")
     end
 
   let recover t i =
@@ -159,7 +162,7 @@ module Make (P : PAYLOAD) = struct
     if not nd.failed then invalid_arg "Network.recover: node is not failed";
     nd.failed <- false;
     nd.incarnation <- nd.incarnation + 1;
-    record t ~node:i ~tag:"fault" "recover"
+    record t ~node:i ~tag:"fault" (fun () -> "recover")
 
   let is_failed t i =
     check_node t i;

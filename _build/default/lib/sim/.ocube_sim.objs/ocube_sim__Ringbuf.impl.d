@@ -1,0 +1,1 @@
+lib/sim/ringbuf.ml: Array Hashtbl Option

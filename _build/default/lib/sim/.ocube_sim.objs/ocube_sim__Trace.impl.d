@@ -1,1 +1,1 @@
-lib/sim/trace.ml: Buffer Format List String
+lib/sim/trace.ml: Buffer Format Lazy List String

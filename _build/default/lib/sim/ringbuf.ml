@@ -1,0 +1,58 @@
+type 'a t = {
+  capacity : int;
+  slots : 'a option array;
+  counts : ('a, int) Hashtbl.t;  (* occurrence count of each live value *)
+  mutable head : int;  (* next slot to write (= oldest slot when full) *)
+  mutable size : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Ringbuf.create: negative capacity";
+  {
+    capacity;
+    slots = Array.make (max capacity 1) None;
+    counts = Hashtbl.create (max capacity 16);
+    head = 0;
+    size = 0;
+  }
+
+let capacity t = t.capacity
+
+let length t = t.size
+
+let incr_count t x =
+  let c = Option.value ~default:0 (Hashtbl.find_opt t.counts x) in
+  Hashtbl.replace t.counts x (c + 1)
+
+let decr_count t x =
+  match Hashtbl.find_opt t.counts x with
+  | None -> ()
+  | Some 1 -> Hashtbl.remove t.counts x
+  | Some c -> Hashtbl.replace t.counts x (c - 1)
+
+let add t x =
+  if t.capacity > 0 then begin
+    (match t.slots.(t.head) with
+    | Some old -> decr_count t old (* full: evict the oldest *)
+    | None -> t.size <- t.size + 1);
+    t.slots.(t.head) <- Some x;
+    incr_count t x;
+    t.head <- (t.head + 1) mod t.capacity
+  end
+
+let mem t x = Hashtbl.mem t.counts x
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  Hashtbl.reset t.counts;
+  t.head <- 0;
+  t.size <- 0
+
+let to_list t =
+  (* Walk backwards from the most recent write. *)
+  let acc = ref [] in
+  for k = t.size downto 1 do
+    let idx = (t.head - k + (t.capacity * 2)) mod t.capacity in
+    match t.slots.(idx) with Some x -> acc := x :: !acc | None -> ()
+  done;
+  !acc

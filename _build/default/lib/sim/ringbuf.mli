@@ -1,0 +1,30 @@
+(** Fixed-capacity ring buffer with O(1) membership.
+
+    Remembers the last [capacity] values pushed, evicting the oldest on
+    overflow — the sliding "recently seen" window the protocol layer keeps
+    per node (e.g. recently satisfied request ids). Membership is answered
+    from a side [Hashtbl] of occurrence counts, so {!mem} is O(1) instead
+    of the O(window) [List.mem] it replaces. Duplicate pushes are allowed
+    and occupy one slot each, exactly like the list-of-pushes it models. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity = 0] is legal: every [add] is a no-op and [mem] is always
+    [false]. Raises [Invalid_argument] on a negative capacity. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Number of values currently remembered ([<= capacity]). *)
+
+val add : 'a t -> 'a -> unit
+(** Remember a value, evicting the oldest remembered value when full. *)
+
+val mem : 'a t -> 'a -> bool
+(** O(1): is the value currently remembered? *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Newest first (the order of the list it replaces). *)

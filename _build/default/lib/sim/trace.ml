@@ -1,14 +1,29 @@
 type entry = { time : float; node : int option; tag : string; detail : string }
 
-type t = { mutable rev_entries : entry list; mutable count : int }
+(* Internal entries keep the detail lazy: the hot path (one entry per
+   message send/recv) must not pay for string formatting that is only
+   needed if someone eventually reads the trace. [Lazy.t] memoizes, so a
+   detail is rendered at most once however many times it is read. *)
+type raw = { r_time : float; r_node : int option; r_tag : string; r_detail : string Lazy.t }
+
+type t = { mutable rev_entries : raw list; mutable count : int }
 
 let create () = { rev_entries = []; count = 0 }
 
-let record t ~time ?node ~tag detail =
-  t.rev_entries <- { time; node; tag; detail } :: t.rev_entries;
+let record_raw t ~time ?node ~tag detail =
+  t.rev_entries <- { r_time = time; r_node = node; r_tag = tag; r_detail = detail } :: t.rev_entries;
   t.count <- t.count + 1
 
-let entries t = List.rev t.rev_entries
+let record t ~time ?node ~tag detail =
+  record_raw t ~time ?node ~tag (Lazy.from_val detail)
+
+let record_thunk t ~time ?node ~tag thunk =
+  record_raw t ~time ?node ~tag (Lazy.from_fun thunk)
+
+let force r =
+  { time = r.r_time; node = r.r_node; tag = r.r_tag; detail = Lazy.force r.r_detail }
+
+let entries t = List.rev_map force t.rev_entries
 
 let length t = t.count
 
@@ -16,7 +31,10 @@ let clear t =
   t.rev_entries <- [];
   t.count <- 0
 
-let find_all t ~tag = List.filter (fun e -> String.equal e.tag tag) (entries t)
+let find_all t ~tag =
+  List.rev t.rev_entries
+  |> List.filter_map (fun r ->
+         if String.equal r.r_tag tag then Some (force r) else None)
 
 let pp_entry ppf e =
   match e.node with

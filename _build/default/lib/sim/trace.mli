@@ -3,7 +3,13 @@
     A trace is an append-only log of timestamped entries. Scenario tests
     (the paper's worked examples of Sections 3.2 and 5) assert against the
     rendered trace; examples print it for the user. Tracing is optional —
-    a [None] sink costs one branch per event. *)
+    a [None] sink costs one branch per event.
+
+    Detail strings are rendered {e lazily}: {!record_thunk} stores an
+    unevaluated closure, which is forced (once, memoized) only when the
+    trace is actually read via {!entries}, {!find_all} or {!render}. The
+    network layer records every message this way, so even a trace-{e on}
+    run pays no formatting cost until someone inspects the trace. *)
 
 type entry = { time : float; node : int option; tag : string; detail : string }
 
@@ -14,6 +20,11 @@ val create : unit -> t
 val record : t -> time:float -> ?node:int -> tag:string -> string -> unit
 (** Append an entry. [tag] is a short category ("send", "recv", "cs",
     "fault", ...); [detail] is free-form. *)
+
+val record_thunk : t -> time:float -> ?node:int -> tag:string -> (unit -> string) -> unit
+(** Like {!record}, but the detail is rendered only when the trace is
+    read. The thunk must not depend on mutable state that may change
+    between recording and reading. *)
 
 val entries : t -> entry list
 (** Entries in append order. *)

@@ -1,4 +1,22 @@
-type t = { p : int; fathers : int option array }
+(* Besides the father array (the paper's data structure), every tree
+   carries a sons-adjacency index and a cached root so that [sons],
+   [last_son] and [root] do not rescan the whole array. Invariants:
+
+   - [sons_ix.(i)] lists exactly the [j] with [fathers.(j) = Some i],
+     sorted by [dist i j] descending, ties by id ascending (so the head
+     is the last-son candidate and [sons] only has to re-sort by id);
+   - [root_cache = Some r] implies [fathers.(r) = None] and [r] is the
+     lowest-id such node (the value the linear scan would return).
+
+   Every mutation of [fathers] — [set_father] and [b_transform] — must
+   maintain the index (O(deg) per update) and either maintain or
+   invalidate the cache. *)
+type t = {
+  p : int;
+  fathers : int option array;
+  sons_ix : int list array;
+  mutable root_cache : int option;
+}
 
 let order t = Array.length t.fathers
 
@@ -8,19 +26,68 @@ let check_node t i =
   if i < 0 || i >= order t then
     invalid_arg (Printf.sprintf "Opencube: node %d out of range [0,%d)" i (order t))
 
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc m = if m = 1 then acc else go (acc + 1) (m lsr 1) in
+  go 0 n
+
+(* Bit length of [i lxor j]: the closed form for the paper's dist.
+   Branch-free — smear the top bit down, then SWAR-popcount the mask.
+   The 64-bit popcount constants do not fit OCaml's 63-bit ints, so the
+   count runs on two 32-bit halves; node ids are < 2^25 anyway. *)
+let popcount32 v =
+  let v = v - ((v lsr 1) land 0x55555555) in
+  let v = (v land 0x33333333) + ((v lsr 2) land 0x33333333) in
+  let v = (v + (v lsr 4)) land 0x0F0F0F0F in
+  ((v * 0x01010101) lsr 24) land 0x3F
+
+let dist i j =
+  let x = i lxor j in
+  let x = x lor (x lsr 1) in
+  let x = x lor (x lsr 2) in
+  let x = x lor (x lsr 4) in
+  let x = x lor (x lsr 8) in
+  let x = x lor (x lsr 16) in
+  let x = x lor (x lsr 32) in
+  popcount32 (x land 0xFFFFFFFF) + popcount32 ((x lsr 32) land 0x7FFFFFFF)
+
+(* Index maintenance. Sons are kept sorted by (dist father son) descending
+   then id ascending; a node has at most [pmax] sons in any legal state,
+   so each update is O(deg) <= O(p). *)
+let son_before fa a b =
+  let da = dist fa a and db = dist fa b in
+  da > db || (da = db && a < b)
+
+let attach_son t fa j =
+  let rec insert = function
+    | [] -> [ j ]
+    | x :: _ as l when son_before fa j x -> j :: l
+    | x :: tl -> x :: insert tl
+  in
+  t.sons_ix.(fa) <- insert t.sons_ix.(fa)
+
+let detach_son t fa j = t.sons_ix.(fa) <- List.filter (fun k -> k <> j) t.sons_ix.(fa)
+
+let build_index fathers =
+  let n = Array.length fathers in
+  let ix = Array.make n [] in
+  for j = n - 1 downto 0 do
+    match fathers.(j) with Some f -> ix.(f) <- j :: ix.(f) | None -> ()
+  done;
+  Array.iteri
+    (fun f sons ->
+      ix.(f) <- List.sort (fun a b -> if son_before f a b then -1 else 1) sons)
+    ix;
+  ix
+
 let build ~p =
   if p < 0 || p > 24 then invalid_arg "Opencube.build: p must be in [0,24]";
   let n = 1 lsl p in
   let fathers =
     Array.init n (fun i -> if i = 0 then None else Some (i land (i - 1)))
   in
-  { p; fathers }
-
-let is_power_of_two n = n > 0 && n land (n - 1) = 0
-
-let log2 n =
-  let rec go acc m = if m = 1 then acc else go (acc + 1) (m lsr 1) in
-  go 0 n
+  { p; fathers; sons_ix = build_index fathers; root_cache = Some 0 }
 
 let of_fathers fathers =
   let n = Array.length fathers in
@@ -32,15 +99,16 @@ let of_fathers fathers =
         invalid_arg "Opencube.of_fathers: father id out of range"
       | _ -> ())
     fathers;
-  { p = log2 n; fathers = Array.copy fathers }
+  let fathers = Array.copy fathers in
+  { p = log2 n; fathers; sons_ix = build_index fathers; root_cache = None }
 
-let copy t = { p = t.p; fathers = Array.copy t.fathers }
-
-(* Bit length of [i lxor j]: the closed form for the paper's dist. *)
-let dist i j =
-  let x = i lxor j in
-  let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
-  bits 0 x
+let copy t =
+  {
+    p = t.p;
+    fathers = Array.copy t.fathers;
+    sons_ix = Array.copy t.sons_ix;
+    root_cache = t.root_cache;
+  }
 
 let dist_matrix ~p =
   (* Reference implementation straight from Definition 2.2: dist i j is the
@@ -67,15 +135,25 @@ let father t i =
 let set_father t i f =
   check_node t i;
   (match f with Some j -> check_node t j | None -> ());
-  t.fathers.(i) <- f
+  (match t.fathers.(i) with Some old -> detach_son t old i | None -> ());
+  t.fathers.(i) <- f;
+  (match f with Some j -> attach_son t j i | None -> ());
+  (* A raw pointer update may create or destroy roots arbitrarily
+     (recovery transients): forget the cache, the next [root] rescans. *)
+  t.root_cache <- None
 
 let root t =
-  let n = order t in
-  let rec find i =
-    if i >= n then failwith "Opencube.root: no root (corrupted father array)"
-    else match t.fathers.(i) with None -> i | Some _ -> find (i + 1)
-  in
-  find 0
+  match t.root_cache with
+  | Some r when t.fathers.(r) = None -> r
+  | _ ->
+    let n = order t in
+    let rec find i =
+      if i >= n then failwith "Opencube.root: no root (corrupted father array)"
+      else match t.fathers.(i) with None -> i | Some _ -> find (i + 1)
+    in
+    let r = find 0 in
+    t.root_cache <- Some r;
+    r
 
 let power t i =
   check_node t i;
@@ -83,15 +161,21 @@ let power t i =
 
 let sons t i =
   check_node t i;
-  let acc = ref [] in
-  for j = order t - 1 downto 0 do
-    if t.fathers.(j) = Some i then acc := j :: !acc
-  done;
-  !acc
+  List.sort compare t.sons_ix.(i)
 
 let last_son t i =
   let p_i = power t i in
-  List.find_opt (fun j -> dist i j = p_i) (sons t i)
+  (* The index is sorted by dist descending, so scan the head: the first
+     son at dist = power i is the answer (smallest id on ties, like the
+     id-ordered scan it replaces); anything below power i ends it. O(1)
+     in legal states, O(deg) in recovery transients. *)
+  let rec scan = function
+    | [] -> None
+    | j :: tl ->
+      let d = dist i j in
+      if d = p_i then Some j else if d < p_i then None else scan tl
+  in
+  scan t.sons_ix.(i)
 
 let is_last_son t ~son ~father =
   check_node t son;
@@ -105,8 +189,19 @@ let b_transform t i =
   match last_son t i with
   | None -> invalid_arg "Opencube.b_transform: node has no son"
   | Some j ->
-    t.fathers.(j) <- t.fathers.(i);
-    t.fathers.(i) <- Some j
+    let fi = t.fathers.(i) in
+    detach_son t i j;
+    (match fi with Some f -> detach_son t f i | None -> ());
+    t.fathers.(j) <- fi;
+    (match fi with Some f -> attach_son t f j | None -> ());
+    t.fathers.(i) <- Some j;
+    attach_son t j i;
+    (* The swap moves the root only when [i] was it; a stale (None) cache
+       stays unknown. Exact maintenance keeps long b-transform chains free
+       of any rescan. *)
+    (match t.root_cache with
+    | Some r when r = i -> t.root_cache <- Some j
+    | _ -> ())
 
 let edges t =
   let acc = ref [] in
@@ -130,12 +225,9 @@ let branch t i =
 let depth t i = List.length (branch t i) - 1
 
 let leaves t =
-  let n = order t in
-  let has_son = Array.make n false in
-  Array.iter (function Some f -> has_son.(f) <- true | None -> ()) t.fathers;
   let acc = ref [] in
-  for i = n - 1 downto 0 do
-    if not has_son.(i) then acc := i :: !acc
+  for i = order t - 1 downto 0 do
+    if t.sons_ix.(i) = [] then acc := i :: !acc
   done;
   !acc
 

@@ -1,0 +1,1 @@
+test/test_fdeque.ml: Alcotest Gen List Marshal Ocube_sim QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_perf_smoke.ml: Alcotest Array Format List Ocube_mutex Ocube_net Ocube_sim Ocube_topology Opencube_algo Option Types Unix

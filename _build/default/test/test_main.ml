@@ -15,4 +15,6 @@ let () =
       ("harness", Test_harness.suite);
       ("model", Test_model.suite);
       ("direct-api", Test_direct_api.suite);
+      ("fdeque", Test_fdeque.suite);
+      ("perf-smoke", Test_perf_smoke.suite);
     ]

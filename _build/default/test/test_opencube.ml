@@ -280,6 +280,40 @@ let test_to_dot () =
   checkb "digraph" true (Tutil.contains dot "digraph");
   checkb "edge 1->0" true (Tutil.contains dot "n1 -> n0")
 
+let test_root_cache_agrees_with_scan () =
+  (* The cached root must stay equal to the linear scan it replaced
+     through long b-transformation chains (exact cache maintenance) and
+     across raw [set_father] edits (cache invalidation). *)
+  let p = 6 in
+  let c = Opencube.build ~p in
+  let n = 1 lsl p in
+  let rng = Ocube_sim.Rng.create 17 in
+  let scan_root () =
+    let rec find i =
+      if i >= n then Alcotest.fail "no root"
+      else match Opencube.father c i with None -> i | Some _ -> find (i + 1)
+    in
+    find 0
+  in
+  for step = 1 to 10_000 do
+    let i = Ocube_sim.Rng.int rng n in
+    if Opencube.last_son c i <> None then Opencube.b_transform c i;
+    if step mod 100 = 0 then
+      checki "root = scan during b-transform chain" (scan_root ())
+        (Opencube.root c)
+  done;
+  checki "root = scan after 10k b-transforms" (scan_root ()) (Opencube.root c);
+  (* Raw surgery: move the root under some node and crown a new one. *)
+  let r = Opencube.root c in
+  let other = (r + 1) mod n in
+  let f = match Opencube.father c other with Some f -> f | None -> r in
+  Opencube.set_father c other None;
+  Opencube.set_father c r (Some other);
+  checki "root = scan after set_father" (scan_root ()) (Opencube.root c);
+  Opencube.set_father c r None;
+  Opencube.set_father c other (Some f);
+  checki "root = scan after restoring" (scan_root ()) (Opencube.root c)
+
 (* --- qcheck properties --------------------------------------------------- *)
 
 let qcheck_tests =
@@ -396,5 +430,7 @@ let suite =
     Alcotest.test_case "ASCII rendering covers all nodes" `Quick
       test_render_mentions_all_nodes;
     Alcotest.test_case "DOT export" `Quick test_to_dot;
+    Alcotest.test_case "root cache agrees with the scan" `Quick
+      test_root_cache_agrees_with_scan;
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests
