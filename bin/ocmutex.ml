@@ -337,6 +337,142 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(const run_verify $ p_arg $ wishes_arg $ max_states_arg)
 
+(* --- fuzz -------------------------------------------------------------------- *)
+
+module Scenario = Ocube_check.Scenario
+module Fuzz = Ocube_check.Fuzz
+
+let print_failure ~seed (f : Fuzz.failure) =
+  Printf.printf "\nFAILED at iteration %d of seed %d\n" f.Fuzz.index seed;
+  Printf.printf "  invariant : %s\n" f.Fuzz.error;
+  Printf.printf "  scenario  : %s\n" (Scenario.to_string f.Fuzz.scenario);
+  Printf.printf "  minimal reproducer (%d arrivals, %d faults):\n"
+    (List.length f.Fuzz.shrunk.Scenario.arrivals)
+    (List.length f.Fuzz.shrunk.Scenario.faults);
+  Printf.printf "    %s\n" (Scenario.to_string f.Fuzz.shrunk);
+  Printf.printf "  invariant on reproducer: %s\n" f.Fuzz.shrunk_error;
+  Printf.printf "\nreplay with:\n  ocmutex fuzz --replay '%s'\n"
+    (Scenario.to_string f.Fuzz.shrunk)
+
+let run_replay script =
+  match Scenario.of_string script with
+  | Error m ->
+    Printf.eprintf "bad scenario script: %s\n" m;
+    1
+  | Ok s -> (
+    match (Fuzz.run s, Fuzz.run s) with
+    | Ok d1, Ok d2 ->
+      Format.printf "scenario : %a@." Scenario.pp s;
+      Format.printf "digest   : %a@." Fuzz.pp_digest d1;
+      if Fuzz.equal_digest d1 d2 then begin
+        print_endline "replay   : bit-identical (two runs, equal digests)";
+        print_endline "verdict  : all invariants hold";
+        0
+      end
+      else begin
+        print_endline "replay   : NOT deterministic - digests differ!";
+        2
+      end
+    | Error m, _ | _, Error m ->
+      Format.printf "scenario : %a@." Scenario.pp s;
+      Printf.printf "verdict  : INVARIANT VIOLATED - %s\n" m;
+      2)
+
+let run_fuzz seed iters time algos max_p no_faults replay progress_every =
+  match replay with
+  | Some script -> run_replay script
+  | None -> (
+    let algos =
+      match algos with
+      | [] -> Scenario.all_algos
+      | names -> (
+        match
+          List.map
+            (fun v -> (v, Scenario.algo_of_name v))
+            (List.concat_map (String.split_on_char ',') names)
+        with
+        | resolved when List.for_all (fun (_, a) -> a <> None) resolved ->
+          List.filter_map snd resolved
+        | resolved ->
+          let bad, _ = List.find (fun (_, a) -> a = None) resolved in
+          Printf.eprintf "unknown algorithm %S\n" bad;
+          exit 1)
+    in
+    let opts = { Scenario.algos; max_p; with_faults = not no_faults } in
+    let t0 = Unix.gettimeofday () in
+    let stop =
+      match time with
+      | None -> fun () -> false
+      | Some budget -> fun () -> Unix.gettimeofday () -. t0 >= budget
+    in
+    let iters =
+      match (iters, time) with
+      | Some k, _ -> k
+      | None, Some _ -> max_int
+      | None, None -> 1000
+    in
+    let on_progress i =
+      if progress_every > 0 && i mod progress_every = 0 then
+        Printf.printf "  ... %d scenarios, %.1fs, all invariants hold\n%!" i
+          (Unix.gettimeofday () -. t0)
+    in
+    let report = Fuzz.campaign ~opts ~iters ~stop ~on_progress ~fuzz_seed:seed () in
+    match report.Fuzz.failure with
+    | None ->
+      Printf.printf
+        "fuzz: %d scenarios across %d algorithm(s), seed %d, %.1fs - zero \
+         invariant violations\n"
+        report.Fuzz.ran (List.length algos) seed
+        (Unix.gettimeofday () -. t0);
+      0
+    | Some f ->
+      print_failure ~seed f;
+      2)
+
+let fuzz_cmd =
+  let iters_arg =
+    let doc = "Stop after $(docv) scenarios (default 1000; unbounded with --time)." in
+    Arg.(value & opt (some int) None & info [ "iters" ] ~docv:"K" ~doc)
+  in
+  let time_arg =
+    let doc = "Soak mode: keep fuzzing for $(docv) wall-clock seconds." in
+    Arg.(value & opt (some float) None & info [ "time" ] ~docv:"S" ~doc)
+  in
+  let algos_arg =
+    let doc =
+      "Restrict to these algorithms (repeatable, comma-separable): opencube, \
+       raymond, naimi-trehel, central, suzuki-kasami, ricart-agrawala."
+    in
+    Arg.(value & opt_all string [] & info [ "algo" ] ~docv:"ALGO" ~doc)
+  in
+  let max_p_arg =
+    let doc = "Largest cube dimension to generate (N up to 2^$(docv))." in
+    Arg.(value & opt int 5 & info [ "max-p" ] ~docv:"P" ~doc)
+  in
+  let no_faults_arg =
+    let doc = "Generate only failure-free scenarios." in
+    Arg.(value & flag & info [ "no-faults" ] ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Replay one scenario script (as printed for a counterexample) twice \
+       and check the runs are bit-identical."
+    in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"SCRIPT" ~doc)
+  in
+  let progress_arg =
+    let doc = "Print a progress line every $(docv) scenarios (0 = quiet)." in
+    Arg.(value & opt int 1000 & info [ "progress" ] ~docv:"K" ~doc)
+  in
+  let doc =
+    "Fuzz all algorithms with adversarial generated scenarios under the \
+     runtime invariant oracle."
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run_fuzz $ seed_arg $ iters_arg $ time_arg $ algos_arg $ max_p_arg
+      $ no_faults_arg $ replay_arg $ progress_arg)
+
 (* --- main ------------------------------------------------------------------- *)
 
 let () =
@@ -351,5 +487,5 @@ let () =
        (Cmd.group ~default info
           [
             experiments_cmd; list_cmd; simulate_cmd; tree_cmd; dot_cmd;
-            verify_cmd; walkthrough_cmd;
+            verify_cmd; walkthrough_cmd; fuzz_cmd;
           ]))

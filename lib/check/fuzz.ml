@@ -1,0 +1,216 @@
+open Ocube_mutex
+module Runner = Ocube_mutex.Runner
+module Types = Ocube_mutex.Types
+module Faults = Ocube_workload.Faults
+module Summary = Ocube_stats.Summary
+module Opencube = Ocube_topology.Opencube
+module Static_tree = Ocube_topology.Static_tree
+
+type digest = {
+  entries : int;
+  issued : int;
+  messages : int;
+  delivered : int;
+  dropped : int;
+  abandoned : int;
+  outstanding : int;
+  end_time : float;
+  wait_count : int;
+  wait_mean : float;
+  wait_max : float;
+}
+
+let pp_digest ppf d =
+  Format.fprintf ppf
+    "entries=%d issued=%d messages=%d delivered=%d dropped=%d abandoned=%d \
+     outstanding=%d end_time=%.17g wait=(n=%d mean=%.17g max=%.17g)"
+    d.entries d.issued d.messages d.delivered d.dropped d.abandoned
+    d.outstanding d.end_time d.wait_count d.wait_mean d.wait_max
+
+let equal_digest a b =
+  a.entries = b.entries && a.issued = b.issued && a.messages = b.messages
+  && a.delivered = b.delivered && a.dropped = b.dropped
+  && a.abandoned = b.abandoned && a.outstanding = b.outstanding
+  && Int64.equal (Int64.bits_of_float a.end_time) (Int64.bits_of_float b.end_time)
+  && a.wait_count = b.wait_count
+  && Int64.equal (Int64.bits_of_float a.wait_mean) (Int64.bits_of_float b.wait_mean)
+  && Int64.equal (Int64.bits_of_float a.wait_max) (Int64.bits_of_float b.wait_max)
+
+type built = {
+  env : Runner.env;
+  inst : Types.instance;
+  structure : (unit -> (unit, string) result) option;
+}
+
+(* Open-cube shape (Theorem 2.1 via the sound-and-complete recursive check)
+   plus the branch bound r <= pmax - n1 of Prop. 2.3, node by node. *)
+let opencube_structure algo () =
+  match Opencube_algo.check_opencube algo with
+  | Error _ as e -> e
+  | Ok () ->
+    let cube = Opencube.of_fathers (Opencube_algo.snapshot_tree algo) in
+    let pmax = Opencube.pmax cube in
+    let n = Opencube.order cube in
+    let rec loop i =
+      if i = n then Ok ()
+      else
+        let r, n1 = Opencube.branch_stats cube i in
+        if r > pmax - n1 then
+          Error
+            (Printf.sprintf
+               "branch bound violated at node %d: r=%d > pmax-n1=%d" i r
+               (pmax - n1))
+        else loop (i + 1)
+    in
+    loop 0
+
+let build (s : Scenario.t) =
+  let n = Scenario.nodes s in
+  let env = Runner.make_env ~seed:s.seed ~n ~delay:s.delay ~cs:s.cs () in
+  let net = Runner.net env in
+  let callbacks = Runner.callbacks env in
+  let inst, structure =
+    match s.algo with
+    | Scenario.Opencube ->
+      let config =
+        {
+          (Opencube_algo.default_config ~p:s.p) with
+          fault_tolerance = s.ft;
+          asker_patience = s.patience;
+          queue_policy = (if s.lifo then Opencube_algo.Lifo else Opencube_algo.Fifo);
+        }
+      in
+      let algo = Opencube_algo.create ~net ~callbacks ~config in
+      (Opencube_algo.instance algo, Some (opencube_structure algo))
+    | Scenario.Raymond ->
+      let tree = Static_tree.build Static_tree.Binomial ~n in
+      (Raymond.instance (Raymond.create ~net ~callbacks ~tree ()), None)
+    | Scenario.Naimi_trehel ->
+      (Naimi_trehel.instance (Naimi_trehel.create ~net ~callbacks ~n ()), None)
+    | Scenario.Central ->
+      (Central.instance (Central.create ~net ~callbacks ~n ()), None)
+    | Scenario.Suzuki_kasami ->
+      (Suzuki_kasami.instance (Suzuki_kasami.create ~net ~callbacks ~n ()), None)
+    | Scenario.Ricart_agrawala ->
+      (Ricart_agrawala.instance (Ricart_agrawala.create ~net ~callbacks ~n ()), None)
+  in
+  Runner.attach env inst;
+  { env; inst; structure }
+
+(* Per-request message budgets, failure-free runs only. Serial open-cube
+   runs get the paper's Section 4 bound (log2 N + 2 per request, the +2
+   corner being DESIGN.md §5bis); concurrent runs get generous multiples
+   that still catch forwarding storms and livelocks. *)
+let spec_of (s : Scenario.t) structure =
+  let fault_free = s.faults = [] in
+  let a = List.length s.arrivals in
+  let n = Scenario.nodes s in
+  let p = s.p in
+  let message_bound =
+    if not fault_free then None
+    else
+      match s.algo with
+      | Scenario.Central -> Some (3 * a)
+      | Scenario.Ricart_agrawala -> Some (2 * (n - 1) * a)
+      | Scenario.Suzuki_kasami -> Some (n * a)
+      | Scenario.Raymond -> Some (((4 * p) + 2) * a)
+      | Scenario.Naimi_trehel -> Some (((2 * n) + 2) * a)
+      | Scenario.Opencube ->
+        if s.ft then None (* ill-founded suspicions send extra probes *)
+        else if s.serial then Some ((p + 2) * a)
+        else Some ((4 * (p + 2) * a) + 32)
+  in
+  (* The open-cube shape theorem (Thm 2.1/4) covers the Section 3 protocol
+     only: with the fault machinery armed, ill-founded suspicions can run
+     search_father, which rewires fathers outside b-transformations and
+     legitimately leaves a non-open-cube (safe) tree at quiescence. *)
+  let structure = if fault_free && not s.ft then structure else None in
+  { Oracle.fault_free; continuous = fault_free; structure; message_bound;
+    expect_drain = true }
+
+let digest env =
+  let w = Runner.wait_stats env in
+  {
+    entries = Runner.cs_entries env;
+    issued = Runner.issued env;
+    messages = Runner.messages_sent env;
+    delivered = Types.Net.delivered_total (Runner.net env);
+    dropped = Types.Net.dropped_total (Runner.net env);
+    abandoned = Runner.abandoned env;
+    outstanding = Runner.outstanding env;
+    end_time = Runner.now env;
+    wait_count = Summary.count w;
+    wait_mean = Summary.mean w;
+    wait_max = Summary.max_value w;
+  }
+
+let max_steps = 100_000_000
+
+let run ?(build = build) s =
+  match Scenario.validate s with
+  | Error m -> Error ("invalid scenario: " ^ m)
+  | Ok () ->
+    let { env; inst; structure } = build s in
+    let spec = spec_of s structure in
+    Oracle.install ~env ~inst spec;
+    let result =
+      try
+        Runner.run_arrivals env s.arrivals;
+        Runner.schedule_faults env
+          (List.map
+             (fun (at, node, recover_after) -> { Faults.at; node; recover_after })
+             s.faults);
+        Runner.run_to_quiescence ~max_steps env;
+        Oracle.final ~env ~inst spec;
+        Ok (digest env)
+      with
+      | Oracle.Violation m -> Error m
+      | Failure m -> Error ("liveness: no quiescence - " ^ m)
+    in
+    Oracle.uninstall ~env;
+    result
+
+let shrink ?build ?(max_runs = 500) s0 =
+  let runs = ref 0 in
+  let fails s =
+    if !runs >= max_runs then false
+    else begin
+      incr runs;
+      match run ?build s with Error _ -> true | Ok _ -> false
+    end
+  in
+  let rec go s =
+    match List.find_opt fails (Scenario.shrink_candidates s) with
+    | Some smaller -> go smaller
+    | None -> s
+  in
+  go s0
+
+type failure = {
+  index : int;
+  scenario : Scenario.t;
+  error : string;
+  shrunk : Scenario.t;
+  shrunk_error : string;
+}
+
+type report = { ran : int; failure : failure option }
+
+let campaign ?build:builder ?(opts = Scenario.default_opts) ?(iters = max_int)
+    ?(stop = fun () -> false) ?(on_progress = fun _ -> ()) ~fuzz_seed () =
+  let rec loop i =
+    if i >= iters || stop () then { ran = i; failure = None }
+    else
+      let s = Scenario.of_index ~fuzz_seed ~index:i ~opts in
+      match run ?build:builder s with
+      | Ok _ ->
+        on_progress (i + 1);
+        loop (i + 1)
+      | Error error ->
+        let shrunk = shrink ?build:builder s in
+        let shrunk_error =
+          match run ?build:builder shrunk with Error e -> e | Ok _ -> error
+        in
+        { ran = i + 1; failure = Some { index = i; scenario = s; error; shrunk; shrunk_error } }
+  in
+  loop 0

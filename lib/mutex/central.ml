@@ -46,7 +46,7 @@ let handle_message t i ~src payload =
     t.holder <- None;
     next_grant t
   | Message.Enquiry _ | Message.Enquiry_answer _ | Message.Test _
-  | Message.Test_answer _ | Message.Anomaly _ | Message.Census _
+  | Message.Test_answer _ | Message.Anomaly _ | Message.Void _ | Message.Census _
   | Message.Census_reply _ | Message.Sk_request _ | Message.Sk_privilege _
   | Message.Ra_request _ | Message.Ra_reply ->
     invalid_arg "Central: unexpected message kind"

@@ -142,7 +142,7 @@ let handle_message t i ~src payload =
     else process_request t nd ~origin
   | Message.Token { lender; _ } -> receive_token t nd ~from_:src ~lender
   | Message.Enquiry _ | Message.Enquiry_answer _ | Message.Test _
-  | Message.Test_answer _ | Message.Anomaly _ | Message.Census _
+  | Message.Test_answer _ | Message.Anomaly _ | Message.Void _ | Message.Census _
   | Message.Census_reply _ | Message.Release | Message.Sk_request _
   | Message.Sk_privilege _ | Message.Ra_request _ | Message.Ra_reply ->
     invalid_arg "Generic_scheme: unexpected message kind"

@@ -55,7 +55,7 @@ let handle_message t i ~src payload =
     nd.in_cs <- true;
     t.callbacks.on_enter nd.id
   | Message.Enquiry _ | Message.Enquiry_answer _ | Message.Test _
-  | Message.Test_answer _ | Message.Anomaly _ | Message.Census _
+  | Message.Test_answer _ | Message.Anomaly _ | Message.Void _ | Message.Census _
   | Message.Census_reply _ | Message.Release | Message.Sk_request _
   | Message.Sk_privilege _ | Message.Ra_request _ | Message.Ra_reply ->
     invalid_arg "Naimi_trehel: unexpected message kind"

@@ -97,6 +97,7 @@ type stats = {
   enquiries_sent : int;
   anomalies_detected : int;
   duplicate_requests_dropped : int;
+  mandates_voided : int;
   stale_tokens_bounced : int;
   unexpected_tokens : int;
   tokens_destroyed : int;
@@ -117,6 +118,7 @@ type t = {
   mutable s_enquiries_sent : int;
   mutable s_anomalies_detected : int;
   mutable s_duplicate_requests_dropped : int;
+  mutable s_mandates_voided : int;
   mutable s_stale_tokens_bounced : int;
   mutable s_unexpected_tokens : int;
   mutable s_tokens_destroyed : int;
@@ -236,9 +238,20 @@ and drain t nd =
     | Some Wish -> process_wish t nd
     | Some (Preq { origin; rid }) ->
       if rid.source = nd.id && nd.mandate_rid <> Some rid then
-        t.s_duplicate_requests_dropped <- t.s_duplicate_requests_dropped + 1
+        drop_own_stale_request t nd ~origin ~rid
       else process_request t nd ~origin ~rid
   done
+
+and drop_own_stale_request t nd ~origin ~rid =
+  (* A stale copy of one of our own requests came back around (a proxy
+     regenerated it after we were already served): drop it, and tell the
+     proxy its mandate is void — otherwise it retries the dead request
+     forever (its timeout runs search_father, re-sends, we drop again:
+     livelock). Fault-free runs never regenerate, so this path stays
+     silent there and message counts are unchanged. *)
+  t.s_duplicate_requests_dropped <- t.s_duplicate_requests_dropped + 1;
+  if t.config.fault_tolerance && origin <> nd.id then
+    send t ~src:nd.id ~dst:origin (Message.Void { rid })
 
 and process_wish t nd =
   nd.asking <- true;
@@ -274,9 +287,13 @@ and process_request t nd ~origin ~rid =
   let j = origin in
   let pw = power_of t nd in
   let dj = dist nd.id j in
-  if t.config.fault_tolerance && dj > pw then begin
+  if t.config.fault_tolerance && dj > pw && not nd.token_here then begin
     (* Anomaly: a stale descendant of a recovered node (Section 5, "Node
-       recovery"). In an open-cube power(father) >= dist(father, son). *)
+       recovery"). In an open-cube power(father) >= dist(father, son).
+       Exception: when we hold the token we serve the request anyway
+       (below, as a proxy loan) — the search hardening makes the holder
+       accept any searcher as a son, so bouncing the son's request here
+       would loop it forever between anomaly and re-attachment. *)
     t.s_anomalies_detected <- t.s_anomalies_detected + 1;
     send t ~src:nd.id ~dst:j (Message.Anomaly { rid })
   end
@@ -324,9 +341,7 @@ and process_request t nd ~origin ~rid =
 
 and receive_request t nd ~origin ~rid =
   if rid.source = nd.id && nd.mandate_rid <> Some rid then
-    (* A stale copy of one of our own requests came back around (a proxy
-       regenerated it after we were already served): drop it. *)
-    t.s_duplicate_requests_dropped <- t.s_duplicate_requests_dropped + 1
+    drop_own_stale_request t nd ~origin ~rid
   else if nd.asking then begin
     (* wait (not asking): defer. De-duplicate against the active mandate and
        against already-queued requests (regenerated requests may race their
@@ -380,10 +395,39 @@ and receive_token t nd ~from_ ~lender ~rid =
     | _ -> receive_token_accept t nd ~from_ ~lender ~rid
 
 and receive_token_accept t nd ~from_ ~lender ~rid =
+  match (nd.mandator, nd.loan, lender) with
+  | None, None, Some l when l <> nd.id ->
+    (* Stale duplicate grant (DESIGN.md §5): no mandate and no loan means
+       this owned token is not ours to keep - hand it back to its lender.
+       Decided before the integration prologue below, because that
+       prologue kills any ongoing father search: a node that crashed with
+       a wish in flight and is re-searching after recovery would otherwise
+       have its recovery search silently destroyed by the pre-crash grant
+       it bounces, leaving it asking forever with no timer armed. *)
+    t.s_stale_tokens_bounced <- t.s_stale_tokens_bounced + 1;
+    send t ~src:nd.id ~dst:l (Message.Token { lender = None; rid = None })
+  | _ -> receive_token_integrate t nd ~from_ ~lender ~rid
+
+and receive_token_integrate t nd ~from_ ~lender ~rid =
   cancel_timer t nd.asker_timer;
   nd.asker_timer <- None;
   (* A token in hand settles any ongoing father search. *)
   stop_search t nd;
+  (* It also settles an outstanding loan, whatever mandate state we are
+     in: custody is back (or passing through us), so the lost-in-return
+     suspicion must die with it. Leaving the loan record and its enquiry
+     timer armed lets enquiry_timeout fire after we have re-lent the
+     token, and regenerate a duplicate (DESIGN.md §5). The no-mandate
+     branch below keeps its own loan handling untouched. *)
+  (if nd.mandator <> None then
+     match nd.loan with
+     | None -> ()
+     | Some _ ->
+       nd.loan <- None;
+       cancel_timer t nd.loan_timer;
+       nd.loan_timer <- None;
+       cancel_timer t nd.enquiry_timer;
+       nd.enquiry_timer <- None);
   match nd.mandator with
   | Some m when m = nd.id ->
     (* Our own wish is satisfied. *)
@@ -479,6 +523,11 @@ and receive_token_accept t nd ~from_ ~lender ~rid =
 (* ------------------------------------------------------------------ *)
 
 and regenerate_token t nd =
+  (* The regenerated token makes this node the holder: any father search
+     still running must die with the suspicion, or it marches on to a
+     census that polls everyone *except us*, concludes the token we now
+     hold is lost, and regenerates a duplicate (DESIGN.md §5). *)
+  stop_search t nd;
   t.s_token_regenerations <- t.s_token_regenerations + 1;
   nd.loan <- None;
   cancel_timer t nd.loan_timer;
@@ -487,8 +536,31 @@ and regenerate_token t nd =
   nd.enquiry_timer <- None;
   nd.token_here <- true;
   nd.lender <- nd.id;
-  nd.asking <- false;
-  drain t nd
+  (* Dispatch exactly as [regenerate_as_root] does: a pending mandate —
+     our own wish or one we proxy — must be served by the new token, or
+     it is orphaned with [asking] cleared and nothing ever serves it. *)
+  match nd.mandator with
+  | Some m when m = nd.id ->
+    nd.mandator <- None;
+    (match nd.mandate_rid with Some r -> remember_rid nd r | None -> ());
+    nd.mandate_rid <- None;
+    enter_cs t nd
+  | Some m ->
+    let loan_rid =
+      match nd.mandate_rid with
+      | Some r -> r
+      | None -> { source = m; seq = -1 }
+    in
+    nd.mandator <- None;
+    nd.mandate_rid <- None;
+    nd.loan <- Some { borrower = m; loan_rid; direct = m = loan_rid.source; sent_acks = 0 };
+    send t ~src:nd.id ~dst:m
+      (Message.Token { lender = Some nd.id; rid = Some loan_rid });
+    nd.token_here <- false;
+    arm_loan_timer t nd
+  | None ->
+    nd.asking <- false;
+    drain t nd
 
 and loan_timeout t nd =
   match nd.loan with
@@ -579,7 +651,15 @@ and asker_timeout t nd =
   then start_search t nd ~phase:(power_of t nd + 1) ~resume:true
 
 and start_search t nd ~phase ~resume =
-  if nd.search = None then begin
+  (* A node holding the token (or inside its CS) is the attach point
+     everyone else is looking for: it never needs a father search. The
+     guard matters when the token arrives between a search abort and its
+     restart backoff: the deferred restart would run while [asking] is
+     still true for the CS, and a stale [Test_answer] from the aborted
+     search could then conclude it as a no-mandate recovery search, whose
+     [asking <- false; drain] serves queued requests - transiting the
+     token away in mid-CS and breaking mutual exclusion. *)
+  if nd.search = None && (not nd.token_here) && not nd.in_cs then begin
     t.s_searches_started <- t.s_searches_started + 1;
     cancel_timer t nd.asker_timer;
     nd.asker_timer <- None;
@@ -852,6 +932,29 @@ and receive_anomaly t nd ~rid =
     start_search t nd ~phase:(power_of t nd + 1) ~resume:true
   end
 
+and receive_void t nd ~rid =
+  (* The source says [rid] was already served: the proxy mandate we hold
+     for it is void. Cancel it and pass the word down the mandate chain
+     (each proxy in a chain holds the same [rid] and serves the previous
+     one). Never cancels an own wish: the source only voids a [rid] that
+     is no longer its active mandate, so [mandator = self] here would mean
+     the void is itself stale — ignore it. *)
+  match nd.mandator with
+  | Some m when m <> nd.id && nd.mandate_rid = Some rid && not nd.token_here
+    ->
+    t.s_mandates_voided <- t.s_mandates_voided + 1;
+    cancel_timer t nd.asker_timer;
+    nd.asker_timer <- None;
+    stop_search t nd;
+    nd.mandator <- None;
+    nd.mandate_rid <- None;
+    nd.mandate_searches <- 0;
+    nd.mandate_excluded <- [];
+    nd.asking <- false;
+    if m <> rid.source then send t ~src:nd.id ~dst:m (Message.Void { rid });
+    drain t nd
+  | _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -868,6 +971,7 @@ let handle_message t i ~src payload =
   | Message.Test_answer { d; answer } ->
     receive_test_answer t nd ~from_:src ~d ~answer
   | Message.Anomaly { rid } -> receive_anomaly t nd ~rid
+  | Message.Void { rid } -> receive_void t nd ~rid
   | Message.Census { round } -> receive_census t nd ~from_:src ~round
   | Message.Census_reply { reply; _ } -> receive_census_reply t nd ~reply
   | Message.Release | Message.Sk_request _ | Message.Sk_privilege _
@@ -927,6 +1031,7 @@ let create ~net ~callbacks ~config =
       s_enquiries_sent = 0;
       s_anomalies_detected = 0;
       s_duplicate_requests_dropped = 0;
+      s_mandates_voided = 0;
       s_stale_tokens_bounced = 0;
       s_unexpected_tokens = 0;
       s_tokens_destroyed = 0;
@@ -1039,6 +1144,7 @@ let stats t =
     enquiries_sent = t.s_enquiries_sent;
     anomalies_detected = t.s_anomalies_detected;
     duplicate_requests_dropped = t.s_duplicate_requests_dropped;
+    mandates_voided = t.s_mandates_voided;
     stale_tokens_bounced = t.s_stale_tokens_bounced;
     unexpected_tokens = t.s_unexpected_tokens;
     tokens_destroyed = t.s_tokens_destroyed;

@@ -127,6 +127,8 @@ type stats = {
   enquiries_sent : int;
   anomalies_detected : int;
   duplicate_requests_dropped : int;
+  mandates_voided : int;
+      (** stale proxy mandates cancelled on a [Void] from the source *)
   stale_tokens_bounced : int;
   unexpected_tokens : int;
   tokens_destroyed : int;

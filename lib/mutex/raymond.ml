@@ -66,7 +66,7 @@ let handle_message t i ~src payload =
     nd.holder <- nd.id;
     assign_privilege t nd
   | Message.Enquiry _ | Message.Enquiry_answer _ | Message.Test _
-  | Message.Test_answer _ | Message.Anomaly _ | Message.Census _
+  | Message.Test_answer _ | Message.Anomaly _ | Message.Void _ | Message.Census _
   | Message.Census_reply _ | Message.Release | Message.Sk_request _
   | Message.Sk_privilege _ | Message.Ra_request _ | Message.Ra_reply ->
     invalid_arg "Raymond: unexpected message kind"

@@ -19,6 +19,7 @@ module Message = struct
     | Test of { d : int }
     | Test_answer of { d : int; answer : test_answer }
     | Anomaly of { rid : request_id }
+    | Void of { rid : request_id }
     | Census of { round : int }
     | Census_reply of { round : int; reply : census_reply }
     | Release
@@ -59,6 +60,7 @@ module Message = struct
       in
       Format.fprintf ppf "test_answer(%d, %s)" d s
     | Anomaly { rid } -> Format.fprintf ppf "anomaly(%a)" pp_request_id rid
+    | Void { rid } -> Format.fprintf ppf "void(%a)" pp_request_id rid
     | Census { round } -> Format.fprintf ppf "census(%d)" round
     | Census_reply { round; reply } ->
       let s =
@@ -85,6 +87,7 @@ module Message = struct
     | Test _ -> "test"
     | Test_answer _ -> "test_answer"
     | Anomaly _ -> "anomaly"
+    | Void _ -> "void"
     | Census _ -> "census"
     | Census_reply _ -> "census_reply"
     | Release -> "release"
@@ -95,7 +98,7 @@ module Message = struct
 
   let is_fault_overhead = function
     | Enquiry _ | Enquiry_answer _ | Test _ | Test_answer _ | Anomaly _
-    | Census _ | Census_reply _ ->
+    | Void _ | Census _ | Census_reply _ ->
       true
     | Request _ | Token _ | Release | Sk_request _ | Sk_privilege _
     | Ra_request _ | Ra_reply ->

@@ -60,6 +60,14 @@ module Message : sig
     | Anomaly of { rid : request_id }
         (** Structure violation detected while processing [rid]; tells the
             origin to re-run [search_father]. *)
+    | Void of { rid : request_id }
+        (** Sent by [rid.source] when a stale copy of its own, already
+            served request reaches it (only possible with the fault
+            machinery armed: regenerated requests and father searches can
+            outlive the wish they carry). Tells the sending proxy that its
+            mandate for [rid] is void, so it stops asking instead of
+            retrying the dead request forever (DESIGN.md §5). Cascades down
+            the mandate chain. *)
     | Census of { round : int }
         (** Hardening beyond the paper (DESIGN.md §5): before a searcher
             whose every phase failed regenerates the token, it asks every
@@ -83,7 +91,7 @@ module Message : sig
 
   val category : t -> string
   (** "request" | "token" | "enquiry" | "enquiry_answer" | "test"
-      | "test_answer" | "anomaly" | "release". *)
+      | "test_answer" | "anomaly" | "void" | "release". *)
 
   val is_fault_overhead : t -> bool
   (** True for the categories that exist only because of the

@@ -21,6 +21,7 @@ type t = {
   mutable next_id : int;
   queue : Event_heap.t;
   cancelled : (timer_id, unit) Hashtbl.t;
+  mutable step_hook : (unit -> unit) option;
 }
 
 let create () =
@@ -30,7 +31,15 @@ let create () =
     next_id = 0;
     queue = Event_heap.create ();
     cancelled = Hashtbl.create 64;
+    step_hook = None;
   }
+
+let set_step_hook t hook = t.step_hook <- Some hook
+
+let clear_step_hook t = t.step_hook <- None
+
+let run_hook t =
+  match t.step_hook with None -> () | Some hook -> hook ()
 
 let now t = t.clock
 
@@ -70,6 +79,7 @@ let step t =
   | Some ev ->
     t.clock <- ev.time;
     ev.action ();
+    run_hook t;
     true
 
 let run ?(until = infinity) ?(max_steps = max_int) t =
@@ -88,6 +98,7 @@ let run ?(until = infinity) ?(max_steps = max_int) t =
       else begin
         t.clock <- ev.time;
         ev.action ();
+        run_hook t;
         incr steps
       end
   done

@@ -45,3 +45,12 @@ val run : ?until:float -> ?max_steps:int -> t -> unit
 
 val quiescent : t -> bool
 (** [true] when no live (non-cancelled) event remains. *)
+
+val set_step_hook : t -> (unit -> unit) -> unit
+(** Install a callback invoked after every executed event (in both {!step}
+    and {!run}), with the clock already advanced. At most one hook is
+    installed; a second call replaces the first. Runtime invariant oracles
+    hang off this: a hook that raises aborts the run at the exact event
+    that broke the invariant. *)
+
+val clear_step_hook : t -> unit

@@ -1,0 +1,226 @@
+(* The fuzz subsystem checked against itself: smoke campaigns over all six
+   algorithms, the bit-identical replay guarantee, exact script round-trips,
+   regression reproducers for the two bugs the fuzzer found (the
+   stale-mandate livelock and the mid-CS token transit), and a deliberately
+   sabotaged algorithm that the oracle must catch and the shrinker must
+   reduce to a two-arrival counterexample. *)
+
+module Scenario = Ocube_check.Scenario
+module Fuzz = Ocube_check.Fuzz
+module Runner = Ocube_mutex.Runner
+module Types = Ocube_mutex.Types
+module Network = Ocube_net.Network
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- smoke campaigns ------------------------------------------------------ *)
+
+let test_smoke_all_algos () =
+  let report = Fuzz.campaign ~iters:200 ~fuzz_seed:2718 () in
+  checki "all scenarios ran" 200 report.Fuzz.ran;
+  (match report.Fuzz.failure with
+  | None -> ()
+  | Some f ->
+    Alcotest.failf "scenario %d violated %S: %s" f.Fuzz.index f.Fuzz.error
+      (Scenario.to_string f.Fuzz.scenario))
+
+let test_smoke_opencube_faults () =
+  let opts =
+    { Scenario.default_opts with Scenario.algos = [ Scenario.Opencube ] }
+  in
+  let report = Fuzz.campaign ~opts ~iters:150 ~fuzz_seed:424242 () in
+  checki "all scenarios ran" 150 report.Fuzz.ran;
+  checkb "no violation" true (report.Fuzz.failure = None)
+
+(* --- determinism ---------------------------------------------------------- *)
+
+let test_replay_bit_identical () =
+  List.iter
+    (fun index ->
+      let s =
+        Scenario.of_index ~fuzz_seed:7 ~index ~opts:Scenario.default_opts
+      in
+      match (Fuzz.run s, Fuzz.run s) with
+      | Ok a, Ok b ->
+        checkb
+          (Printf.sprintf "digests equal for index %d" index)
+          true (Fuzz.equal_digest a b)
+      | Error e, _ | _, Error e ->
+        Alcotest.failf "index %d unexpectedly failed: %s" index e)
+    [ 0; 3; 11; 42; 97 ]
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~count:60 ~name:"scenario scripts round-trip exactly"
+      (int_range 0 5000)
+      (fun index ->
+        let s =
+          Scenario.of_index ~fuzz_seed:99 ~index ~opts:Scenario.default_opts
+        in
+        let line = Scenario.to_string s in
+        match Scenario.of_string line with
+        | Error e -> Test.fail_reportf "unparseable script %S: %s" line e
+        | Ok s' -> String.equal line (Scenario.to_string s'));
+  ]
+
+(* --- regression reproducers ----------------------------------------------- *)
+
+(* Found by the fuzzer: a proxy kept a mandate for an already-served
+   request forever because the source silently dropped the stale
+   re-request; the [Void] reply now cancels the mandate. *)
+let livelock_script =
+  "algo=opencube p=4 seed=0 delay=constant:1.6043898352785748 \
+   cs=fixed:3.1974163220161023 ft=true patience=1 lifo=false serial=false \
+   arrivals=1.8719119439257237@13;1.8719119439257237@8;13.002734697930689@10;13.002734697930689@3;13.002734697930689@12;13.002734697930689@11;13.002734697930689@1;13.002734697930689@8;13.002734697930689@9;13.002734697930689@0;13.002734697930689@6 \
+   faults=-"
+
+(* Found by the fuzzer: a search restarted by a census backoff while the
+   node was already in its CS let a stale test answer conclude a recovery
+   search, whose drain transited the token away in mid-CS; [start_search]
+   now refuses to run on a token holder. *)
+let mid_cs_transit_script =
+  "algo=opencube p=5 seed=0 delay=constant:0.55731703767496654 \
+   cs=fixed:2.1362265765109183 ft=true patience=1 lifo=false serial=false \
+   arrivals=1.3506721652244842@10;1.3506721652244842@2;1.3506721652244842@4;1.3506721652244842@7;1.3506721652244842@22;1.3506721652244842@0;1.3506721652244842@24;1.3506721652244842@29;1.3506721652244842@18;1.3506721652244842@27;1.3506721652244842@1;10.686878409058625@0;10.686878409058625@16;10.686878409058625@25;10.686878409058625@29;10.686878409058625@31;10.686878409058625@2;10.686878409058625@30;10.686878409058625@27;10.686878409058625@23;10.686878409058625@4;10.686878409058625@19;10.686878409058625@7;10.686878409058625@20;10.686878409058625@18;10.686878409058625@21;10.686878409058625@1;10.686878409058625@8;10.686878409058625@10;10.686878409058625@9;10.686878409058625@6;10.686878409058625@24 \
+   faults=-"
+
+(* Found by the fuzzer: a loan return that arrived while the lender had
+   a mandate of its own pending was integrated as the mandate's grant,
+   leaving the loan record and its enquiry timer dangling; the timer
+   fired after the token was re-lent and regenerated a duplicate.
+   [receive_token_integrate] now settles an outstanding loan in every
+   mandate branch. *)
+let stale_enquiry_regen_script =
+  "algo=opencube p=3 seed=213444 \
+   delay=uniform:0.95730522126217266:1.2285784236444162 \
+   cs=fixed:1.2208350946998003 ft=true patience=1 lifo=false serial=false \
+   arrivals=3.6549516302199589@4;7.0873295155409277@1;8.8552590737385444@5;9.3028622726272676@3;12.51920426656153@7;13.568866260390523@3;14.388256010652629@1;16.600407957158509@3;17.579647947269141@0;18.80897091912232@3;23.177203782896012@2;26.541199289906064@7;28.531665143572937@2;32.932476655535595@6;38.545981222140313@2;39.627170251203438@7 \
+   faults=15.090661078045462@4;44.619909617340561@6"
+
+(* Found by the fuzzer: lender-side token regeneration neither stopped an
+   ongoing father search (whose census then concluded the freshly-held
+   token lost and duplicated it) nor dispatched a pending mandate (which
+   orphaned the wish); and the recovery anomaly bounce could ping-pong
+   forever against the holder-accepts-any-searcher rule.
+   [regenerate_token] now mirrors [regenerate_as_root] and the anomaly
+   bounce defers to a token holder, which serves instead. *)
+let census_after_regen_script =
+  "algo=opencube p=2 seed=679809 delay=constant:0.64293572514457797 \
+   cs=fixed:1.9820889235139105 ft=true patience=1 lifo=false serial=false \
+   arrivals=0.7679406868019728@3;5.0063630193722002@2;6.7945398005843929@0;8.3557305953650491@1;8.8813774408142319@2;11.472967407237723@0;13.069744078395095@3;13.275153969679153@1;16.981889175402802@0;26.931318074736026@3;27.167226255080735@1;28.386777938909027@2;28.653256024547531@2;30.212427315732821@3;31.658410277255669@0;34.047608879624981@1;36.874863861150885@3;37.027354949820058@0;40.724154868727588@0;40.878855517307692@0;41.137971021641@2;42.10671638518069@0;44.927325815913299@0;45.953816507652277@1;50.538843665752381@2;54.996970594552586@1;56.772477569833924@3;56.992765378419556@3;57.560218964468213@0;57.709622771081605@0;62.077995538508318@0;65.135275650311442@2;72.857688632928529@0 \
+   faults=49.976386008051961@3;55.332624118841402@1!10.348693095274172;58.480672960175056@3"
+
+let replay_ok name script =
+  match Scenario.of_string script with
+  | Error e -> Alcotest.failf "%s: bad script: %s" name e
+  | Ok s -> (
+    match Fuzz.run s with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "%s: %s" name e)
+
+let test_regression_livelock () = replay_ok "stale-mandate livelock" livelock_script
+let test_regression_mid_cs () = replay_ok "mid-CS transit" mid_cs_transit_script
+
+let test_regression_stale_enquiry () =
+  replay_ok "stale-enquiry regeneration" stale_enquiry_regen_script
+
+let test_regression_census_after_regen () =
+  replay_ok "census after lender regeneration" census_after_regen_script
+
+(* --- injected bug: caught and shrunk -------------------------------------- *)
+
+(* An "algorithm" that grants every wish instantly, never serialising
+   anything: the canonical safety bug. The runner's ground-truth CS
+   accounting must flag it and the shrinker must cut the scenario down to
+   the minimum that still overlaps two critical sections. *)
+let always_grant_build (s : Scenario.t) =
+  let n = Scenario.nodes s in
+  let env =
+    Runner.make_env ~seed:s.Scenario.seed ~n ~delay:s.Scenario.delay
+      ~cs:s.Scenario.cs ()
+  in
+  let callbacks = Runner.callbacks env in
+  let inst =
+    {
+      Types.algo_name = "always-grant";
+      request_cs = (fun i -> callbacks.Types.on_enter i);
+      release_cs = (fun i -> callbacks.Types.on_exit i);
+      on_recovered = (fun _ -> ());
+      snapshot_tree = (fun () -> None);
+      token_holders = (fun () -> []);
+      invariant_check = (fun () -> Ok ());
+    }
+  in
+  Runner.attach env inst;
+  { Fuzz.env; inst; structure = None }
+
+let overlapping_scenario =
+  {
+    Scenario.algo = Scenario.Central;
+    p = 3;
+    seed = 5;
+    delay = Network.Constant 1.0;
+    cs = Runner.Fixed 10.0;
+    ft = false;
+    patience = 1.0;
+    lifo = false;
+    serial = false;
+    arrivals = List.init 8 (fun i -> (1.0 +. (0.5 *. float_of_int i), i));
+    faults = [];
+  }
+
+let test_injected_bug_caught_and_shrunk () =
+  (* Sanity: the scenario itself is fine under the real algorithm. *)
+  (match Fuzz.run overlapping_scenario with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "real central failed the scenario: %s" e);
+  (* The sabotaged build must be caught... *)
+  let error =
+    match Fuzz.run ~build:always_grant_build overlapping_scenario with
+    | Ok _ -> Alcotest.fail "oracle missed the always-grant bug"
+    | Error e -> e
+  in
+  let has_mutex_violation e =
+    let sub = "mutual exclusion" in
+    let ls = String.length sub and le = String.length e in
+    let rec go i = i + ls <= le && (String.sub e i ls = sub || go (i + 1)) in
+    go 0
+  in
+  checkb "error names mutual exclusion" true (has_mutex_violation error);
+  (* ... and shrunk to the two arrivals that overlap. *)
+  let shrunk = Fuzz.shrink ~build:always_grant_build overlapping_scenario in
+  checki "shrunk to two arrivals" 2 (List.length shrunk.Scenario.arrivals);
+  checki "faults stay empty" 0 (List.length shrunk.Scenario.faults);
+  (match Fuzz.run ~build:always_grant_build shrunk with
+  | Ok _ -> Alcotest.fail "shrunk scenario no longer fails"
+  | Error e -> checkb "shrunk error is the same bug" true (has_mutex_violation e));
+  (* The printed reproducer replays: script -> scenario -> same failure. *)
+  match Scenario.of_string (Scenario.to_string shrunk) with
+  | Error e -> Alcotest.failf "shrunk script unparseable: %s" e
+  | Ok s -> (
+    match Fuzz.run ~build:always_grant_build s with
+    | Ok _ -> Alcotest.fail "reparsed reproducer no longer fails"
+    | Error _ -> ())
+
+let suite =
+  [
+    Alcotest.test_case "smoke: 200 scenarios, six algorithms" `Quick
+      test_smoke_all_algos;
+    Alcotest.test_case "smoke: open-cube under faults" `Quick
+      test_smoke_opencube_faults;
+    Alcotest.test_case "replay is bit-identical" `Quick
+      test_replay_bit_identical;
+    Alcotest.test_case "regression: stale-mandate livelock quiesces" `Quick
+      test_regression_livelock;
+    Alcotest.test_case "regression: no mid-CS token transit" `Quick
+      test_regression_mid_cs;
+    Alcotest.test_case "regression: no stale-enquiry token regeneration" `Quick
+      test_regression_stale_enquiry;
+    Alcotest.test_case "regression: census after lender regeneration" `Quick
+      test_regression_census_after_regen;
+    Alcotest.test_case "injected always-grant bug caught and shrunk" `Quick
+      test_injected_bug_caught_and_shrunk;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

@@ -16,5 +16,6 @@ let () =
       ("model", Test_model.suite);
       ("direct-api", Test_direct_api.suite);
       ("fdeque", Test_fdeque.suite);
+      ("fuzz", Test_fuzz.suite);
       ("perf-smoke", Test_perf_smoke.suite);
     ]

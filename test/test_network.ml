@@ -87,6 +87,21 @@ let test_delay_bounded_by_delta () =
     checkb "within delta" true (Engine.now engine -. t0 <= 3.0 +. 1e-9)
   done
 
+let test_uniform_delays_within_bounds () =
+  let engine, net =
+    make ~delay:(Ocube_net.Network.Uniform { lo = 0.5; hi = 2.5 }) ()
+  in
+  Net.set_handler net 1 (fun ~src:_ _ -> ());
+  checkf "delta is hi" 2.5 (Net.delta net);
+  for _ = 1 to 200 do
+    let t0 = Engine.now engine in
+    Net.send net ~src:0 ~dst:1 P.Pong;
+    Engine.run engine;
+    let d = Engine.now engine -. t0 in
+    checkb "at least lo" true (d >= 0.5 -. 1e-9);
+    checkb "at most hi" true (d <= 2.5 +. 1e-9)
+  done
+
 let test_send_to_failed_is_dropped () =
   let engine, net = make () in
   let received = ref 0 in
@@ -257,6 +272,8 @@ let suite =
     Alcotest.test_case "delay model validation" `Quick
       test_delay_model_validation;
     Alcotest.test_case "delay_bound" `Quick test_delay_bound_function;
+    Alcotest.test_case "uniform delays stay within [lo, hi]" `Quick
+      test_uniform_delays_within_bounds;
     Alcotest.test_case "out-of-range nodes rejected" `Quick
       test_out_of_range_nodes_rejected;
   ]

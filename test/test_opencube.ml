@@ -380,6 +380,46 @@ let qcheck_tests =
             | None -> Opencube.power c i = 0
             | Some j -> Opencube.power c j = Opencube.power c i - 1)
           (List.init (1 lsl p) (fun i -> i)));
+    Test.make ~count:200
+      ~name:"every d-group contains exactly one d-root (Cor 2.2)"
+      (pair (int_range 1 6) (list_of_size (Gen.int_range 0 60) (int_range 0 1000)))
+      (fun (p, picks) ->
+        (* The d-groups are static blocks; in any open cube each holds
+           exactly one node of power >= d (its local root). *)
+        let c = Opencube.build ~p in
+        List.iter
+          (fun pick ->
+            let i = pick mod (1 lsl p) in
+            if Opencube.sons c i <> [] then Opencube.b_transform c i)
+          picks;
+        let ok = ref true in
+        for d = 0 to p do
+          let blocks = 1 lsl (p - d) in
+          for b = 0 to blocks - 1 do
+            let group = Opencube.p_group ~d (b lsl d) in
+            let roots =
+              List.filter (fun i -> Opencube.power c i >= d) group
+            in
+            if List.length roots <> 1 then ok := false
+          done
+        done;
+        !ok);
+    Test.make ~count:200
+      ~name:"power = dist to father - 1 (Prop 2.1) under any transforms"
+      (pair (int_range 1 6) (list_of_size (Gen.int_range 0 60) (int_range 0 1000)))
+      (fun (p, picks) ->
+        let c = Opencube.build ~p in
+        List.iter
+          (fun pick ->
+            let i = pick mod (1 lsl p) in
+            if Opencube.sons c i <> [] then Opencube.b_transform c i)
+          picks;
+        List.for_all
+          (fun i ->
+            match Opencube.father c i with
+            | None -> Opencube.power c i = p
+            | Some f -> Opencube.power c i = Opencube.dist i f - 1)
+          (List.init (1 lsl p) (fun i -> i)));
   ]
 
 let suite =

@@ -91,6 +91,37 @@ let test_faults_avoid () =
     (fun e -> checkb "avoided" true (e.Faults.node = 2 || e.Faults.node = 3))
     f
 
+let test_faults_zero_count () =
+  let rng = Rng.create 9 in
+  let f =
+    Faults.random ~rng ~n:8 ~count:0 ~start:0.0 ~spacing:1.0 ~recover_after:None ()
+  in
+  checki "empty schedule" 0 (Faults.count f)
+
+let test_faults_all_nodes_avoided_rejected () =
+  let rng = Rng.create 9 in
+  Alcotest.check_raises "no candidate left"
+    (Invalid_argument "Faults.random: no node left to fail") (fun () ->
+      ignore
+        (Faults.random ~rng ~n:3 ~count:1 ~start:0.0 ~spacing:1.0
+           ~recover_after:None ~avoid:[ 0; 1; 2 ] ()));
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Faults.random: negative count") (fun () ->
+      ignore
+        (Faults.random ~rng ~n:3 ~count:(-1) ~start:0.0 ~spacing:1.0
+           ~recover_after:None ()))
+
+let test_faults_single_candidate_repeats () =
+  (* With one candidate left, the no-adjacent-duplicate rule must yield
+     rather than spin forever. *)
+  let rng = Rng.create 9 in
+  let f =
+    Faults.random ~rng ~n:4 ~count:5 ~start:0.0 ~spacing:1.0 ~recover_after:None
+      ~avoid:[ 0; 1; 2 ] ()
+  in
+  checki "count" 5 (Faults.count f);
+  List.iter (fun e -> checki "only candidate" 3 e.Faults.node) f
+
 let test_faults_no_consecutive_repeat () =
   let rng = Rng.create 7 in
   let f =
@@ -227,6 +258,11 @@ let suite =
     Alcotest.test_case "merge sorts" `Quick test_merge_sorts;
     Alcotest.test_case "fault spacing" `Quick test_faults_random_spacing;
     Alcotest.test_case "fault avoid list" `Quick test_faults_avoid;
+    Alcotest.test_case "fault zero count" `Quick test_faults_zero_count;
+    Alcotest.test_case "fault avoid-all and negative count rejected" `Quick
+      test_faults_all_nodes_avoided_rejected;
+    Alcotest.test_case "fault single candidate may repeat" `Quick
+      test_faults_single_candidate_repeats;
     Alcotest.test_case "faults never repeat back-to-back" `Quick
       test_faults_no_consecutive_repeat;
     Alcotest.test_case "runner backlog" `Quick test_runner_backlog;
