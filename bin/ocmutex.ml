@@ -20,6 +20,13 @@ let seed_arg =
   let doc = "Random seed (all runs are deterministic in it)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel sections (1 = serial). Output is \
+     bit-identical at every width."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"J" ~doc)
+
 let nodes_arg =
   let doc = "Number of nodes (a power of two for tree-based algorithms)." in
   Arg.(value & opt int 32 & info [ "n"; "nodes" ] ~docv:"N" ~doc)
@@ -51,7 +58,8 @@ let kind_of_string = function
 
 (* --- experiments --------------------------------------------------------- *)
 
-let run_experiments name_opt =
+let run_experiments jobs name_opt =
+  Ocube_par.Pool.set_default_jobs jobs;
   match name_opt with
   | None ->
     print_string (Registry.run_all ());
@@ -73,7 +81,7 @@ let experiments_cmd =
   let doc = "Run the paper-reproduction experiments." in
   Cmd.v
     (Cmd.info "experiments" ~doc)
-    Term.(const run_experiments $ name_arg)
+    Term.(const run_experiments $ jobs_arg $ name_arg)
 
 let list_cmd =
   let doc = "List the available experiments." in
@@ -295,13 +303,13 @@ let walkthrough_cmd =
 
 (* --- verify ------------------------------------------------------------------ *)
 
-let run_verify p wishes max_states =
+let run_verify p wishes max_states jobs =
   Printf.printf
     "Exhaustively exploring the fault-free protocol: N = %d, %d wish(es) \
      per node...\n%!"
     (1 lsl p) wishes;
   try
-    let s = Ocube_model.Explore.run ~max_states ~p ~wishes () in
+    let s = Ocube_model.Explore.run ~max_states ~jobs ~p ~wishes () in
     Printf.printf "  %d reachable states, %d transitions, %d terminal states\n"
       s.Ocube_model.Explore.states s.Ocube_model.Explore.transitions
       s.Ocube_model.Explore.terminals;
@@ -335,7 +343,7 @@ let verify_cmd =
     "Model-check the fault-free protocol exhaustively (all interleavings)."
   in
   Cmd.v (Cmd.info "verify" ~doc)
-    Term.(const run_verify $ p_arg $ wishes_arg $ max_states_arg)
+    Term.(const run_verify $ p_arg $ wishes_arg $ max_states_arg $ jobs_arg)
 
 (* --- fuzz -------------------------------------------------------------------- *)
 
@@ -378,7 +386,7 @@ let run_replay script =
       Printf.printf "verdict  : INVARIANT VIOLATED - %s\n" m;
       2)
 
-let run_fuzz seed iters time algos max_p no_faults replay progress_every =
+let run_fuzz seed jobs iters time algos max_p no_faults replay progress_every =
   match replay with
   | Some script -> run_replay script
   | None -> (
@@ -411,19 +419,27 @@ let run_fuzz seed iters time algos max_p no_faults replay progress_every =
       | None, Some _ -> max_int
       | None, None -> 1000
     in
+    let printed = ref 0 in
     let on_progress i =
-      if progress_every > 0 && i mod progress_every = 0 then
+      (* Parallel campaigns report whole chunks, so test the interval
+         crossing rather than divisibility. *)
+      if progress_every > 0 && i / progress_every > !printed then begin
+        printed := i / progress_every;
         Printf.printf "  ... %d scenarios, %.1fs, all invariants hold\n%!" i
           (Unix.gettimeofday () -. t0)
+      end
     in
-    let report = Fuzz.campaign ~opts ~iters ~stop ~on_progress ~fuzz_seed:seed () in
+    let report =
+      Fuzz.campaign ~opts ~iters ~stop ~on_progress ~jobs ~fuzz_seed:seed ()
+    in
     match report.Fuzz.failure with
     | None ->
       Printf.printf
         "fuzz: %d scenarios across %d algorithm(s), seed %d, %.1fs - zero \
-         invariant violations\n"
+         invariant violations (digest checksum %014x)\n"
         report.Fuzz.ran (List.length algos) seed
-        (Unix.gettimeofday () -. t0);
+        (Unix.gettimeofday () -. t0)
+        (report.Fuzz.checksum land 0xff_ffff_ffff_ffff);
       0
     | Some f ->
       print_failure ~seed f;
@@ -470,8 +486,8 @@ let fuzz_cmd =
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
-      const run_fuzz $ seed_arg $ iters_arg $ time_arg $ algos_arg $ max_p_arg
-      $ no_faults_arg $ replay_arg $ progress_arg)
+      const run_fuzz $ seed_arg $ jobs_arg $ iters_arg $ time_arg $ algos_arg
+      $ max_p_arg $ no_faults_arg $ replay_arg $ progress_arg)
 
 (* --- main ------------------------------------------------------------------- *)
 

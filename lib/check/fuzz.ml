@@ -5,6 +5,7 @@ module Faults = Ocube_workload.Faults
 module Summary = Ocube_stats.Summary
 module Opencube = Ocube_topology.Opencube
 module Static_tree = Ocube_topology.Static_tree
+module Pool = Ocube_par.Pool
 
 type digest = {
   entries : int;
@@ -194,23 +195,83 @@ type failure = {
   shrunk_error : string;
 }
 
-type report = { ran : int; failure : failure option }
+type report = { ran : int; checksum : int; failure : failure option }
 
-let campaign ?build:builder ?(opts = Scenario.default_opts) ?(iters = max_int)
-    ?(stop = fun () -> false) ?(on_progress = fun _ -> ()) ~fuzz_seed () =
-  let rec loop i =
-    if i >= iters || stop () then { ran = i; failure = None }
+(* Order-sensitive digest mix (same spirit as boost::hash_combine): the
+   checksum pins down every digest of the stream prefix in index order,
+   so a parallel campaign that produced even one different digest cannot
+   collide back to the serial checksum by accident. *)
+let mix acc d =
+  let h = Hashtbl.hash d in
+  acc lxor (h + 0x9e3779b9 + (acc lsl 6) + (acc lsr 2))
+
+let found ~builder ~index ~scenario ~error ~checksum =
+  let shrunk = shrink ?build:builder scenario in
+  let shrunk_error =
+    match run ?build:builder shrunk with Error e -> e | Ok _ -> error
+  in
+  {
+    ran = index + 1;
+    checksum;
+    failure = Some { index; scenario; error; shrunk; shrunk_error };
+  }
+
+let campaign_serial ?build:builder ~opts ~iters ~stop ~on_progress ~fuzz_seed () =
+  let rec loop i cks =
+    if i >= iters || stop () then { ran = i; checksum = cks; failure = None }
     else
       let s = Scenario.of_index ~fuzz_seed ~index:i ~opts in
       match run ?build:builder s with
-      | Ok _ ->
+      | Ok d ->
         on_progress (i + 1);
-        loop (i + 1)
+        loop (i + 1) (mix cks d)
       | Error error ->
-        let shrunk = shrink ?build:builder s in
-        let shrunk_error =
-          match run ?build:builder shrunk with Error e -> e | Ok _ -> error
-        in
-        { ran = i + 1; failure = Some { index = i; scenario = s; error; shrunk; shrunk_error } }
+        found ~builder ~index:i ~scenario:s ~error ~checksum:cks
   in
-  loop 0
+  loop 0 0
+
+(* Parallel campaign: scenario indices are striped across the pool one
+   chunk at a time. Scenarios are deterministic in [(fuzz_seed, index)]
+   and every run uses its own environment, so the workers share nothing;
+   the chunk's results are then scanned serially in index order, which
+   makes the checksum — and the failing index, always the smallest one —
+   bit-identical to the serial campaign. Shrinking stays serial. *)
+let campaign_parallel ?build:builder ~opts ~iters ~stop ~on_progress ~fuzz_seed
+    ~jobs () =
+  Pool.with_pool ~jobs (fun pool ->
+      let chunk = 4 * Pool.jobs pool in
+      let rec loop start cks =
+        if start >= iters || stop () then
+          { ran = start; checksum = cks; failure = None }
+        else begin
+          let n = min chunk (iters - start) in
+          let results =
+            Pool.map_array pool ~n (fun k ->
+                let s = Scenario.of_index ~fuzz_seed ~index:(start + k) ~opts in
+                (s, run ?build:builder s))
+          in
+          let rec scan k cks =
+            if k = n then begin
+              on_progress (start + n);
+              loop (start + n) cks
+            end
+            else
+              match results.(k) with
+              | _, Ok d -> scan (k + 1) (mix cks d)
+              | s, Error error ->
+                found ~builder ~index:(start + k) ~scenario:s ~error
+                  ~checksum:cks
+          in
+          scan 0 cks
+        end
+      in
+      loop 0 0)
+
+let campaign ?build:builder ?(opts = Scenario.default_opts) ?(iters = max_int)
+    ?(stop = fun () -> false) ?(on_progress = fun _ -> ()) ?(jobs = 1)
+    ~fuzz_seed () =
+  if jobs <= 1 then
+    campaign_serial ?build:builder ~opts ~iters ~stop ~on_progress ~fuzz_seed ()
+  else
+    campaign_parallel ?build:builder ~opts ~iters ~stop ~on_progress ~fuzz_seed
+      ~jobs ()

@@ -65,7 +65,13 @@ type failure = {
   shrunk_error : string;
 }
 
-type report = { ran : int; failure : failure option }
+type report = {
+  ran : int;
+  checksum : int;
+      (** order-sensitive hash of every digest up to (excluding) the
+          failing index — identical at every [jobs] width *)
+  failure : failure option;
+}
 
 val campaign :
   ?build:(Scenario.t -> built) ->
@@ -73,10 +79,17 @@ val campaign :
   ?iters:int ->
   ?stop:(unit -> bool) ->
   ?on_progress:(int -> unit) ->
+  ?jobs:int ->
   fuzz_seed:int ->
   unit ->
   report
 (** Run scenarios [0, 1, 2, ...] of the seed's stream until [iters] runs
     complete, [stop ()] turns true (checked between runs; used for
     wall-clock soak budgets), or a scenario fails — which ends the campaign
-    with a shrunk reproducer. *)
+    with a shrunk reproducer.
+
+    [jobs > 1] stripes scenario indices across a domain pool, one chunk at
+    a time; chunk results are folded serially in index order, so the
+    [checksum], the failing index (always the stream's smallest) and the
+    shrunk reproducer (shrinking stays serial) are bit-identical to the
+    serial campaign. Only [ran] may differ when [stop] fires mid-chunk. *)

@@ -6,15 +6,17 @@
    each node's cost on a fresh open-cube and compare against both. *)
 
 open Ocube_stats
+module Pool = Ocube_par.Pool
 
 let run_sum ~p =
   let n = 1 lsl p in
-  let total = ref 0 in
-  for i = 0 to n - 1 do
-    let env, _ = Exp_common.make_opencube ~fault_tolerance:false ~p () in
-    total := !total + Exp_common.probe env i
-  done;
-  !total
+  (* One fresh cube per probe: the n probes are independent, so they fan
+     out over the pool; the integer sum is order-insensitive anyway. *)
+  Pool.map_reduce (Pool.default ()) ~n
+    ~map:(fun i ->
+      let env, _ = Exp_common.make_opencube ~fault_tolerance:false ~p () in
+      Exp_common.probe env i)
+    ~init:0 ~combine:( + )
 
 let run () =
   let table =

@@ -24,6 +24,7 @@
 open Ocube_mutex
 open Ocube_stats
 module Rng = Ocube_sim.Rng
+module Pool = Ocube_par.Pool
 
 (* --- E3a: controlled single-failure trials ----------------------------- *)
 
@@ -56,16 +57,20 @@ let controlled_trial ~seed ~p ~census_rounds =
   (Runner.fault_overhead_messages env, Runner.violations env,
    (Opencube_algo.stats algo).token_regenerations)
 
+(* Trials are seed-isolated (each builds its own env), so they fan out
+   over the default pool; the reduction below runs in trial order, making
+   the summary bit-identical to the serial loop. *)
 let controlled ~p ~census_rounds ~trials =
   let overhead = Summary.create () in
   let violations = ref 0 in
   let regens = ref 0 in
-  for k = 1 to trials do
-    let o, v, r = controlled_trial ~seed:((p * 1000) + k) ~p ~census_rounds in
-    Summary.add_int overhead o;
-    violations := !violations + v;
-    regens := !regens + r
-  done;
+  Array.iter
+    (fun (o, v, r) ->
+      Summary.add_int overhead o;
+      violations := !violations + v;
+      regens := !regens + r)
+    (Pool.map_array (Pool.default ()) ~n:trials (fun i ->
+         controlled_trial ~seed:((p * 1000) + i + 1) ~p ~census_rounds));
   (overhead, !violations, !regens)
 
 let controlled_table () =
@@ -163,27 +168,38 @@ let ambient_table () =
         ]
       ()
   in
-  List.iter
-    (fun (p, failures) ->
-      List.iter
-        (fun census_rounds ->
-          let o, v, r, e, u = ambient ~seed:(5000 + p) ~p ~failures ~census_rounds in
-          let n = 1 lsl p in
-          Table.add_row table
-            [
-              Table.fmt_int n;
-              Table.fmt_int failures;
-              (match n with 32 -> "8.00" | 64 -> "9.75" | _ -> "-");
-              (if census_rounds = 0 then "paper" else "hardened");
-              Table.fmt_float o;
-              Table.fmt_int r;
-              Table.fmt_int e;
-              Table.fmt_int v;
-              Table.fmt_int u;
-            ])
-        [ 0; 2 ];
-      Table.add_separator table)
-    [ (4, 100); (5, 300); (6, 200) ];
+  let configs =
+    List.concat_map
+      (fun (p, failures) ->
+        List.map (fun census_rounds -> (p, failures, census_rounds)) [ 0; 2 ])
+      [ (4, 100); (5, 300); (6, 200) ]
+  in
+  (* The six campaigns are independent long runs: map them over the pool,
+     then lay the rows out in config order. *)
+  let results =
+    Pool.map_list
+      (Pool.default ())
+      (fun (p, failures, census_rounds) ->
+        ambient ~seed:(5000 + p) ~p ~failures ~census_rounds)
+      configs
+  in
+  List.iter2
+    (fun (p, failures, census_rounds) (o, v, r, e, u) ->
+      let n = 1 lsl p in
+      Table.add_row table
+        [
+          Table.fmt_int n;
+          Table.fmt_int failures;
+          (match n with 32 -> "8.00" | 64 -> "9.75" | _ -> "-");
+          (if census_rounds = 0 then "paper" else "hardened");
+          Table.fmt_float o;
+          Table.fmt_int r;
+          Table.fmt_int e;
+          Table.fmt_int v;
+          Table.fmt_int u;
+        ];
+      if census_rounds = 2 then Table.add_separator table)
+    configs results;
   Table.render table
 
 let run () =

@@ -9,6 +9,7 @@
 open Ocube_mutex
 open Ocube_stats
 module Rng = Ocube_sim.Rng
+module Pool = Ocube_par.Pool
 
 (* Per trial: a dedicated environment, a scrambling warmup, then one timed
    request - with or without a preceding failure of the requester's
@@ -58,10 +59,16 @@ let run () =
   List.iter
     (fun p ->
       let base = Summary.create () and fail = Summary.create () in
-      for k = 1 to trials do
-        Summary.add base (timed_request ~p ~kill_father:false ~seed:(7000 + k));
-        Summary.add fail (timed_request ~p ~kill_father:true ~seed:(7000 + k))
-      done;
+      (* Each trial is a pair of isolated runs; the in-order fold keeps the
+         summaries bit-identical to the serial loop. *)
+      Array.iter
+        (fun (b, f) ->
+          Summary.add base b;
+          Summary.add fail f)
+        (Pool.map_array (Pool.default ()) ~n:trials (fun i ->
+             let seed = 7000 + i + 1 in
+             ( timed_request ~p ~kill_father:false ~seed,
+               timed_request ~p ~kill_father:true ~seed )));
       let detection = 2.0 *. float_of_int p in
       Table.add_row table
         [

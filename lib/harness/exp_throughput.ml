@@ -9,6 +9,7 @@
 
 open Ocube_mutex
 open Ocube_stats
+module Pool = Ocube_par.Pool
 
 let rounds = 30
 
@@ -42,16 +43,7 @@ let run () =
         @ List.map (fun n -> (string_of_int n, Table.Right)) [ 16; 64 ])
       ()
   in
-  List.iter
-    (fun kind ->
-      let cells =
-        List.map
-          (fun n ->
-            let thr, mpc = run_kind ~kind ~n ~seed:61 in
-            Printf.sprintf "%.3f / %.1f" thr mpc)
-          [ 16; 64 ]
-      in
-      Table.add_row table (Exp_common.algo_label kind :: cells))
+  let kinds =
     Exp_common.
       [
         Opencube { census_rounds = 2; fault_tolerance = false };
@@ -60,7 +52,26 @@ let run () =
         Suzuki_kasami;
         Ricart_agrawala;
         Central;
-      ];
+      ]
+  in
+  (* Twelve independent closed-loop runs (protocol x size): flatten the
+     grid, run it across the pool, and rebuild the rows in order. *)
+  let cells =
+    Pool.map_list
+      (Pool.default ())
+      (fun (kind, n) ->
+        let thr, mpc = run_kind ~kind ~n ~seed:61 in
+        Printf.sprintf "%.3f / %.1f" thr mpc)
+      (List.concat_map (fun kind -> [ (kind, 16); (kind, 64) ]) kinds)
+  in
+  let rec rows kinds cells =
+    match (kinds, cells) with
+    | kind :: kinds', c16 :: c64 :: cells' ->
+      Table.add_row table [ Exp_common.algo_label kind; c16; c64 ];
+      rows kinds' cells'
+    | _ -> ()
+  in
+  rows kinds cells;
   Table.render table
   ^ "Naimi-Trehel and the broadcast algorithms hand the token straight to \
      the\nnext requester (cycle = cs + delta -> 0.5/t here); the open-cube \

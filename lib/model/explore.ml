@@ -1,3 +1,5 @@
+module Pool = Ocube_par.Pool
+
 type stats = {
   states : int;
   transitions : int;
@@ -8,47 +10,105 @@ type stats = {
 
 exception Violation of string * Spec.state
 
-let run ?(max_states = 5_000_000) ~p ~wishes () =
+let too_big max_states =
+  failwith (Printf.sprintf "Explore.run: state space exceeds %d" max_states)
+
+let expand_state st =
+  (match Spec.check_invariants st with
+  | Ok () -> ()
+  | Error msg -> raise (Violation (msg, st)));
+  match Spec.transitions st with
+  | [] -> (
+    match Spec.check_terminal st with
+    | Ok () -> None
+    | Error msg -> raise (Violation ("terminal: " ^ msg, st)))
+  | succs -> Some succs
+
+(* --- serial BFS --------------------------------------------------------- *)
+
+(* The hot loop is fused: each successor is encoded, deduplicated and
+   invariant-checked by the {!Spec.iter_successors} callback the moment
+   the spec builds it, while its arrays are still cache-hot — fresh
+   states are checked here (once, at first discovery) rather than when
+   dequeued, which visits the same set of states.
+
+   The BFS queue is a growable array of states indexed by a read cursor:
+   every state is pushed exactly once, so the array doubles like a vector
+   and nothing is ever shifted. Depth is tracked with level marks
+   ([level_end] is the queue index where the current BFS level ends)
+   instead of a per-entry counter. *)
+let run_serial ~max_states ~p ~wishes =
   let initial = Spec.initial ~p ~wishes in
-  let visited = Hashtbl.create 65_536 in
-  let queue = Queue.create () in
+  (match Spec.check_invariants initial with
+  | Ok () -> ()
+  | Error msg -> raise (Violation (msg, initial)));
+  let visited = Keyset.create 1_024 in
+  let queue = ref (Array.make 1_024 initial) in
+  let keys = ref (Array.make 1_024 "") in
+  let head = ref 0
+  and tail = ref 0 in
   let states = ref 0
   and transitions = ref 0
   and terminals = ref 0
   and max_in_flight = ref 0
   and max_depth = ref 0 in
-  Hashtbl.add visited (Spec.encode initial) ();
-  Queue.push (initial, 0) queue;
-  incr states;
-  while not (Queue.is_empty queue) do
-    let st, depth = Queue.pop queue in
-    if depth > !max_depth then max_depth := depth;
-    let in_flight = List.length st.Spec.flight in
-    if in_flight > !max_in_flight then max_in_flight := in_flight;
-    (match Spec.check_invariants st with
-    | Ok () -> ()
-    | Error msg -> raise (Violation (msg, st)));
-    let succs = Spec.transitions st in
-    if succs = [] then begin
+  let parent = ref initial
+  and parent_key = ref "" in
+  let on_successor st' =
+    incr transitions;
+    let key, fl =
+      Spec.encode_delta ~parent:!parent ~parent_key:!parent_key st'
+    in
+    if Keyset.add_if_absent visited key then begin
+      (match Spec.check_invariants st' with
+      | Ok () -> ()
+      | Error msg -> raise (Violation (msg, st')));
+      incr states;
+      if !states > max_states then too_big max_states;
+      if fl > !max_in_flight then max_in_flight := fl;
+      let q = !queue in
+      let cap = Array.length q in
+      if !tail = cap then begin
+        let nq = Array.make (2 * cap) initial in
+        Array.blit q 0 nq 0 cap;
+        queue := nq;
+        let nk = Array.make (2 * cap) "" in
+        Array.blit !keys 0 nk 0 cap;
+        keys := nk
+      end;
+      !queue.(!tail) <- st';
+      !keys.(!tail) <- key;
+      incr tail
+    end
+  in
+  let key0, fl0 = Spec.encode_len initial in
+  ignore (Keyset.add_if_absent visited key0 : bool);
+  !queue.(0) <- initial;
+  !keys.(0) <- key0;
+  tail := 1;
+  states := 1;
+  max_in_flight := fl0;
+  let level_end = ref 1 in
+  while !head < !tail do
+    if !head = !level_end then begin
+      incr max_depth;
+      level_end := !tail
+    end;
+    let st = !queue.(!head) in
+    parent := st;
+    parent_key := !keys.(!head);
+    (* drop the queue's references so expanded states can die in the
+       minor heap instead of being promoted with the queue array *)
+    !queue.(!head) <- initial;
+    !keys.(!head) <- "";
+    incr head;
+    let succs = Spec.iter_successors st on_successor in
+    if succs = 0 then begin
       incr terminals;
       match Spec.check_terminal st with
       | Ok () -> ()
       | Error msg -> raise (Violation ("terminal: " ^ msg, st))
     end
-    else
-      List.iter
-        (fun (_, st') ->
-          incr transitions;
-          let key = Spec.encode st' in
-          if not (Hashtbl.mem visited key) then begin
-            Hashtbl.add visited key ();
-            incr states;
-            if !states > max_states then
-              failwith
-                (Printf.sprintf "Explore.run: state space exceeds %d" max_states);
-            Queue.push (st', depth + 1) queue
-          end)
-        succs
   done;
   {
     states = !states;
@@ -57,3 +117,93 @@ let run ?(max_states = 5_000_000) ~p ~wishes () =
     max_in_flight = !max_in_flight;
     max_depth = !max_depth;
   }
+
+(* --- parallel BFS -------------------------------------------------------- *)
+
+(* Level-synchronous frontier expansion. Each level runs two parallel
+   phases:
+
+   1. Expand: every frontier state is checked and expanded on some domain;
+      successors come back with their packed key, its hash shard, and
+      their in-flight count.
+
+   2. Dedup: the visited set is sharded by key hash; shard [s] is scanned
+      by exactly one worker, which inserts the fresh keys of its shard in
+      the deterministic (frontier index, successor index) order.
+
+   Every count is a function of the reachable state *set*, the per-state
+   successor lists, and the BFS level structure — none of which depend on
+   domain scheduling — so the stats are identical to the serial run. *)
+
+let run_parallel ~max_states ~pool ~p ~wishes =
+  let shards = Pool.jobs pool in
+  let visited = Array.init shards (fun _ -> Keyset.create 4_096) in
+  let shard_of key = Hashtbl.hash key mod shards in
+  let states = ref 0
+  and transitions = ref 0
+  and terminals = ref 0
+  and max_in_flight = ref 0
+  and max_depth = ref 0 in
+  let initial = Spec.initial ~p ~wishes in
+  let key0, fl0 = Spec.encode_len initial in
+  ignore (Keyset.add_if_absent visited.(shard_of key0) key0 : bool);
+  states := 1;
+  let frontier = ref [| (initial, fl0) |] in
+  let level = ref 0 in
+  while Array.length !frontier > 0 do
+    let fr = !frontier in
+    max_depth := !level;
+    Array.iter
+      (fun (_, fl) -> if fl > !max_in_flight then max_in_flight := fl)
+      fr;
+    let expanded =
+      Pool.map_array pool ~n:(Array.length fr) (fun i ->
+          let st, _ = fr.(i) in
+          match expand_state st with
+          | None -> [||]
+          | Some succs ->
+            Array.of_list
+              (List.map
+                 (fun (_, st') ->
+                   let key, fl = Spec.encode_len st' in
+                   (shard_of key, key, st', fl))
+                 succs))
+    in
+    Array.iter
+      (fun succs ->
+        if Array.length succs = 0 then incr terminals
+        else transitions := !transitions + Array.length succs)
+      expanded;
+    let fresh = Array.make shards [||] in
+    Pool.parallel_for pool ~n:shards (fun s ->
+        let tbl = visited.(s) in
+        let acc = ref [] in
+        let count = ref 0 in
+        Array.iter
+          (Array.iter (fun (sh, key, st', fl) ->
+               if sh = s && Keyset.add_if_absent tbl key then begin
+                 acc := (st', fl) :: !acc;
+                 incr count
+               end))
+          expanded;
+        let a = Array.make !count (initial, 0) in
+        List.iteri (fun k x -> a.(!count - 1 - k) <- x) !acc;
+        fresh.(s) <- a);
+    let next = Array.concat (Array.to_list fresh) in
+    states := !states + Array.length next;
+    if !states > max_states then too_big max_states;
+    frontier := next;
+    incr level
+  done;
+  {
+    states = !states;
+    transitions = !transitions;
+    terminals = !terminals;
+    max_in_flight = !max_in_flight;
+    max_depth = !max_depth;
+  }
+
+let run ?(max_states = 5_000_000) ?(jobs = 1) ~p ~wishes () =
+  if jobs <= 1 then run_serial ~max_states ~p ~wishes
+  else
+    Pool.with_pool ~jobs (fun pool -> run_parallel ~max_states ~pool ~p ~wishes)

@@ -20,8 +20,12 @@ exception Violation of string * Spec.state
 (** Raised the moment any state fails an invariant (or a terminal state
     fails the terminal conditions), with the offending state. *)
 
-val run : ?max_states:int -> p:int -> wishes:int -> unit -> stats
-(** Explore exhaustively.
+val run : ?max_states:int -> ?jobs:int -> p:int -> wishes:int -> unit -> stats
+(** Explore exhaustively. With [jobs > 1] (default 1) the search runs as a
+    level-synchronous parallel BFS over a pool of OCaml domains: the
+    frontier is expanded across domains and the visited set is sharded by
+    key hash, one shard owner per worker. The resulting {!stats} are
+    identical to the serial run for any [jobs].
     @raise Violation on any invariant failure.
     @raise Failure if the state space exceeds [max_states]
     (default 5_000_000). *)

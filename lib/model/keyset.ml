@@ -1,0 +1,76 @@
+type t = {
+  mutable slots : string array;  (* "" = empty slot *)
+  mutable mask : int;  (* capacity - 1, capacity a power of two *)
+  mutable count : int;
+  mutable limit : int;  (* resize threshold: 3/4 of capacity *)
+}
+
+let rec pow2_above c n = if c >= n then c else pow2_above (c * 2) n
+
+let make_slots cap = Array.make cap ""
+
+let create n =
+  let cap = pow2_above 16 (n + (n / 2)) in
+  { slots = make_slots cap; mask = cap - 1; count = 0; limit = cap / 4 * 3 }
+
+(* [Hashtbl.hash] runs in C and is the fastest whole-string hash at
+   hand, but its raw value cannot index the probe table directly: the
+   parallel explorer partitions shards by [Hashtbl.hash key mod shards],
+   so within one shard every key agrees on those residues and a plain
+   [land mask] would cluster catastrophically. The mixer redistributes
+   the bits first. *)
+let mix h =
+  let h = h lxor (h lsr 16) in
+  let h = h * 0x7feb352d in
+  let h = h lxor (h lsr 15) in
+  let h = h * 0x846ca68b in
+  (h lxor (h lsr 16)) land max_int
+
+let[@inline] index t key = mix (Hashtbl.hash key) land t.mask
+
+let rec insert_fresh slots mask i key =
+  if String.length (Array.unsafe_get slots i) = 0 then
+    Array.unsafe_set slots i key
+  else insert_fresh slots mask ((i + 1) land mask) key
+
+let grow t =
+  let cap = (t.mask + 1) * 2 in
+  let slots = make_slots cap in
+  let mask = cap - 1 in
+  Array.iter
+    (fun key ->
+      if String.length key <> 0 then
+        insert_fresh slots mask (mix (Hashtbl.hash key) land mask) key)
+    t.slots;
+  t.slots <- slots;
+  t.mask <- mask;
+  t.limit <- cap / 4 * 3
+
+let add_if_absent t key =
+  let slots = t.slots in
+  let mask = t.mask in
+  let rec probe i =
+    let k = Array.unsafe_get slots i in
+    if String.length k = 0 then begin
+      Array.unsafe_set slots i key;
+      t.count <- t.count + 1;
+      if t.count > t.limit then grow t;
+      true
+    end
+    else if String.equal k key then false
+    else probe ((i + 1) land mask)
+  in
+  probe (index t key)
+
+let mem t key =
+  let slots = t.slots in
+  let mask = t.mask in
+  let rec probe i =
+    let k = Array.unsafe_get slots i in
+    if String.length k = 0 then false
+    else if String.equal k key then true
+    else probe ((i + 1) land mask)
+  in
+  probe (index t key)
+
+let count t = t.count

@@ -16,7 +16,134 @@ type node = {
   wishes_left : int;
 }
 
-type state = { nodes : node array; flight : msg list }
+(* --- packed node words -------------------------------------------------- *)
+
+(* Every scalar field of a node lives in one immutable int, so a state is
+   two small arrays plus the flight list: successor construction copies a
+   couple of flat int/pointer arrays instead of a record per touched
+   node, and the byte encoding below is mask-and-shift straight off the
+   word.
+
+   Layout (63-bit int):
+     bits  0-10  father + 1        (0 = nil; node ids < 1024)
+     bit     11  token_here
+     bit     12  asking
+     bit     13  in_cs
+     bits 14-24  lender
+     bits 25-35  mandator + 1      (0 = none)
+     bits 36-62  wishes_left       (< 2^26, checked in [initial])
+   Queues are the only non-scalar per-node component and stay in their
+   own copy-on-write array. *)
+
+let bit_token = 0x800
+let bit_asking = 0x1000
+let bit_in_cs = 0x2000
+let max_nodes = 1024
+let max_wishes = (1 lsl 26) - 1
+
+let[@inline] nfather w = (w land 0x7ff) - 1
+let[@inline] ntoken w = w land bit_token <> 0
+let[@inline] nasking w = w land bit_asking <> 0
+let[@inline] nincs w = w land bit_in_cs <> 0
+let[@inline] nlender w = (w lsr 14) land 0x7ff
+let[@inline] nmandator w = ((w lsr 25) land 0x7ff) - 1
+let[@inline] nwishes w = w lsr 36
+
+let[@inline] with_father w f = w land lnot 0x7ff lor (f + 1)
+let[@inline] with_lender w l = w land lnot (0x7ff lsl 14) lor (l lsl 14)
+let[@inline] with_mandator w m = w land lnot (0x7ff lsl 25) lor ((m + 1) lsl 25)
+let[@inline] with_wishes w k = w land ((1 lsl 36) - 1) lor (k lsl 36)
+
+let make_word ~father ~token_here ~asking ~in_cs ~lender ~mandator ~wishes_left
+    =
+  father + 1
+  lor (if token_here then bit_token else 0)
+  lor (if asking then bit_asking else 0)
+  lor (if in_cs then bit_in_cs else 0)
+  lor (lender lsl 14)
+  lor ((mandator + 1) lsl 25)
+  lor (wishes_left lsl 36)
+
+(* --- packed messages ---------------------------------------------------- *)
+
+(* An in-flight message is one immediate int, laid out so that plain
+   integer comparison sorts exactly like the record view compared
+   field-by-field with [Req _ < Tok _]:
+
+     bits 22-31  src
+     bits 12-21  dst
+     bit     11  0 = request, 1 = token
+     bits  0-10  request origin, or token lender + 1
+
+   The flight bag is then an [int list] — no per-message allocation
+   beyond the cons cell, and sorting/equality are unboxed compares. *)
+
+let[@inline] mk_req ~src ~dst j = (src lsl 22) lor (dst lsl 12) lor j
+
+let[@inline] mk_tok ~src ~dst l =
+  (src lsl 22) lor (dst lsl 12) lor bit_token lor (l + 1)
+
+let[@inline] msrc m = m lsr 22
+let[@inline] mdst m = (m lsr 12) land 0x3ff
+let[@inline] mis_tok m = m land bit_token <> 0
+let[@inline] mval m = m land 0x7ff
+
+let msg_of_int m =
+  {
+    src = msrc m;
+    dst = mdst m;
+    payload = (if mis_tok m then Tok (mval m - 1) else Req (mval m));
+  }
+
+let int_of_msg { src; dst; payload } =
+  match payload with
+  | Req j -> mk_req ~src ~dst j
+  | Tok l -> mk_tok ~src ~dst l
+
+type state = {
+  packed : int array;
+  queues : int Fdeque.t array;
+  flight : int list;
+}
+
+let num_nodes st = Array.length st.packed
+
+let node st i =
+  let w = st.packed.(i) in
+  {
+    father = nfather w;
+    token_here = ntoken w;
+    asking = nasking w;
+    in_cs = nincs w;
+    lender = nlender w;
+    mandator = nmandator w;
+    queue = st.queues.(i);
+    wishes_left = nwishes w;
+  }
+
+let word_of_node nd =
+  if
+    nd.father < -1
+    || nd.father >= max_nodes - 1
+    || nd.lender < 0
+    || nd.lender >= max_nodes
+    || nd.mandator < -1
+    || nd.mandator >= max_nodes - 1
+    || nd.wishes_left < 0
+    || nd.wishes_left > max_wishes
+  then invalid_arg "Spec: node field out of packable range";
+  make_word ~father:nd.father ~token_here:nd.token_here ~asking:nd.asking
+    ~in_cs:nd.in_cs ~lender:nd.lender ~mandator:nd.mandator
+    ~wishes_left:nd.wishes_left
+
+let set_node st i nd =
+  let packed = Array.copy st.packed in
+  let queues = Array.copy st.queues in
+  packed.(i) <- word_of_node nd;
+  queues.(i) <- nd.queue;
+  { st with packed; queues }
+
+let flight_msgs st = List.map msg_of_int st.flight
 
 let log2 n =
   let rec go acc m = if m = 1 then acc else go (acc + 1) (m lsr 1) in
@@ -24,19 +151,17 @@ let log2 n =
 
 let initial ~p ~wishes =
   let n = 1 lsl p in
+  if n > max_nodes then invalid_arg "Spec.initial: at most 1024 nodes";
+  if wishes < 0 || wishes > max_wishes then
+    invalid_arg "Spec.initial: wishes out of range";
   {
-    nodes =
+    packed =
       Array.init n (fun i ->
-          {
-            father = (if i = 0 then -1 else i land (i - 1));
-            token_here = i = 0;
-            asking = false;
-            in_cs = false;
-            lender = i;
-            mandator = -1;
-            queue = Fdeque.empty;
-            wishes_left = wishes;
-          });
+          make_word
+            ~father:(if i = 0 then -1 else i land (i - 1))
+            ~token_here:(i = 0) ~asking:false ~in_cs:false ~lender:i
+            ~mandator:(-1) ~wishes_left:wishes);
+    queues = Array.make n Fdeque.empty;
     flight = [];
   }
 
@@ -45,237 +170,592 @@ type transition = Wish of int | Deliver of msg | Exit of int
 (* --- pure mirror of the fault-free handlers --------------------------- *)
 
 let power st i =
-  let nd = st.nodes.(i) in
-  if nd.father < 0 then log2 (Array.length st.nodes)
-  else Opencube.dist i nd.father - 1
+  let f = nfather st.packed.(i) in
+  if f < 0 then log2 (Array.length st.packed) else Opencube.dist i f - 1
 
-let set st i nd =
-  let nodes = Array.copy st.nodes in
-  nodes.(i) <- nd;
-  { st with nodes }
+(* Successor construction copies the node-word array {e once} on entry
+   and the queues array only when the transition can touch a deque (most
+   cannot — see the [succ_*] builders); the handlers below then write
+   through that private copy ([set_word] / the queues array). A
+   transition chains several node updates (a delivery that triggers a
+   drain rewrites the same node repeatedly), so threading fresh copies
+   through every update — the obvious functional style — made
+   [transitions] the model checker's dominant allocator. Observable
+   behaviour is unchanged: handlers thread the state value and never
+   write to an array shared with the input state. *)
+let set_word st i w =
+  st.packed.(i) <- w;
+  st
 
-let send st msg = { st with flight = msg :: st.flight }
+(* The flight bag is kept sorted at all times: [initial] starts empty,
+   delivery removes while preserving order, and [send] inserts in place —
+   so successors never need sorting, and equal bags are structurally
+   equal. *)
+let rec insert_sorted (m : int) = function
+  | [] -> [ m ]
+  | m' :: rest as l -> if m <= m' then m :: l else m' :: insert_sorted m rest
+
+let send st m = { st with flight = insert_sorted m st.flight }
 
 (* process one request(j) at node i; the caller guarantees not asking. *)
 let rec process_request st i j =
-  let nd = st.nodes.(i) in
+  let w = st.packed.(i) in
   let pw = power st i in
   let dj = Opencube.dist i j in
-  if dj = pw then begin
+  if dj = pw then
     (* transit *)
-    let st =
-      if nd.token_here then
-        send (set st i { nd with token_here = false; father = j })
-          { src = i; dst = j; payload = Tok (-1) }
-      else
-        send (set st i { nd with father = j })
-          { src = i; dst = nd.father; payload = Req j }
-    in
-    st
-  end
+    if ntoken w then
+      send
+        (set_word st i (with_father (w land lnot bit_token) j))
+        (mk_tok ~src:i ~dst:j (-1))
+    else
+      send (set_word st i (with_father w j)) (mk_req ~src:i ~dst:(nfather w) j)
   else begin
     (* proxy *)
-    let nd = { nd with asking = true } in
-    if nd.token_here then
-      send (set st i { nd with token_here = false })
-        { src = i; dst = j; payload = Tok i }
+    let w' = w lor bit_asking in
+    if ntoken w then
+      send (set_word st i (w' land lnot bit_token)) (mk_tok ~src:i ~dst:j i)
     else
-      send (set st i { nd with mandator = j })
-        { src = i; dst = nd.father; payload = Req i }
+      send
+        (set_word st i (with_mandator w' j))
+        (mk_req ~src:i ~dst:(nfather w) i)
   end
 
 (* drain the deferred queue of node i while it is idle *)
 and drain st i =
-  let nd = st.nodes.(i) in
-  if nd.asking then st
+  if nasking st.packed.(i) then st
   else
-    match Fdeque.pop_front nd.queue with
+    match Fdeque.pop_front st.queues.(i) with
     | None -> st
     | Some (j, rest) ->
-      let st = set st i { nd with queue = rest } in
+      st.queues.(i) <- rest;
       let st = process_request st i j in
       drain st i
 
-let deliver st { src; dst = i; payload } =
-  match payload with
-  | Req j ->
-    let nd = st.nodes.(i) in
-    if nd.asking then set st i { nd with queue = Fdeque.push_back nd.queue j }
+let deliver st m =
+  let src = msrc m in
+  let i = mdst m in
+  if not (mis_tok m) then begin
+    let j = mval m in
+    let w = st.packed.(i) in
+    if nasking w then begin
+      (* re-canonicalise the deque right here (it is tiny), so successor
+         canonicalisation never has to rebuild anything *)
+      st.queues.(i) <- Fdeque.canonical (Fdeque.push_back st.queues.(i) j);
+      st
+    end
     else drain (process_request st i j) i
-  | Tok l ->
-    let nd = st.nodes.(i) in
-    if nd.mandator = i then
+  end
+  else begin
+    let l = mval m - 1 in
+    let w = st.packed.(i) in
+    let mand = nmandator w in
+    if mand = i then
       (* our own wish is granted *)
-      let nd =
-        if l < 0 then
-          { nd with token_here = true; lender = i; father = -1; mandator = -1;
-            in_cs = true }
-        else
-          { nd with token_here = true; lender = l; father = src; mandator = -1;
-            in_cs = true }
+      let w' = w lor bit_token lor bit_in_cs in
+      let w' =
+        if l < 0 then with_mandator (with_father (with_lender w' i) (-1)) (-1)
+        else with_mandator (with_father (with_lender w' l) src) (-1)
       in
-      set st i nd
-    else if nd.mandator >= 0 then begin
+      set_word st i w'
+    else if mand >= 0 then
       (* proxy: honour the mandate *)
-      let m = nd.mandator in
       if l < 0 then
         (* become root and lend; asking remains true until the return *)
         send
-          (set st i { nd with father = -1; lender = i; mandator = -1 })
-          { src = i; dst = m; payload = Tok i }
+          (set_word st i
+             (with_mandator (with_father (with_lender w i) (-1)) (-1)))
+          (mk_tok ~src:i ~dst:mand i)
       else
         let st =
           send
-            (set st i { nd with father = src; mandator = -1; asking = false })
-            { src = i; dst = m; payload = Tok l }
+            (set_word st i
+               (with_mandator (with_father w src) (-1) land lnot bit_asking))
+            (mk_tok ~src:i ~dst:mand l)
         in
         drain st i
-    end
-    else begin
+    else
       (* return after a loan: we rest as the root holder *)
       let st =
-        set st i
-          { nd with token_here = true; lender = i; father = -1; asking = false }
+        set_word st i
+          (with_father (with_lender w i) (-1)
+          land lnot bit_asking
+          lor bit_token)
       in
       drain st i
-    end
+  end
 
 let wish st i =
-  let nd = st.nodes.(i) in
-  let nd = { nd with asking = true; wishes_left = nd.wishes_left - 1 } in
-  if nd.token_here then set st i { nd with lender = i; in_cs = true }
+  let w = st.packed.(i) in
+  let w' = with_wishes (w lor bit_asking) (nwishes w - 1) in
+  if ntoken w then set_word st i (with_lender w' i lor bit_in_cs)
   else
-    send (set st i { nd with mandator = i })
-      { src = i; dst = nd.father; payload = Req i }
+    send (set_word st i (with_mandator w' i)) (mk_req ~src:i ~dst:(nfather w) i)
 
 let exit_cs st i =
-  let nd = st.nodes.(i) in
-  let nd = { nd with in_cs = false; asking = false } in
+  let w = st.packed.(i) in
+  let w' = w land lnot (bit_in_cs lor bit_asking) in
   let st =
-    if nd.lender <> i then
-      send (set st i { nd with token_here = false })
-        { src = i; dst = nd.lender; payload = Tok (-1) }
-    else set st i nd
+    if nlender w <> i then
+      send
+        (set_word st i (w' land lnot bit_token))
+        (mk_tok ~src:i ~dst:(nlender w) (-1))
+    else set_word st i w'
   in
   drain st i
 
 (* --- transition enumeration ------------------------------------------- *)
 
-(* States are deduplicated by their Marshal image, so every component must
-   be in a normal form: sort the in-flight bag and rebalance any deque a
-   transition left in a non-canonical split (same elements => same
-   bytes). *)
-let canonical st =
-  let nodes =
-    if Array.exists (fun nd -> not (Fdeque.is_canonical nd.queue)) st.nodes then
-      Array.map
-        (fun nd ->
-          if Fdeque.is_canonical nd.queue then nd
-          else { nd with queue = Fdeque.canonical nd.queue })
-        st.nodes
-    else st.nodes
+(* States are deduplicated by their packed byte image, so every component
+   must be in a normal form. The handlers keep the flight bag sorted and
+   every deque canonical by construction; the dirty scan below is a
+   cheap safety net. *)
+let canonical_nodes st =
+  let q = st.queues in
+  let n = Array.length q in
+  let rec dirty i =
+    i < n && ((not (Fdeque.is_canonical q.(i))) || dirty (i + 1))
   in
-  { nodes; flight = List.sort compare st.flight }
+  if not (dirty 0) then st
+  else
+    {
+      st with
+      queues =
+        Array.map
+          (fun qq -> if Fdeque.is_canonical qq then qq else Fdeque.canonical qq)
+          q;
+    }
 
-let rec remove_first m = function
-  | [] -> []
-  | x :: tl -> if x = m then tl else x :: remove_first m tl
+let canonical st =
+  let st = canonical_nodes st in
+  { st with flight = List.sort Int.compare st.flight }
+
+(* Successor builders. Each one decides whether the transition can write
+   a deque; if it provably cannot, the successor shares the parent's
+   queues array (a state's arrays are never written after construction,
+   so sharing is safe and saves the copy on the majority of transitions
+   that never look at a queue).
+
+   - [wish] only rewrites node words and sends;
+   - [exit_cs i] drains node [i]'s deque, a no-op when it is empty;
+   - a delivery to [i] can push onto [i]'s deque (request while asking)
+     or drain it — both need [i]'s deque non-empty or [i] asking. *)
+
+let succ_wish st i =
+  canonical_nodes (wish { st with packed = Array.copy st.packed } i)
+
+let succ_exit st i =
+  let st' =
+    if Fdeque.is_empty st.queues.(i) then
+      { st with packed = Array.copy st.packed }
+    else
+      { st with packed = Array.copy st.packed; queues = Array.copy st.queues }
+  in
+  canonical_nodes (exit_cs st' i)
+
+let succ_deliver st m flight' =
+  let i = mdst m in
+  let touches_queue =
+    ((not (mis_tok m)) && nasking st.packed.(i))
+    || not (Fdeque.is_empty st.queues.(i))
+  in
+  let st' =
+    if touches_queue then
+      {
+        packed = Array.copy st.packed;
+        queues = Array.copy st.queues;
+        flight = flight';
+      }
+    else { st with packed = Array.copy st.packed; flight = flight' }
+  in
+  canonical_nodes (deliver st' m)
+
+(* One enumeration core drives both the labelled [transitions] list (used
+   by tests and diagnostics) and the label-free {!iter_successors} hot
+   path of the explorer. Identical in-flight messages lead to identical
+   successors, so a message is delivered only at its first occurrence —
+   the flight bag is a handful of ints, so a prefix scan beats allocating
+   a dedup table, and [rev_append prefix rest] (which preserves
+   sortedness) replaces a remove-first walk. *)
+let iter_core st fwish fexit fdeliver =
+  let count = ref 0 in
+  let n = Array.length st.packed in
+  for i = 0 to n - 1 do
+    let w = Array.unsafe_get st.packed i in
+    if nincs w then begin
+      incr count;
+      fexit i (succ_exit st i)
+    end;
+    if nwishes w > 0 && (not (nasking w)) && not (nincs w) then begin
+      incr count;
+      fwish i (succ_wish st i)
+    end
+  done;
+  let rec go prefix = function
+    | [] -> ()
+    | m :: rest ->
+      if not (List.memq m prefix) then begin
+        incr count;
+        fdeliver m (succ_deliver st m (List.rev_append prefix rest))
+      end;
+      go (m :: prefix) rest
+  in
+  go [] st.flight;
+  !count
 
 let transitions st =
   let acc = ref [] in
-  Array.iteri
-    (fun i nd ->
-      if nd.in_cs then acc := (Exit i, canonical (exit_cs st i)) :: !acc;
-      if nd.wishes_left > 0 && (not nd.asking) && not nd.in_cs then
-        acc := (Wish i, canonical (wish st i)) :: !acc)
-    st.nodes;
-  let seen = Hashtbl.create 8 in
-  List.iter
-    (fun m ->
-      (* identical in-flight messages lead to identical successors *)
-      if not (Hashtbl.mem seen m) then begin
-        Hashtbl.add seen m ();
-        let st' = { st with flight = remove_first m st.flight } in
-        acc := (Deliver m, canonical (deliver st' m)) :: !acc
-      end)
-    st.flight;
+  let (_ : int) =
+    iter_core st
+      (fun i st' -> acc := (Wish i, st') :: !acc)
+      (fun i st' -> acc := (Exit i, st') :: !acc)
+      (fun m st' -> acc := (Deliver (msg_of_int m), st') :: !acc)
+  in
   !acc
+
+let iter_successors st f =
+  let g _ st' = f st' in
+  iter_core st g g g
 
 (* --- invariants -------------------------------------------------------- *)
 
+(* Checked on every explored state: the happy path must not allocate, so
+   errors are built lazily and the token census is a plain fold. *)
 let check_invariants st =
   let in_cs = ref 0 and held = ref 0 in
-  let errors = ref [] in
-  Array.iteri
-    (fun i nd ->
-      if nd.in_cs then begin
-        incr in_cs;
-        if not nd.token_here then
-          errors := Printf.sprintf "node %d in CS without the token" i :: !errors
-      end;
-      if nd.token_here then incr held;
-      if (not nd.asking) && not (Fdeque.is_empty nd.queue) then
-        errors := Printf.sprintf "idle node %d has a non-empty queue" i :: !errors)
-    st.nodes;
+  let error = ref None in
+  let set_err f = error := Some f in
+  let n = Array.length st.packed in
+  for i = 0 to n - 1 do
+    let w = Array.unsafe_get st.packed i in
+    if nincs w then begin
+      incr in_cs;
+      if not (ntoken w) then
+        set_err (fun () -> Printf.sprintf "node %d in CS without the token" i)
+    end;
+    if ntoken w then incr held;
+    if (not (nasking w)) && not (Fdeque.is_empty st.queues.(i)) then
+      set_err (fun () -> Printf.sprintf "idle node %d has a non-empty queue" i)
+  done;
   let in_flight =
-    List.length (List.filter (fun m -> match m.payload with Tok _ -> true | Req _ -> false) st.flight)
+    List.fold_left (fun k m -> if mis_tok m then k + 1 else k) 0 st.flight
   in
-  if !in_cs > 1 then errors := "two nodes in CS" :: !errors;
-  if !held + in_flight <> 1 then
-    errors :=
-      Printf.sprintf "token count %d (held %d, flying %d)" (!held + in_flight)
-        !held in_flight
-      :: !errors;
-  match !errors with [] -> Ok () | e :: _ -> Error e
+  if !in_cs > 1 then set_err (fun () -> "two nodes in CS");
+  if !held + in_flight <> 1 then begin
+    let held = !held in
+    set_err (fun () ->
+        Printf.sprintf "token count %d (held %d, flying %d)" (held + in_flight)
+          held in_flight)
+  end;
+  match !error with None -> Ok () | Some f -> Error (f ())
 
 let check_terminal st =
   let errors = ref [] in
-  Array.iteri
-    (fun i nd ->
-      if nd.wishes_left > 0 then
-        errors := Printf.sprintf "node %d still has wishes (deadlock)" i :: !errors;
-      if nd.asking then
-        errors := Printf.sprintf "node %d still asking (deadlock)" i :: !errors;
-      if nd.in_cs then errors := Printf.sprintf "node %d stuck in CS" i :: !errors)
-    st.nodes;
+  let n = Array.length st.packed in
+  for i = 0 to n - 1 do
+    let w = st.packed.(i) in
+    if nwishes w > 0 then
+      errors :=
+        Printf.sprintf "node %d still has wishes (deadlock)" i :: !errors;
+    if nasking w then
+      errors := Printf.sprintf "node %d still asking (deadlock)" i :: !errors;
+    if nincs w then errors := Printf.sprintf "node %d stuck in CS" i :: !errors
+  done;
   if st.flight <> [] then errors := "messages still in flight" :: !errors;
   let fathers =
-    Array.map (fun nd -> if nd.father < 0 then None else Some nd.father) st.nodes
+    Array.map
+      (fun w -> if nfather w < 0 then None else Some (nfather w))
+      st.packed
   in
   (match Opencube.check (Opencube.of_fathers fathers) with
   | Ok () -> ()
   | Error m -> errors := ("not an open-cube: " ^ m) :: !errors);
-  Array.iteri
-    (fun i nd ->
-      if nd.token_here && nd.father >= 0 then
-        errors := Printf.sprintf "holder %d is not the root" i :: !errors;
-      if nd.token_here && nd.lender <> i then
-        errors := Printf.sprintf "holder %d owes the token to %d" i nd.lender :: !errors)
-    st.nodes;
+  for i = 0 to n - 1 do
+    let w = st.packed.(i) in
+    if ntoken w && nfather w >= 0 then
+      errors := Printf.sprintf "holder %d is not the root" i :: !errors;
+    if ntoken w && nlender w <> i then
+      errors :=
+        Printf.sprintf "holder %d owes the token to %d" i (nlender w) :: !errors
+  done;
   match !errors with [] -> Ok () | e :: _ -> Error e
 
-(* [No_sharing]: the image must depend only on the state's structure.
-   Deque records that happen to be physically shared (e.g. the unique
-   [Fdeque.empty]) would otherwise marshal differently from equal but
-   freshly built ones, splitting one logical state into several keys. *)
-let encode st = Marshal.to_string st [ Marshal.No_sharing ]
+(* --- packed encoding ---------------------------------------------------- *)
+
+(* Visited-set keys used to be [Marshal.to_string st [No_sharing]]: correct
+   but slow (generic traversal, ~200 bytes per 4-node state) and the single
+   hottest line of the model checker. The packed encoding below writes each
+   field as one byte in the common case, so a 4-node state fits in ~40
+   bytes, and hashing/equality on the key shrink proportionally.
+
+   Integer wire format: a value in [0, 253] is a single byte; larger values
+   are the escape byte 254 followed by 8 little-endian bytes. Every field
+   is non-negative after the +1 shifts ([-1] encodes nil for fathers,
+   mandators and token lenders), and the shortest form is mandatory, so the
+   encoding is injective: two canonical states collide iff they are equal.
+
+   The caller must pass a canonical state (sorted flight, canonical
+   deques) — the same contract the Marshal key had. *)
+
+(* Per-domain scratch buffer: encoding is a single closure-free pass into
+   the scratch, then one [Bytes.sub_string] for the final key. *)
+let scratch_key = Domain.DLS.new_key (fun () -> ref (Bytes.create 1024))
+
+let ensure r pos need =
+  let b = !r in
+  if Bytes.length b - pos < need then begin
+    let nb = Bytes.create (2 * (Bytes.length b + need)) in
+    Bytes.blit b 0 nb 0 pos;
+    r := nb;
+    nb
+  end
+  else b
+
+(* Top-level writers threading the position, so the encoder closes over
+   nothing and allocates nothing. The single-byte fast path is forced
+   inline; the escape form stays out of line. *)
+let put_int_escape b pos v =
+  Bytes.unsafe_set b pos '\254';
+  for k = 0 to 7 do
+    Bytes.unsafe_set b (pos + 1 + k)
+      (Char.unsafe_chr ((v lsr (8 * k)) land 0xff))
+  done;
+  pos + 9
+
+let[@inline] put_int b pos v =
+  if v < 254 then begin
+    Bytes.unsafe_set b pos (Char.unsafe_chr v);
+    pos + 1
+  end
+  else put_int_escape b pos v
+
+let put_node r pos w q =
+  let ql = Fdeque.length q in
+  let b = ensure r pos (46 + (9 * ql)) in
+  let pos = put_int b pos (nfather w + 1) in
+  Bytes.unsafe_set b pos (Char.unsafe_chr ((w lsr 11) land 0x7));
+  let pos = put_int b (pos + 1) (nlender w) in
+  let pos = put_int b pos (nmandator w + 1) in
+  let pos = put_int b pos (nwishes w) in
+  let pos = put_int b pos ql in
+  Fdeque.fold (fun pos j -> put_int b pos j) pos q
+
+let rec put_flight r pos = function
+  | [] -> pos
+  | m :: rest ->
+    let b = ensure r pos 28 in
+    let pos = put_int b pos (msrc m) in
+    let pos = put_int b pos (mdst m) in
+    Bytes.unsafe_set b pos (if mis_tok m then '\001' else '\000');
+    let pos = put_int b (pos + 1) (mval m) in
+    put_flight r pos rest
+
+let encode_generic st r n flight_len =
+  let pos = put_int (ensure r 0 18) 0 n in
+  let pos = ref pos in
+  for i = 0 to n - 1 do
+    pos :=
+      put_node r !pos
+        (Array.unsafe_get st.packed i)
+        (Array.unsafe_get st.queues i)
+  done;
+  let pos =
+    put_flight r (put_int (ensure r !pos 9) !pos flight_len) st.flight
+  in
+  (Bytes.sub_string !r 0 pos, flight_len)
+
+(* At model-checkable sizes every field is a single byte (node ids are
+   below [n], and [n < 254]), so when one guard pass confirms that no
+   field needs the escape form the state is written with straight
+   unchecked byte stores. The guard also accumulates a size bound, so
+   the fast path does a single capacity check. *)
+let rec small_nodes st n i size =
+  if i = n then size
+  else
+    let w = Array.unsafe_get st.packed i in
+    let ql = Fdeque.length (Array.unsafe_get st.queues i) in
+    if nwishes w < 254 && ql < 254 then small_nodes st n (i + 1) (size + 6 + ql)
+    else -1
+
+let encode_len st =
+  let n = Array.length st.packed in
+  let flight_len = List.length st.flight in
+  let r = Domain.DLS.get scratch_key in
+  let size = if n < 254 && flight_len < 254 then small_nodes st n 0 2 else -1 in
+  if size < 0 then encode_generic st r n flight_len
+  else begin
+    let size = size + (4 * flight_len) in
+    let b = ensure r 0 size in
+    Bytes.unsafe_set b 0 (Char.unsafe_chr n);
+    let pos = ref 1 in
+    for i = 0 to n - 1 do
+      let w = Array.unsafe_get st.packed i in
+      let p = !pos in
+      Bytes.unsafe_set b p (Char.unsafe_chr (nfather w + 1));
+      Bytes.unsafe_set b (p + 1) (Char.unsafe_chr ((w lsr 11) land 0x7));
+      Bytes.unsafe_set b (p + 2) (Char.unsafe_chr (nlender w));
+      Bytes.unsafe_set b (p + 3) (Char.unsafe_chr (nmandator w + 1));
+      Bytes.unsafe_set b (p + 4) (Char.unsafe_chr (nwishes w));
+      let q = Array.unsafe_get st.queues i in
+      let ql = Fdeque.length q in
+      Bytes.unsafe_set b (p + 5) (Char.unsafe_chr ql);
+      if ql = 0 then pos := p + 6
+      else
+        pos :=
+          Fdeque.fold
+            (fun p j ->
+              Bytes.unsafe_set b p (Char.unsafe_chr j);
+              p + 1)
+            (p + 6) q
+    done;
+    Bytes.unsafe_set b !pos (Char.unsafe_chr flight_len);
+    incr pos;
+    let rec fl p = function
+      | [] -> p
+      | m :: rest ->
+        Bytes.unsafe_set b p (Char.unsafe_chr (msrc m));
+        Bytes.unsafe_set b (p + 1) (Char.unsafe_chr (mdst m));
+        Bytes.unsafe_set b (p + 2) (if mis_tok m then '\001' else '\000');
+        Bytes.unsafe_set b (p + 3) (Char.unsafe_chr (mval m));
+        fl (p + 4) rest
+    in
+    let len = fl !pos st.flight in
+    (Bytes.sub_string b 0 len, flight_len)
+  end
+
+let encode st = fst (encode_len st)
+
+(* A successor differs from its parent in at most a couple of node words
+   plus the flight bag, so when the parent's key is at hand (the explorer
+   keeps it alongside each queued state) the successor's key is the
+   parent's bytes blitted wholesale, changed node words re-written in
+   place, and the flight tail rebuilt. Valid only when the two states
+   agree byte-for-byte on the queue region — guaranteed when they share
+   the queues array (the copy-on-write builders share it exactly when no
+   deque is touched) — and when both fit the all-single-byte fast format;
+   anything else falls back to the generic encoder. Wishes only ever
+   decrease and node ids are below [n], so a small parent implies small
+   changed words. *)
+let encode_delta ~parent ~parent_key st' =
+  let n = Array.length st'.packed in
+  let fl' = List.length st'.flight in
+  if
+    st'.queues != parent.queues
+    || n >= 254 || fl' >= 254
+    || small_nodes parent n 0 2 < 0
+  then encode_len st'
+  else begin
+    let flp = List.length parent.flight in
+    let node_end = String.length parent_key - 1 - (4 * flp) in
+    let len = node_end + 1 + (4 * fl') in
+    let b = Bytes.create len in
+    Bytes.blit_string parent_key 0 b 0 node_end;
+    let off = ref 1 in
+    for i = 0 to n - 1 do
+      let w = Array.unsafe_get st'.packed i in
+      let p = !off in
+      if w <> Array.unsafe_get parent.packed i then begin
+        Bytes.unsafe_set b p (Char.unsafe_chr (nfather w + 1));
+        Bytes.unsafe_set b (p + 1) (Char.unsafe_chr ((w lsr 11) land 0x7));
+        Bytes.unsafe_set b (p + 2) (Char.unsafe_chr (nlender w));
+        Bytes.unsafe_set b (p + 3) (Char.unsafe_chr (nmandator w + 1));
+        Bytes.unsafe_set b (p + 4) (Char.unsafe_chr (nwishes w))
+        (* queue-length byte at [p + 5] is untouched by construction *)
+      end;
+      off := p + 6 + Fdeque.length (Array.unsafe_get st'.queues i)
+    done;
+    assert (!off = node_end);
+    Bytes.unsafe_set b node_end (Char.unsafe_chr fl');
+    let rec fl p = function
+      | [] -> ()
+      | m :: rest ->
+        Bytes.unsafe_set b p (Char.unsafe_chr (msrc m));
+        Bytes.unsafe_set b (p + 1) (Char.unsafe_chr (mdst m));
+        Bytes.unsafe_set b (p + 2) (if mis_tok m then '\001' else '\000');
+        Bytes.unsafe_set b (p + 3) (Char.unsafe_chr (mval m));
+        fl (p + 4) rest
+    in
+    fl (node_end + 1) st'.flight;
+    (Bytes.unsafe_to_string b, fl')
+  end
+
+let decode s =
+  let pos = ref 0 in
+  let get_byte () =
+    let c = Char.code (String.unsafe_get s !pos) in
+    incr pos;
+    c
+  in
+  let get_int () =
+    let c = get_byte () in
+    if c < 254 then c
+    else begin
+      let v = ref 0 in
+      for k = 0 to 7 do
+        v := !v lor (get_byte () lsl (8 * k))
+      done;
+      !v
+    end
+  in
+  let read_node () =
+    let father = get_int () - 1 in
+    let flags = get_byte () in
+    let lender = get_int () in
+    let mandator = get_int () - 1 in
+    let wishes_left = get_int () in
+    let qlen = get_int () in
+    let rec elems k =
+      if k = 0 then []
+      else
+        let x = get_int () in
+        x :: elems (k - 1)
+    in
+    let queue = Fdeque.of_list (elems qlen) in
+    ( make_word ~father
+        ~token_here:(flags land 1 <> 0)
+        ~asking:(flags land 2 <> 0)
+        ~in_cs:(flags land 4 <> 0)
+        ~lender ~mandator ~wishes_left,
+      queue )
+  in
+  let n = get_int () in
+  let packed = Array.make n 0 in
+  let queues = Array.make n Fdeque.empty in
+  for i = 0 to n - 1 do
+    let w, q = read_node () in
+    packed.(i) <- w;
+    queues.(i) <- q
+  done;
+  let fl = get_int () in
+  let rec msgs k =
+    if k = 0 then []
+    else
+      let src = get_int () in
+      let dst = get_int () in
+      let tag = get_byte () in
+      let m =
+        if tag = 0 then mk_req ~src ~dst (get_int ())
+        else mk_tok ~src ~dst (get_int () - 1)
+      in
+      m :: msgs (k - 1)
+  in
+  { packed; queues; flight = msgs fl }
 
 let pp ppf st =
-  Array.iteri
-    (fun i nd ->
-      Format.fprintf ppf
-        "node %d: father=%d token=%b asking=%b in_cs=%b lender=%d mandator=%d \
-         queue=[%s] wishes=%d@."
-        i nd.father nd.token_here nd.asking nd.in_cs nd.lender nd.mandator
-        (String.concat ";" (List.map string_of_int (Fdeque.to_list nd.queue)))
-        nd.wishes_left)
-    st.nodes;
+  for i = 0 to num_nodes st - 1 do
+    let nd = node st i in
+    Format.fprintf ppf
+      "node %d: father=%d token=%b asking=%b in_cs=%b lender=%d mandator=%d \
+       queue=[%s] wishes=%d@."
+      i nd.father nd.token_here nd.asking nd.in_cs nd.lender nd.mandator
+      (String.concat ";" (List.map string_of_int (Fdeque.to_list nd.queue)))
+      nd.wishes_left
+  done;
   List.iter
     (fun m ->
-      let p =
-        match m.payload with
-        | Req j -> Printf.sprintf "request(%d)" j
-        | Tok l -> Printf.sprintf "token(%d)" l
-      in
-      Format.fprintf ppf "flight: %d -> %d : %s@." m.src m.dst p)
+      match msg_of_int m with
+      | { src; dst; payload = Req j } ->
+        Format.fprintf ppf "flight: %d -> %d req(%d)@." src dst j
+      | { src; dst; payload = Tok l } ->
+        Format.fprintf ppf "flight: %d -> %d tok(%d)@." src dst l)
     st.flight

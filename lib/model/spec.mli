@@ -27,13 +27,46 @@ type node = {
   queue : int Ocube_sim.Fdeque.t;  (** deferred request origins, FIFO *)
   wishes_left : int;  (** how many more times this node will want the CS *)
 }
+(** Read-only view of one node, unpacked by {!node}. *)
 
-type state = { nodes : node array; flight : msg list }
-(** [flight] is kept sorted so structurally equal states compare equal. *)
+type state = {
+  packed : int array;
+      (** one int per node: father, flags, lender, mandator and remaining
+          wishes in bit fields — an internal layout; use {!node} to read *)
+  queues : int Ocube_sim.Fdeque.t array;  (** deferred request origins *)
+  flight : int list;
+      (** in-flight messages, one packed int each (see {!flight_msgs});
+          kept sorted so equal states compare equal *)
+}
+(** Treat the fields as opaque: read nodes with {!node} and messages with
+    {!flight_msgs}, build modified states with {!set_node}. Successors may
+    share arrays with their parent — never mutate them. *)
 
 val initial : p:int -> wishes:int -> state
 (** The initial open-cube with the token at node 0 and a budget of
-    [wishes] critical-section entries per node. *)
+    [wishes] critical-section entries per node. At most 1024 nodes and
+    [2{^26} - 1] wishes (the packed-word field widths). *)
+
+val num_nodes : state -> int
+
+val node : state -> int -> node
+(** [node st i] unpacks node [i] into the view record. *)
+
+val set_node : state -> int -> node -> state
+(** [set_node st i nd] is [st] with node [i] replaced — a pure copy, for
+    building test states. Raises [Invalid_argument] if a field does not
+    fit the packed layout. *)
+
+val flight_msgs : state -> msg list
+(** The in-flight bag unpacked into message records, in sorted order. *)
+
+val int_of_msg : msg -> int
+(** Pack a message into its one-int flight representation. Integer order
+    on packed messages coincides with the record order used for the
+    sorted flight bag. *)
+
+val msg_of_int : int -> msg
+(** Inverse of {!int_of_msg}. *)
 
 (** A transition, for diagnostics. *)
 type transition =
@@ -45,6 +78,12 @@ val transitions : state -> (transition * state) list
 (** Every enabled transition with its successor state. The empty list
     means the state is terminal. *)
 
+val iter_successors : state -> (state -> unit) -> int
+(** [iter_successors st f] applies [f] to every successor of [st] (same
+    states as {!transitions}, without materialising the labelled list)
+    and returns how many there were — [0] means terminal. The explorer's
+    hot path: successors are handed to [f] the moment they are built. *)
+
 val check_invariants : state -> (unit, string) result
 (** Safety invariants that must hold in {e every} reachable state:
     at most one node in CS; exactly one token (held or in flight);
@@ -55,7 +94,30 @@ val check_terminal : state -> (unit, string) result
     asking, no message in flight, the father array a valid open-cube, the
     token resting at the root. *)
 
+val canonical : state -> state
+(** Normal form: the in-flight bag sorted, every deque rebalanced so that
+    equal contents are structurally equal. {!transitions} always returns
+    canonical successors. *)
+
 val encode : state -> string
-(** Canonical key for visited-set hashing. *)
+(** Canonical key for visited-set hashing: a compact packed byte string
+    (one byte per field at checkable sizes). The argument must be
+    canonical; then [encode a = encode b] iff [a = b]. *)
+
+val encode_len : state -> string * int
+(** [encode] plus the in-flight message count, read off during the same
+    traversal so the explorer never recomputes [List.length flight]. *)
+
+val encode_delta : parent:state -> parent_key:string -> state -> string * int
+(** Same result as [encode_len st'], computed faster when [st'] is a
+    successor of [parent] (whose key is [parent_key]): the parent's key
+    bytes are reused and only changed node words and the flight tail are
+    rewritten. Falls back to the generic encoder whenever the shortcut's
+    preconditions don't hold, so it is always byte-identical to
+    {!encode}. *)
+
+
+val decode : string -> state
+(** Inverse of {!encode}: [decode (encode st) = st] for canonical [st]. *)
 
 val pp : Format.formatter -> state -> unit

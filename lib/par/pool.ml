@@ -1,0 +1,192 @@
+(* Fixed domain pool with static striping.
+
+   One mutex + two condition variables: [ready] wakes workers when a new
+   batch (identified by [epoch]) is published, [finished] wakes the
+   caller when the last worker of the batch has drained its stripe. The
+   caller always participates as worker 0, so a [jobs]-wide pool holds
+   only [jobs - 1] domains and [jobs = 1] never spawns or locks. *)
+
+type job = { body : int -> unit; n : int }
+
+type t = {
+  width : int;
+  mutex : Mutex.t;
+  ready : Condition.t;
+  finished : Condition.t;
+  mutable job : job option;
+  mutable epoch : int;
+  mutable running : int;  (* workers still inside the current batch *)
+  failures : exn option array;  (* slot w = first exception of worker w *)
+  mutable stopped : bool;
+  mutable domains : unit Domain.t list;
+  mutable busy : bool;  (* caller currently orchestrating a batch *)
+}
+
+(* Set on worker domains so a body that calls back into a pool runs the
+   inner operation serially instead of deadlocking on [busy]. *)
+let in_worker = Domain.DLS.new_key (fun () -> false)
+
+let jobs t = t.width
+
+let stripe body ~n ~width w =
+  let i = ref w in
+  while !i < n do
+    body !i;
+    i := !i + width
+  done
+
+let run_stripe t job w =
+  try stripe job.body ~n:job.n ~width:t.width w
+  with e ->
+    Mutex.lock t.mutex;
+    if t.failures.(w) = None then t.failures.(w) <- Some e;
+    Mutex.unlock t.mutex
+
+let worker t w () =
+  Domain.DLS.set in_worker true;
+  let last = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock t.mutex;
+    while (not t.stopped) && t.epoch = !last do
+      Condition.wait t.ready t.mutex
+    done;
+    if t.stopped then begin
+      Mutex.unlock t.mutex;
+      continue_ := false
+    end
+    else begin
+      let job = Option.get t.job in
+      last := t.epoch;
+      Mutex.unlock t.mutex;
+      run_stripe t job w;
+      Mutex.lock t.mutex;
+      t.running <- t.running - 1;
+      if t.running = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create ~jobs =
+  let width = max 1 jobs in
+  let t =
+    {
+      width;
+      mutex = Mutex.create ();
+      ready = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      epoch = 0;
+      running = 0;
+      failures = Array.make width None;
+      stopped = false;
+      domains = [];
+      busy = false;
+    }
+  in
+  if width > 1 then
+    t.domains <- List.init (width - 1) (fun k -> Domain.spawn (worker t (k + 1)));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.stopped then Mutex.unlock t.mutex
+  else begin
+    t.stopped <- true;
+    Condition.broadcast t.ready;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let serial body n =
+  for i = 0 to n - 1 do
+    body i
+  done
+
+let parallel_for t ~n body =
+  if n <= 0 then ()
+  else if t.width = 1 || t.stopped || Domain.DLS.get in_worker then serial body n
+  else begin
+    Mutex.lock t.mutex;
+    if t.busy then begin
+      (* nested call from the orchestrating domain: degrade to serial *)
+      Mutex.unlock t.mutex;
+      serial body n
+    end
+    else begin
+      t.busy <- true;
+      Array.fill t.failures 0 t.width None;
+      t.job <- Some { body; n };
+      t.epoch <- t.epoch + 1;
+      t.running <- t.width - 1;
+      Condition.broadcast t.ready;
+      Mutex.unlock t.mutex;
+      (* The caller is worker 0; its failure slot is written without the
+         lock, which is safe: no other domain touches slot 0 and the
+         joining handshake below publishes it. *)
+      (try stripe body ~n ~width:t.width 0
+       with e -> if t.failures.(0) = None then t.failures.(0) <- Some e);
+      Mutex.lock t.mutex;
+      while t.running > 0 do
+        Condition.wait t.finished t.mutex
+      done;
+      t.job <- None;
+      t.busy <- false;
+      let exn =
+        Array.fold_left
+          (fun acc f -> match acc with Some _ -> acc | None -> f)
+          None t.failures
+      in
+      Mutex.unlock t.mutex;
+      match exn with Some e -> raise e | None -> ()
+    end
+  end
+
+let map_array t ~n f =
+  if n <= 0 then [||]
+  else begin
+    let r = Array.make n None in
+    parallel_for t ~n (fun i -> r.(i) <- Some (f i));
+    Array.map (function Some v -> v | None -> assert false) r
+  end
+
+let map_list t f xs =
+  let a = Array.of_list xs in
+  Array.to_list (map_array t ~n:(Array.length a) (fun i -> f a.(i)))
+
+let map_reduce t ~n ~map ~init ~combine =
+  Array.fold_left combine init (map_array t ~n map)
+
+(* --- default pool ------------------------------------------------------- *)
+
+let default_width = ref 1
+
+let default_pool = ref None
+
+let shutdown_default () =
+  match !default_pool with
+  | Some p ->
+    default_pool := None;
+    shutdown p
+  | None -> ()
+
+let () = at_exit shutdown_default
+
+let set_default_jobs j =
+  shutdown_default ();
+  default_width := max 1 j
+
+let default_jobs () = !default_width
+
+let default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+    let p = create ~jobs:!default_width in
+    default_pool := Some p;
+    p

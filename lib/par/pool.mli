@@ -1,0 +1,78 @@
+(** Fixed pool of OCaml 5 domains for embarrassingly-parallel loops.
+
+    The pool holds [jobs - 1] worker domains; the calling domain is the
+    remaining worker, so [create ~jobs:1] spawns nothing and every
+    operation degrades to the plain serial loop. Work items are striped
+    statically: worker [w] of [jobs] handles indices [w, w + jobs,
+    w + 2*jobs, ...]. Static striping keeps the assignment of work to
+    domains a pure function of [(index, jobs)], which is what the
+    repo-wide determinism contract needs: any per-worker accumulation is
+    reproducible, and ordered reductions (below) are bit-identical to the
+    serial run regardless of scheduling.
+
+    {b Determinism contract.} [map_array] and [map_reduce] store the
+    result of [f i] in slot [i] and reduce in index order after all
+    workers have joined. Float accumulations (non-associative) therefore
+    produce exactly the serial bits, as long as [f] itself is
+    deterministic and shares no mutable state across indices.
+
+    {b Reentrancy.} Pools are not reentrant: a [body] that calls back
+    into any pool operation (same or different pool) runs that inner
+    operation serially on its own domain. This makes nesting safe
+    (e.g. a parallel harness trial invoking the parallel model checker)
+    at the cost of inner parallelism.
+
+    {b Exceptions.} If bodies raise, the first exception in worker-index
+    order is re-raised in the caller after all workers have finished the
+    batch; the others are discarded. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [max 0 (jobs - 1)] worker domains. [jobs] is
+    clamped to at least 1. The pool stays alive (domains blocked on a
+    condition variable) until {!shutdown}. *)
+
+val jobs : t -> int
+(** Worker count including the calling domain (>= 1). *)
+
+val shutdown : t -> unit
+(** Join all worker domains. Idempotent. Using the pool afterwards runs
+    everything serially. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exception). *)
+
+val parallel_for : t -> n:int -> (int -> unit) -> unit
+(** Run [body i] for [i] in [0 .. n-1], striped across the pool. Returns
+    after every index has completed. *)
+
+val map_array : t -> n:int -> (int -> 'a) -> 'a array
+(** [map_array t ~n f] is [[| f 0; ...; f (n-1) |]], computed in
+    parallel but assembled in index order. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list t f xs] is [List.map f xs] with the applications striped
+    across the pool (the list is indexed once up front). *)
+
+val map_reduce :
+  t -> n:int -> map:(int -> 'a) -> init:'acc -> combine:('acc -> 'a -> 'acc) -> 'acc
+(** [fold_left combine init [| map 0; ...; map (n-1) |]]: the maps run
+    in parallel, the reduction is serial and in index order — bit-identical
+    to the serial loop even for float accumulators. *)
+
+(** {1 Default pool}
+
+    Process-wide pool used by the harness experiments and anything else
+    that wants "the" parallelism level without threading a pool through
+    every call. Defaults to 1 (serial); the [--jobs]/[-jobs] CLI flags
+    set it. *)
+
+val set_default_jobs : int -> unit
+(** Replace the default pool's width. Shuts down any previously created
+    default pool. Clamped to at least 1. *)
+
+val default_jobs : unit -> int
+
+val default : unit -> t
+(** The default pool, created lazily at the width of {!default_jobs}. *)

@@ -50,6 +50,16 @@ let test_replay_bit_identical () =
         Alcotest.failf "index %d unexpectedly failed: %s" index e)
     [ 0; 3; 11; 42; 97 ]
 
+(* The campaign's --jobs contract: same checksum (an in-order hash of
+   every digest), same scenario count, no failure — at any pool width. *)
+let test_parallel_campaign_checksum () =
+  let run jobs = Fuzz.campaign ~iters:120 ~jobs ~fuzz_seed:1618 () in
+  let serial = run 1 and parallel = run 4 in
+  checkb "no serial failure" true (serial.Fuzz.failure = None);
+  checkb "no parallel failure" true (parallel.Fuzz.failure = None);
+  checki "same count" serial.Fuzz.ran parallel.Fuzz.ran;
+  checki "same digest checksum" serial.Fuzz.checksum parallel.Fuzz.checksum
+
 let qcheck_tests =
   let open QCheck in
   [
@@ -204,6 +214,32 @@ let test_injected_bug_caught_and_shrunk () =
     | Ok _ -> Alcotest.fail "reparsed reproducer no longer fails"
     | Error _ -> ())
 
+(* With a buggy algorithm the parallel campaign must converge on the
+   stream's *smallest* failing index — even though later indices in the
+   same chunk also fail — and shrink it to the same reproducer. *)
+let test_parallel_campaign_min_index_failure () =
+  let run jobs =
+    Fuzz.campaign ~build:always_grant_build ~iters:200 ~jobs ~fuzz_seed:31 ()
+  in
+  let serial = run 1 and parallel = run 4 in
+  match (serial.Fuzz.failure, parallel.Fuzz.failure) with
+  | Some a, Some b ->
+    checki "same failing index" a.Fuzz.index b.Fuzz.index;
+    checki "same ran count" serial.Fuzz.ran parallel.Fuzz.ran;
+    checki "same checksum" serial.Fuzz.checksum parallel.Fuzz.checksum;
+    checkb "same scenario" true
+      (String.equal
+         (Scenario.to_string a.Fuzz.scenario)
+         (Scenario.to_string b.Fuzz.scenario));
+    checkb "same shrunk reproducer" true
+      (String.equal
+         (Scenario.to_string a.Fuzz.shrunk)
+         (Scenario.to_string b.Fuzz.shrunk))
+  | None, None ->
+    Alcotest.fail "always-grant survived 200 scenarios - oracle asleep?"
+  | Some _, None -> Alcotest.fail "parallel campaign missed the failure"
+  | None, Some _ -> Alcotest.fail "serial campaign missed the failure"
+
 let suite =
   [
     Alcotest.test_case "smoke: 200 scenarios, six algorithms" `Quick
@@ -212,6 +248,10 @@ let suite =
       test_smoke_opencube_faults;
     Alcotest.test_case "replay is bit-identical" `Quick
       test_replay_bit_identical;
+    Alcotest.test_case "parallel campaign checksum = serial" `Quick
+      test_parallel_campaign_checksum;
+    Alcotest.test_case "parallel campaign finds the min failing index" `Quick
+      test_parallel_campaign_min_index_failure;
     Alcotest.test_case "regression: stale-mandate livelock quiesces" `Quick
       test_regression_livelock;
     Alcotest.test_case "regression: no mid-CS token transit" `Quick

@@ -16,6 +16,7 @@ let () =
       ("model", Test_model.suite);
       ("direct-api", Test_direct_api.suite);
       ("fdeque", Test_fdeque.suite);
+      ("par", Test_par.suite);
       ("fuzz", Test_fuzz.suite);
       ("perf-smoke", Test_perf_smoke.suite);
     ]

@@ -13,8 +13,8 @@ let checkb = Alcotest.(check bool)
 
 let test_initial_state () =
   let st = Spec.initial ~p:2 ~wishes:1 in
-  checkb "node 0 has the token" true st.Spec.nodes.(0).Spec.token_here;
-  checki "father of 3" 2 st.Spec.nodes.(3).Spec.father;
+  checkb "node 0 has the token" true (Spec.node st 0).Spec.token_here;
+  checki "father of 3" 2 (Spec.node st 3).Spec.father;
   checki "no messages" 0 (List.length st.Spec.flight);
   checkb "invariants hold" true (Spec.check_invariants st = Ok ())
 
@@ -35,7 +35,7 @@ let test_holder_wish_enters_directly () =
   let st = Spec.initial ~p:1 ~wishes:1 in
   match List.find_opt (fun (t, _) -> t = Spec.Wish 0) (Spec.transitions st) with
   | Some (_, st') ->
-    checkb "node 0 in CS" true st'.Spec.nodes.(0).Spec.in_cs;
+    checkb "node 0 in CS" true (Spec.node st' 0).Spec.in_cs;
     checki "no message needed" 0 (List.length st'.Spec.flight)
   | None -> Alcotest.fail "wish of node 0 not enabled"
 
@@ -46,9 +46,7 @@ let test_terminal_check_rejects_deadlock () =
 
 let test_invariant_checker_catches_corruption () =
   let st = Spec.initial ~p:1 ~wishes:0 in
-  let nodes = Array.copy st.Spec.nodes in
-  nodes.(1) <- { (nodes.(1)) with Spec.token_here = true };
-  let bad = { st with Spec.nodes = nodes } in
+  let bad = Spec.set_node st 1 { (Spec.node st 1) with Spec.token_here = true } in
   checkb "double token caught" true (Spec.check_invariants bad <> Ok ())
 
 (* --- exhaustive exploration ------------------------------------------------ *)
@@ -79,6 +77,73 @@ let test_exhaustive_four_nodes_two_wishes () =
 let test_exhaustive_four_nodes_three_wishes () =
   let s = explore 2 3 in
   checki "states (p=2,w=3)" 256756 s.Explore.states
+
+(* The parallel explorer's stats are a function of the reachable state
+   set and the level structure, not of domain scheduling: every count
+   must equal the serial run's. *)
+let test_parallel_explore_parity () =
+  List.iter
+    (fun (p, wishes) ->
+      let serial = explore p wishes in
+      let par =
+        try Explore.run ~jobs:4 ~p ~wishes ()
+        with Explore.Violation (msg, _) ->
+          Alcotest.failf "parallel violation: %s" msg
+      in
+      checkb
+        (Printf.sprintf "stats match at p=%d w=%d" p wishes)
+        true (serial = par))
+    [ (1, 2); (2, 1); (2, 2) ]
+
+(* Random canonical states for the encoding properties: a seeded random
+   walk through the transition graph. *)
+let random_walk ~seed ~p ~wishes ~steps =
+  let rng = Ocube_sim.Rng.create seed in
+  let st = ref (Spec.initial ~p ~wishes) in
+  let acc = ref [ !st ] in
+  (try
+     for _ = 1 to steps do
+       match Spec.transitions !st with
+       | [] -> raise Exit
+       | ts ->
+         let _, st' = List.nth ts (Ocube_sim.Rng.int rng (List.length ts)) in
+         st := st';
+         acc := st' :: !acc
+     done
+   with Exit -> ());
+  !acc
+
+let qcheck_encoding_tests =
+  let open QCheck in
+  [
+    Test.make ~count:100 ~name:"decode . encode = id on canonical states"
+      (int_range 0 100_000)
+      (fun seed ->
+        let p = 1 + (seed mod 2) in
+        let states = random_walk ~seed ~p ~wishes:2 ~steps:20 in
+        List.for_all
+          (fun st -> Spec.decode (Spec.encode st) = st)
+          states);
+    Test.make ~count:60
+      ~name:"encode collides iff canonical states are equal"
+      (int_range 0 100_000)
+      (fun seed ->
+        let states =
+          Array.of_list (random_walk ~seed ~p:2 ~wishes:2 ~steps:16)
+        in
+        let n = Array.length states in
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            let same_key =
+              String.equal (Spec.encode states.(i)) (Spec.encode states.(j))
+            in
+            let same_state = states.(i) = states.(j) in
+            if same_key <> same_state then ok := false
+          done
+        done;
+        !ok);
+  ]
 
 let test_state_cap () =
   checkb "cap enforced" true
@@ -154,9 +219,9 @@ let test_spec_matches_des_serial () =
       order;
     let des_fathers = Opencube_algo.snapshot_tree algo in
     let spec_fathers =
-      Array.map
-        (fun nd -> if nd.Spec.father < 0 then None else Some nd.Spec.father)
-        spec_final.Spec.nodes
+      Array.init (Spec.num_nodes spec_final) (fun i ->
+          let f = (Spec.node spec_final i).Spec.father in
+          if f < 0 then None else Some f)
     in
     Alcotest.(check (array (option int)))
       "spec and DES agree on the final tree" des_fathers spec_fathers
@@ -181,6 +246,9 @@ let suite =
     Alcotest.test_case "exhaustive: 4 nodes, 3 wishes (257k states)" `Slow
       test_exhaustive_four_nodes_three_wishes;
     Alcotest.test_case "state cap enforced" `Quick test_state_cap;
+    Alcotest.test_case "parallel explorer = serial counts" `Quick
+      test_parallel_explore_parity;
     Alcotest.test_case "spec = DES on serial schedules" `Quick
       test_spec_matches_des_serial;
   ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_encoding_tests

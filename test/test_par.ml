@@ -1,0 +1,131 @@
+(* Tests for the domain pool: full index coverage, ordered results, the
+   bit-identical reduction contract (including float accumulation), safe
+   nesting, exception propagation — and the pool's integration with the
+   harness: an experiment table rendered at jobs=4 must equal the serial
+   one byte for byte. *)
+
+module Pool = Ocube_par.Pool
+module Registry = Ocube_harness.Registry
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let test_parallel_for_covers_all () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let n = 1000 in
+      let hits = Array.make n 0 in
+      (* Static striping: each index is owned by exactly one worker, so
+         unsynchronised writes to distinct slots are safe. *)
+      Pool.parallel_for pool ~n (fun i -> hits.(i) <- hits.(i) + 1);
+      Array.iteri
+        (fun i h -> if h <> 1 then Alcotest.failf "index %d ran %d times" i h)
+        hits)
+
+let test_map_array_ordered () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let a = Pool.map_array pool ~n:257 (fun i -> (i * i) + 1) in
+      Alcotest.(check (array int))
+        "matches serial init"
+        (Array.init 257 (fun i -> (i * i) + 1))
+        a)
+
+let test_map_list () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 100 (fun i -> i - 50) in
+      Alcotest.(check (list int))
+        "matches List.map" (List.map abs xs)
+        (Pool.map_list pool abs xs))
+
+let test_map_reduce_float_bits () =
+  (* Float addition is not associative: only an in-order reduction can be
+     bit-identical to the serial fold. *)
+  let n = 10_000 in
+  let f i = 1.0 /. float_of_int (i + 3) in
+  let serial = ref 0.0 in
+  for i = 0 to n - 1 do
+    serial := !serial +. f i
+  done;
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let parallel =
+        Pool.map_reduce pool ~n ~map:f ~init:0.0 ~combine:( +. )
+      in
+      checkb "float sum bit-identical" true
+        (Int64.equal (Int64.bits_of_float !serial) (Int64.bits_of_float parallel)))
+
+let test_exception_propagates () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      checkb "body exception reaches the caller" true
+        (try
+           Pool.parallel_for pool ~n:64 (fun i ->
+               if i = 13 then failwith "boom");
+           false
+         with Failure m -> m = "boom"))
+
+let test_nested_calls_run_serially () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let totals =
+        Pool.map_array pool ~n:8 (fun i ->
+            (* Inner operation on the same pool: must degrade to a serial
+               loop instead of deadlocking on the worker rendezvous. *)
+            Pool.map_reduce pool ~n:10 ~map:(fun j -> (10 * i) + j) ~init:0
+              ~combine:( + ))
+      in
+      Alcotest.(check (array int))
+        "nested reductions correct"
+        (Array.init 8 (fun i -> (100 * i) + 45))
+        totals)
+
+let test_jobs_clamped () =
+  Pool.with_pool ~jobs:0 (fun pool -> checki "jobs >= 1" 1 (Pool.jobs pool))
+
+let test_shutdown_degrades_to_serial () =
+  let pool = Pool.create ~jobs:3 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* idempotent *)
+  let a = Pool.map_array pool ~n:10 (fun i -> 2 * i) in
+  Alcotest.(check (array int)) "still correct" (Array.init 10 (fun i -> 2 * i)) a
+
+let test_default_pool () =
+  Pool.set_default_jobs 3;
+  checki "width taken" 3 (Pool.default_jobs ());
+  checki "pool has it" 3 (Pool.jobs (Pool.default ()));
+  Pool.set_default_jobs 1;
+  checki "reset" 1 (Pool.default_jobs ())
+
+(* The repo-wide promise behind `--jobs`: a harness table is the same
+   string at any pool width. recovery-latency fans 25 trials x 4 sizes
+   through Pool.map_array. *)
+let test_harness_table_parity () =
+  let run () =
+    match Registry.find "recovery-latency" with
+    | Some e -> e.Registry.run ()
+    | None -> Alcotest.fail "recovery-latency experiment missing"
+  in
+  Pool.set_default_jobs 1;
+  let serial = run () in
+  Pool.set_default_jobs 4;
+  let parallel = run () in
+  Pool.set_default_jobs 1;
+  checks "table identical at jobs=4" serial parallel
+
+let suite =
+  [
+    Alcotest.test_case "parallel_for covers every index once" `Quick
+      test_parallel_for_covers_all;
+    Alcotest.test_case "map_array is ordered" `Quick test_map_array_ordered;
+    Alcotest.test_case "map_list matches List.map" `Quick test_map_list;
+    Alcotest.test_case "map_reduce float sum is bit-identical" `Quick
+      test_map_reduce_float_bits;
+    Alcotest.test_case "body exceptions propagate" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "nested pool calls run serially" `Quick
+      test_nested_calls_run_serially;
+    Alcotest.test_case "jobs clamped to >= 1" `Quick test_jobs_clamped;
+    Alcotest.test_case "shutdown degrades to serial" `Quick
+      test_shutdown_degrades_to_serial;
+    Alcotest.test_case "default pool width" `Quick test_default_pool;
+    Alcotest.test_case "harness table identical at jobs=4" `Quick
+      test_harness_table_parity;
+  ]
