@@ -1,0 +1,33 @@
+(* ocube-lint driver: walks the .cmt typed ASTs dune produced under the
+   given root and reports [file:line rule-id message] diagnostics.
+
+   Exit codes: 0 clean, 1 findings, 2 environment/usage error. *)
+
+let usage = "oclint [--root DIR] [--allowlist FILE] [--fixture] [DIR ...]"
+
+let () =
+  let root = ref "." in
+  let allowlist_file = ref None in
+  let fixture = ref false in
+  let dirs = ref [] in
+  let spec =
+    [
+      ( "--root",
+        Arg.Set_string root,
+        "DIR directory holding the compiled tree (default .)" );
+      ( "--allowlist",
+        Arg.String (fun f -> allowlist_file := Some f),
+        "FILE checked-in file-granular exemptions" );
+      ( "--fixture",
+        Arg.Set fixture,
+        " lift repo path scoping (fixture corpora: every rule applies)" );
+    ]
+  in
+  Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
+  let dirs = match List.rev !dirs with [] -> [ "lib"; "bin" ] | ds -> ds in
+  let text, code =
+    Ocube_lint.Driver.main ~root:!root ?allowlist_file:!allowlist_file
+      ~fixture:!fixture ~dirs ()
+  in
+  print_string text;
+  exit code

@@ -266,8 +266,7 @@ let run_dot p requests seed output =
     let oc = open_out path in
     output_string oc dot;
     close_out oc;
-    Printf.printf "wrote %s
-" path);
+    Printf.printf "wrote %s\n" path);
   0
 
 let dot_cmd =
@@ -489,6 +488,46 @@ let fuzz_cmd =
       const run_fuzz $ seed_arg $ jobs_arg $ iters_arg $ time_arg $ algos_arg
       $ max_p_arg $ no_faults_arg $ replay_arg $ progress_arg)
 
+(* --- lint ------------------------------------------------------------------- *)
+
+let run_lint root allowlist no_allowlist dirs =
+  let allowlist_file =
+    if no_allowlist || not (Sys.file_exists allowlist) then None
+    else Some allowlist
+  in
+  let dirs = match dirs with [] -> [ "lib"; "bin" ] | ds -> ds in
+  let text, code = Ocube_lint.Driver.main ~root ?allowlist_file ~dirs () in
+  print_string text;
+  code
+
+let lint_cmd =
+  let root_arg =
+    let doc =
+      "Directory holding the compiled tree with .cmt files (run $(b,dune \
+       build @check) first)."
+    in
+    Arg.(value & opt string "_build/default" & info [ "root" ] ~docv:"DIR" ~doc)
+  in
+  let allowlist_arg =
+    let doc = "Checked-in file-granular exemptions (skipped if absent)." in
+    Arg.(value & opt string "lint.allow" & info [ "allowlist" ] ~docv:"FILE" ~doc)
+  in
+  let no_allowlist_arg =
+    let doc = "Ignore the allowlist and report every finding." in
+    Arg.(value & flag & info [ "no-allowlist" ] ~doc)
+  in
+  let dirs_arg =
+    let doc = "Subtrees to scan (default: lib bin)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"DIR" ~doc)
+  in
+  let doc =
+    "Run the ocube-lint typed-AST checks (determinism, handler totality, \
+     abstraction hygiene) over the compiled tree."
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const run_lint $ root_arg $ allowlist_arg $ no_allowlist_arg $ dirs_arg)
+
 (* --- main ------------------------------------------------------------------- *)
 
 let () =
@@ -503,5 +542,5 @@ let () =
        (Cmd.group ~default info
           [
             experiments_cmd; list_cmd; simulate_cmd; tree_cmd; dot_cmd;
-            verify_cmd; walkthrough_cmd; fuzz_cmd;
+            verify_cmd; walkthrough_cmd; fuzz_cmd; lint_cmd;
           ]))

@@ -189,14 +189,17 @@ let shrink_candidates s =
       [ { s with faults = List.map (fun (a, n, _) -> (a, n, None)) s.faults } ]
     else []
   in
+  let unit_delay =
+    match s.delay with Network.Constant d -> d = 1.0 | _ -> false
+  in
   let simpler_delay =
-    if s.delay <> Network.Constant 1.0 then
+    if not unit_delay then
       [ { s with delay = Network.Constant 1.0; serial = false } ]
     else []
   in
+  let unit_cs = match s.cs with Runner.Fixed d -> d = 1.0 | _ -> false in
   let simpler_cs =
-    if s.cs <> Runner.Fixed 1.0 then
-      [ { s with cs = Runner.Fixed 1.0; serial = false } ]
+    if not unit_cs then [ { s with cs = Runner.Fixed 1.0; serial = false } ]
     else []
   in
   let simpler_knobs =

@@ -7,7 +7,6 @@
 
 open Ocube_mutex
 open Ocube_stats
-module Rng = Ocube_sim.Rng
 
 let depth fathers i =
   let rec up acc j =

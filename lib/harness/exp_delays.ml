@@ -10,7 +10,6 @@
 
 open Ocube_mutex
 open Ocube_stats
-module Rng = Ocube_sim.Rng
 
 let models =
   [

@@ -1,0 +1,71 @@
+type entry = { rule : string; path : string; note : string }
+
+type t = entry list
+
+let empty = []
+
+let entries t = t
+
+let normalise_path p =
+  (* "./lib/x.ml" and "lib/x.ml" denote the same file. *)
+  if String.length p >= 2 && String.sub p 0 2 = "./" then
+    String.sub p 2 (String.length p - 2)
+  else p
+
+let is_space c = c = ' ' || c = '\t'
+
+let split_fields line =
+  let n = String.length line in
+  let rec skip i = if i < n && is_space line.[i] then skip (i + 1) else i in
+  let rec word i = if i < n && not (is_space line.[i]) then word (i + 1) else i in
+  let i0 = skip 0 in
+  let i1 = word i0 in
+  let i2 = skip i1 in
+  let i3 = word i2 in
+  let i4 = skip i3 in
+  if i1 = i0 || i3 = i2 then None
+  else
+    Some
+      ( String.sub line i0 (i1 - i0),
+        String.sub line i2 (i3 - i2),
+        String.sub line i4 (n - i4) )
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let stripped = String.trim line in
+      if stripped = "" || stripped.[0] = '#' then go acc (lineno + 1) rest
+      else begin
+        match split_fields stripped with
+        | Some (rule, path, note) ->
+          go
+            ({ rule; path = normalise_path path; note } :: acc)
+            (lineno + 1) rest
+        | None ->
+          Error
+            (Printf.sprintf "allowlist line %d: expected 'rule-id path'"
+               lineno)
+      end
+  in
+  go [] 1 lines
+
+let to_string t =
+  String.concat ""
+    (List.map
+       (fun e ->
+         if e.note = "" then Printf.sprintf "%s %s\n" e.rule e.path
+         else Printf.sprintf "%s %s %s\n" e.rule e.path e.note)
+       t)
+
+let load file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg
+
+let permits t ~rule ~file =
+  let file = normalise_path file in
+  List.exists
+    (fun e -> (e.rule = "*" || e.rule = rule) && e.path = file)
+    t

@@ -1,0 +1,37 @@
+(** Checked-in, file-granular lint exemptions.
+
+    The allowlist is a plain text file, one entry per line:
+
+    {v
+    # comment
+    rule-id path/to/file.ml     optional trailing justification
+    v}
+
+    An entry permits every finding of [rule-id] in exactly that file (paths
+    are compared after normalisation, relative to the project root). The
+    wildcard rule id [*] permits all rules for the file. Finer-grained
+    suppression belongs in the source as a [[@ocube.lint.allow "rule"]]
+    attribute, not here. *)
+
+type entry = {
+  rule : string;
+  path : string;
+  note : string;  (** trailing free-form justification; may be empty *)
+}
+
+type t
+
+val empty : t
+
+val entries : t -> entry list
+
+val of_string : string -> (t, string) result
+(** Parse allowlist text; [Error] names the first malformed line. *)
+
+val to_string : t -> string
+(** Render back to the textual form ([of_string] round-trips it). *)
+
+val load : string -> (t, string) result
+(** Read and parse the given file. A missing file is an error. *)
+
+val permits : t -> rule:string -> file:string -> bool

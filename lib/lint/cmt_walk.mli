@@ -1,0 +1,22 @@
+(** The typed-AST analysis pass.
+
+    Walks one compiled module's typedtree (as stored in the [.cmt] files
+    dune produces) and reports findings for every rule except
+    [mli-coverage], which is a file-level check performed by {!Driver}.
+
+    Suppression: a finding is dropped when the offending site, or any
+    enclosing expression / value binding, carries
+    [[@ocube.lint.allow "rule-id ..."]] (several ids separated by spaces or
+    commas; ["*"] or an empty payload allows everything), or when the file
+    carries a floating [[@@@ocube.lint.allow "..."]]. *)
+
+val check_structure :
+  source:string ->
+  fixture:bool ->
+  Typedtree.structure ->
+  Diag.t list
+(** [check_structure ~source ~fixture str] returns the findings for one
+    module. [source] is the project-root-relative path of the [.ml] file
+    (used both for diagnostics and for rule scoping); [fixture] disables
+    the repo path scoping so that every rule applies. The result is
+    unsorted and not yet filtered by any {!Allowlist}. *)

@@ -1,0 +1,42 @@
+type t = { file : string; line : int; rule : string; message : string }
+
+let make ~file ~line ~rule ~message = { file; line; rule; message }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = String.compare a.rule b.rule in
+      if c <> 0 then c else String.compare a.message b.message
+
+let equal a b = compare a b = 0
+
+let to_string d = Printf.sprintf "%s:%d %s %s" d.file d.line d.rule d.message
+
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i -> (
+    let file = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match String.index_opt rest ' ' with
+    | None -> None
+    | Some j -> (
+      match int_of_string_opt (String.sub rest 0 j) with
+      | None -> None
+      | Some line -> (
+        let rest = String.sub rest (j + 1) (String.length rest - j - 1) in
+        match String.index_opt rest ' ' with
+        | None -> None
+        | Some k ->
+          let rule = String.sub rest 0 k in
+          let message =
+            String.sub rest (k + 1) (String.length rest - k - 1)
+          in
+          if file = "" || rule = "" || line < 1 then None
+          else Some { file; line; rule; message })))
+
+let sort_uniq ds = List.sort_uniq compare ds

@@ -1,0 +1,28 @@
+(** A single lint finding.
+
+    The textual form is the contract with the golden fixture files and the
+    CI log scrapers: [file:line rule-id message], one per line, sorted. *)
+
+type t = {
+  file : string;  (** source path relative to the project root *)
+  line : int;  (** 1-based line of the offending site *)
+  rule : string;  (** rule identifier, e.g. ["determinism"] *)
+  message : string;  (** human explanation; single line *)
+}
+
+val make : file:string -> line:int -> rule:string -> message:string -> t
+
+val compare : t -> t -> int
+(** Order by file, then line, then rule, then message. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** [file:line rule-id message]. *)
+
+val of_string : string -> t option
+(** Parse the [to_string] form back; [None] on malformed input. Total
+    inverse of {!to_string} for any diagnostic whose file contains no [':']
+    and whose message contains no newline. *)
+
+val sort_uniq : t list -> t list

@@ -1,0 +1,116 @@
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let starts_with ~prefix s =
+  let lp = String.length prefix in
+  String.length s >= lp && String.sub s 0 lp = prefix
+
+let find_cmts ~root ~dirs =
+  let acc = ref [] in
+  let rec walk dir =
+    match Sys.readdir dir with
+    | entries ->
+      Array.sort String.compare entries;
+      Array.iter
+        (fun entry ->
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then walk path
+          else if ends_with ~suffix:".cmt" entry then acc := path :: !acc)
+        entries
+    | exception Sys_error _ -> ()
+  in
+  List.iter
+    (fun d ->
+      let dir = Filename.concat root d in
+      if Sys.file_exists dir && Sys.is_directory dir then walk dir)
+    dirs;
+  List.sort String.compare !acc
+
+(* dune compiles wrapped-library alias shims from generated "*.ml-gen"
+   sources; they carry no user code and no interface. *)
+let generated_source src = ends_with ~suffix:"-gen" src
+
+let source_of_cmt (cmt : Cmt_format.cmt_infos) =
+  match cmt.cmt_sourcefile with
+  | Some src when ends_with ~suffix:".ml" src -> Some src
+  | _ -> None
+
+let mli_coverage_check ~fixture ~cmt_path ~source =
+  let scope_ok = fixture || starts_with ~prefix:"lib/" source in
+  if not scope_ok then None
+  else
+    let cmti = Filename.remove_extension cmt_path ^ ".cmti" in
+    if Sys.file_exists cmti then None
+    else
+      Some
+        (Diag.make ~file:source ~line:1
+           ~rule:(Rules.id_to_string Rules.Mli_coverage)
+           ~message:
+             "module has no .mli interface; every library module declares \
+              its surface")
+
+let run ?(allowlist = Allowlist.empty) ?(fixture = false) ~root ~dirs () =
+  let cmts = find_cmts ~root ~dirs in
+  if cmts = [] then
+    Error
+      (Printf.sprintf
+         "no .cmt files under %s in %s; run 'dune build' first" root
+         (String.concat ", " dirs))
+  else begin
+    let seen = Hashtbl.create 64 in
+    let diags = ref [] in
+    let problem = ref None in
+    List.iter
+      (fun cmt_path ->
+        match Cmt_format.read_cmt cmt_path with
+        | exception exn ->
+          if !problem = None then
+            problem :=
+              Some
+                (Printf.sprintf "cannot read %s: %s" cmt_path
+                   (Printexc.to_string exn))
+        | cmt -> (
+          match source_of_cmt cmt with
+          | None -> ()
+          | Some source when generated_source source -> ()
+          | Some source ->
+            if not (Hashtbl.mem seen source) then begin
+              Hashtbl.add seen source ();
+              (match mli_coverage_check ~fixture ~cmt_path ~source with
+              | Some d -> diags := d :: !diags
+              | None -> ());
+              match cmt.cmt_annots with
+              | Cmt_format.Implementation str ->
+                diags :=
+                  Cmt_walk.check_structure ~source ~fixture str @ !diags
+              | _ -> ()
+            end))
+      cmts;
+    match !problem with
+    | Some msg -> Error msg
+    | None ->
+      let kept =
+        List.filter
+          (fun (d : Diag.t) ->
+            not (Allowlist.permits allowlist ~rule:d.rule ~file:d.file))
+          !diags
+      in
+      Ok (Diag.sort_uniq kept)
+  end
+
+let render diags = String.concat "" (List.map (fun d -> Diag.to_string d ^ "\n") diags)
+
+let main ?(root = ".") ?allowlist_file ?(fixture = false) ~dirs () =
+  let allowlist =
+    match allowlist_file with
+    | None -> Ok Allowlist.empty
+    | Some f -> Allowlist.load f
+  in
+  match allowlist with
+  | Error msg -> (Printf.sprintf "oclint: %s\n" msg, 2)
+  | Ok allowlist -> (
+    match run ~allowlist ~fixture ~root ~dirs () with
+    | Error msg -> (Printf.sprintf "oclint: %s\n" msg, 2)
+    | Ok [] -> ("", 0)
+    | Ok diags -> (render diags, 1))

@@ -1,0 +1,40 @@
+(** Discovering [.cmt] files and running the full lint pass.
+
+    The driver is pure with respect to output: it returns diagnostics and
+    rendered text, and the executables ([bin/oclint], [ocmutex lint])
+    decide where to print. *)
+
+val find_cmts : root:string -> dirs:string list -> string list
+(** Recursively collect [*.cmt] files under [root/dir] for each [dir]
+    (typically the [_build/default/lib] and [_build/default/bin] trees),
+    sorted. *)
+
+val run :
+  ?allowlist:Allowlist.t ->
+  ?fixture:bool ->
+  root:string ->
+  dirs:string list ->
+  unit ->
+  (Diag.t list, string) result
+(** Load every [.cmt], run {!Cmt_walk.check_structure} plus the
+    [mli-coverage] file check, filter through the allowlist, and return the
+    sorted, deduplicated findings. [fixture] (default [false]) lifts the
+    repo path scoping so fixture corpora exercise every rule. [Error] is
+    reserved for environment problems (unreadable [.cmt], bad root), not
+    findings. *)
+
+val render : Diag.t list -> string
+(** One [file:line rule-id message] per line, in {!Diag.compare} order,
+    with a trailing summary line omitted: the output is exactly the golden
+    format. *)
+
+val main :
+  ?root:string ->
+  ?allowlist_file:string ->
+  ?fixture:bool ->
+  dirs:string list ->
+  unit ->
+  string * int
+(** End-to-end run for the CLIs: returns the text to print (diagnostics or
+    an error message) and the process exit code — 0 clean, 1 findings,
+    2 environment error. *)

@@ -1,0 +1,105 @@
+type id =
+  | Determinism
+  | No_poly_compare
+  | No_marshal
+  | Handler_totality
+  | Io_hygiene
+  | Mli_coverage
+
+let id_to_string = function
+  | Determinism -> "determinism"
+  | No_poly_compare -> "no-poly-compare"
+  | No_marshal -> "no-marshal"
+  | Handler_totality -> "handler-totality"
+  | Io_hygiene -> "io-hygiene"
+  | Mli_coverage -> "mli-coverage"
+
+let all =
+  [
+    (Determinism, "no ambient time or randomness outside lib/sim/rng.ml");
+    (No_poly_compare, "no structural compare at representation-varying types");
+    (No_marshal, "no Marshal in library code (use Spec.encode)");
+    (Handler_totality, "protocol-message matches name every constructor");
+    (Io_hygiene, "no direct printing or exit in library code");
+    (Mli_coverage, "every library module has an interface file");
+  ]
+
+let is_rule_id s =
+  s = "*" || List.exists (fun (i, _) -> id_to_string i = s) all
+
+let determinism_banned =
+  [
+    "Unix.gettimeofday";
+    "Unix.time";
+    "Unix.times";
+    "Unix.localtime";
+    "Unix.gmtime";
+    "Sys.time";
+    "Random.";
+  ]
+
+let marshal_banned = [ "Marshal." ]
+
+let io_banned =
+  [
+    "print_string";
+    "print_bytes";
+    "print_int";
+    "print_char";
+    "print_float";
+    "print_endline";
+    "print_newline";
+    "prerr_string";
+    "prerr_endline";
+    "prerr_newline";
+    "Printf.printf";
+    "Printf.eprintf";
+    "Format.printf";
+    "Format.eprintf";
+    "Format.print_string";
+    "Format.print_newline";
+    "exit";
+  ]
+
+let poly_compare_functions =
+  [
+    "=";
+    "<>";
+    "<";
+    ">";
+    "<=";
+    ">=";
+    "compare";
+    "min";
+    "max";
+    "List.mem";
+    "List.assoc";
+    "List.assoc_opt";
+    "List.mem_assoc";
+    "Hashtbl.hash";
+  ]
+
+let safe_named_types =
+  [
+    (* stdlib aliases of primitive types *)
+    "String.t";
+    "Bytes.t";
+    "Int.t";
+    "Float.t";
+    "Char.t";
+    "Bool.t";
+    "Unit.t";
+    "Int32.t";
+    "Int64.t";
+    "Nativeint.t";
+    (* project abbreviations of int *)
+    "Types.node_id";
+    "node_id";
+    (* flat integer records: one canonical representation *)
+    "Types.request_id";
+    "request_id";
+  ]
+
+let protocol_types = [ "Message.t" ]
+
+let rng_module = "lib/sim/rng.ml"

@@ -1,0 +1,59 @@
+(** The rule catalogue and per-rule configuration.
+
+    Scoping policy (repo mode; fixture mode treats every file as library
+    code):
+
+    - [determinism]: library code may not read ambient time or global
+      randomness; all randomness flows through [lib/sim/rng.ml]. Applies
+      to [lib/] (minus the RNG itself) and [bin/].
+    - [no-poly-compare]: structural [=]/[compare]/[List.mem]/... applied
+      at a type whose runtime representation is not canonical (functional
+      queues, protocol messages, node records, type variables). Applies to
+      [lib/] and [bin/].
+    - [no-marshal]: [Marshal] has no place in [lib/]; the packed
+      [Spec.encode] codec exists precisely to avoid it.
+    - [handler-totality]: a [match]/[function] over the protocol message
+      type must name every constructor; no [_] or binding catch-all arm.
+    - [io-hygiene]: no direct stdout/stderr printing and no [exit] in
+      [lib/]; output flows through [Trace] or returned strings.
+    - [mli-coverage]: every [.ml] in [lib/] has a [.mli]. *)
+
+type id =
+  | Determinism
+  | No_poly_compare
+  | No_marshal
+  | Handler_totality
+  | Io_hygiene
+  | Mli_coverage
+
+val id_to_string : id -> string
+
+val all : (id * string) list
+(** Every rule with a one-line summary, in catalogue order. *)
+
+val is_rule_id : string -> bool
+(** Is this string the id of a known rule (or the wildcard ["*"])? *)
+
+val determinism_banned : string list
+(** Banned value paths (normalised, [Stdlib.] stripped). Entries ending in
+    ['.'] are prefix bans (e.g. ["Random."]). *)
+
+val marshal_banned : string list
+
+val io_banned : string list
+
+val poly_compare_functions : string list
+(** Structural-comparison entry points whose instantiation type is
+    inspected. *)
+
+val safe_named_types : string list
+(** Named types (normalised path suffixes) with a canonical runtime
+    representation, for which structural comparison is deterministic and
+    correct: flat integer records like [Types.request_id]. *)
+
+val protocol_types : string list
+(** Path suffixes identifying the protocol message type for
+    [handler-totality]. *)
+
+val rng_module : string
+(** The one library file allowed to own randomness. *)

@@ -138,7 +138,7 @@ let run_serial ~max_states ~p ~wishes =
 let run_parallel ~max_states ~pool ~p ~wishes =
   let shards = Pool.jobs pool in
   let visited = Array.init shards (fun _ -> Keyset.create 4_096) in
-  let shard_of key = Hashtbl.hash key mod shards in
+  let shard_of (key : string) = Hashtbl.hash key mod shards in
   let states = ref 0
   and transitions = ref 0
   and terminals = ref 0

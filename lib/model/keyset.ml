@@ -26,7 +26,7 @@ let mix h =
   let h = h * 0x846ca68b in
   (h lxor (h lsr 16)) land max_int
 
-let[@inline] index t key = mix (Hashtbl.hash key) land t.mask
+let[@inline] index t (key : string) = mix (Hashtbl.hash key) land t.mask
 
 let rec insert_fresh slots mask i key =
   if String.length (Array.unsafe_get slots i) = 0 then

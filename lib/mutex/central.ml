@@ -3,7 +3,6 @@ open Types
 type t = {
   net : Net.t;
   callbacks : callbacks;
-  n : int;
   waiting : node_id Queue.t;  (* coordinator state *)
   mutable busy : bool;  (* token granted and not yet released *)
   mutable holder : node_id option;  (* who is in CS *)
@@ -57,7 +56,6 @@ let create ~net ~callbacks ~n () =
     {
       net;
       callbacks;
-      n;
       waiting = Queue.create ();
       busy = false;
       holder = None;

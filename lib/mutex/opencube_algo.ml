@@ -29,7 +29,6 @@ let default_config ~p =
 type pending = Wish | Preq of { origin : node_id; rid : request_id }
 
 type loan = {
-  borrower : node_id;
   loan_rid : request_id;
   direct : bool;
   mutable sent_acks : int;
@@ -48,15 +47,11 @@ type search = {
   mutable try_later : node_id list;
   mutable retries : int;
   mutable phase_timer : Net.timer option;
-  resume_request : bool;
 }
 
 type node = {
   id : node_id;
   mutable father : node_id option;
-  mutable connected : bool;
-      (* false only while a recovery search has not yet concluded: the
-         father field is meaningless then. *)
   mutable token_here : bool;
   mutable asking : bool;
   mutable in_cs : bool;
@@ -154,7 +149,12 @@ let send t ~src ~dst payload =
   | Message.Token _ ->
     t.tokens_in_flight <- t.tokens_in_flight + 1;
     t.nodes.(src).last_token_seen <- Ocube_sim.Engine.now (Net.engine t.net)
-  | _ -> ());
+  | Message.Request _ | Message.Enquiry _ | Message.Enquiry_answer _
+  | Message.Test _ | Message.Test_answer _ | Message.Anomaly _
+  | Message.Void _ | Message.Census _ | Message.Census_reply _
+  | Message.Release | Message.Sk_request _ | Message.Sk_privilege _
+  | Message.Ra_request _ | Message.Ra_reply ->
+    ());
   Net.send t.net ~src ~dst payload
 
 let token_received t = t.tokens_in_flight <- t.tokens_in_flight - 1
@@ -318,7 +318,7 @@ and process_request t nd ~origin ~rid =
     (* Proxy behaviour: serve j's request on our own account. *)
     nd.asking <- true;
     if nd.token_here then begin
-      nd.loan <- Some { borrower = j; loan_rid = rid; direct = j = rid.source; sent_acks = 0 };
+      nd.loan <- Some { loan_rid = rid; direct = j = rid.source; sent_acks = 0 };
       send t ~src:nd.id ~dst:j
         (Message.Token { lender = Some nd.id; rid = Some rid });
       nd.token_here <- false;
@@ -441,7 +441,6 @@ and receive_token_integrate t nd ~from_ ~lender ~rid =
     | Some l ->
       nd.lender <- l;
       nd.father <- Some from_);
-    nd.connected <- true;
     nd.mandator <- None;
     nd.mandate_rid <- None;
     (match rid with Some r -> remember_rid nd r | None -> ());
@@ -459,21 +458,19 @@ and receive_token_integrate t nd ~from_ ~lender ~rid =
     | None ->
       (* token(nil): we become the root and lend it to our mandator. *)
       nd.father <- None;
-      nd.connected <- true;
       nd.lender <- nd.id;
       let loan_rid =
         match granted_rid with
         | Some r -> r
         | None -> { source = m; seq = -1 } (* unreachable in practice *)
       in
-      nd.loan <- Some { borrower = m; loan_rid; direct = m = loan_rid.source; sent_acks = 0 };
+      nd.loan <- Some { loan_rid; direct = m = loan_rid.source; sent_acks = 0 };
       send t ~src:nd.id ~dst:m
         (Message.Token { lender = Some nd.id; rid = granted_rid });
       arm_loan_timer t nd
       (* asking remains true until the token returns. *)
     | Some l ->
       nd.father <- Some from_;
-      nd.connected <- true;
       send t ~src:nd.id ~dst:m (Message.Token { lender = Some l; rid = granted_rid });
       nd.asking <- false;
       drain t nd)
@@ -490,7 +487,6 @@ and receive_token_integrate t nd ~from_ ~lender ~rid =
       nd.token_here <- true;
       nd.lender <- nd.id;
       nd.father <- None;
-      nd.connected <- true;
       nd.asking <- false;
       drain t nd
     | None -> (
@@ -501,7 +497,6 @@ and receive_token_integrate t nd ~from_ ~lender ~rid =
         t.s_unexpected_tokens <- t.s_unexpected_tokens + 1;
         nd.token_here <- true;
         nd.father <- None;
-        nd.connected <- true;
         nd.lender <- nd.id;
         nd.asking <- false;
         drain t nd
@@ -553,7 +548,7 @@ and regenerate_token t nd =
     in
     nd.mandator <- None;
     nd.mandate_rid <- None;
-    nd.loan <- Some { borrower = m; loan_rid; direct = m = loan_rid.source; sent_acks = 0 };
+    nd.loan <- Some { loan_rid; direct = m = loan_rid.source; sent_acks = 0 };
     send t ~src:nd.id ~dst:m
       (Message.Token { lender = Some nd.id; rid = Some loan_rid });
     nd.token_here <- false;
@@ -612,7 +607,6 @@ and receive_enquiry_answer t nd ~rid ~answer =
         nd.loan <- None;
         cancel_timer t nd.loan_timer;
         nd.loan_timer <- None;
-        nd.connected <- false;
         start_search t nd ~phase:1 ~resume:false
       end
       else begin
@@ -636,8 +630,7 @@ and stop_search t nd =
   | Some s ->
     cancel_timer t s.phase_timer;
     s.phase_timer <- None;
-    nd.search <- None;
-    nd.connected <- true
+    nd.search <- None
 
 and ring_at_distance t nd d =
   (* The 2^(d-1) nodes at distance exactly d: the sibling (d-1)-block. *)
@@ -683,7 +676,6 @@ and start_search t nd ~phase ~resume =
         try_later = [];
         retries = 0;
         phase_timer = None;
-        resume_request = resume;
       }
     in
     nd.search <- Some s;
@@ -802,7 +794,6 @@ and receive_census_reply t nd ~reply =
       nd.mandate_searches <- 0;
       nd.mandate_excluded <- [];
       stop_search t nd;
-      nd.connected <- false;
       let backoff =
         ((2.0 *. delta t) +. t.config.cs_estimate)
         *. (1.0 +. (float_of_int nd.id /. float_of_int (4 * Array.length t.nodes)))
@@ -817,7 +808,6 @@ and receive_census_reply t nd ~reply =
 and conclude_father t nd k =
   stop_search t nd;
   nd.father <- Some k;
-  nd.connected <- true;
   if nd.mandate_rid <> None then begin
     (* Regenerate the pending request towards the new father; remember it
        so that a fruitless adoption is not repeated for this mandate. *)
@@ -836,7 +826,6 @@ and conclude_father t nd k =
 and regenerate_as_root t nd =
   stop_search t nd;
   nd.father <- None;
-  nd.connected <- true;
   t.s_token_regenerations <- t.s_token_regenerations + 1;
   nd.token_here <- true;
   nd.lender <- nd.id;
@@ -854,7 +843,7 @@ and regenerate_as_root t nd =
     in
     nd.mandator <- None;
     nd.mandate_rid <- None;
-    nd.loan <- Some { borrower = m; loan_rid; direct = m = loan_rid.source; sent_acks = 0 };
+    nd.loan <- Some { loan_rid; direct = m = loan_rid.source; sent_acks = 0 };
     send t ~src:nd.id ~dst:m
       (Message.Token { lender = Some nd.id; rid = Some loan_rid });
     nd.token_here <- false;
@@ -986,7 +975,6 @@ let fresh_node ~cube ~dedup_window i =
   {
     id = i;
     father = Opencube.father cube i;
-    connected = true;
     token_here = i = 0;
     asking = false;
     in_cs = false;
@@ -1046,7 +1034,12 @@ let create ~net ~callbacks ~config =
   Net.set_drop_handler net (fun ~dst:_ payload ->
       match payload with
       | Message.Token _ -> t.tokens_in_flight <- t.tokens_in_flight - 1
-      | _ -> ());
+      | Message.Request _ | Message.Enquiry _ | Message.Enquiry_answer _
+      | Message.Test _ | Message.Test_answer _ | Message.Anomaly _
+      | Message.Void _ | Message.Census _ | Message.Census_reply _
+      | Message.Release | Message.Sk_request _ | Message.Sk_privilege _
+      | Message.Ra_request _ | Message.Ra_reply ->
+        ());
   t
 
 let request_cs t i =
@@ -1076,7 +1069,6 @@ let on_recovered t i =
      sequence numbers are salted by the incarnation so that rids from the
      previous life cannot alias new ones. *)
   nd.father <- None;
-  nd.connected <- false;
   nd.token_here <- false;
   nd.asking <- true;
   nd.in_cs <- false;

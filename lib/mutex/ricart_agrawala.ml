@@ -38,7 +38,12 @@ let handle_message t i ~src payload =
     ignore src;
     nd.replies_missing <- nd.replies_missing - 1;
     if nd.replies_missing = 0 && nd.requesting && not nd.in_cs then enter t nd
-  | _ -> invalid_arg "Ricart_agrawala: unexpected message kind"
+  | Message.Request _ | Message.Token _ | Message.Enquiry _
+  | Message.Enquiry_answer _ | Message.Test _ | Message.Test_answer _
+  | Message.Anomaly _ | Message.Void _ | Message.Census _
+  | Message.Census_reply _ | Message.Release | Message.Sk_request _
+  | Message.Sk_privilege _ ->
+    invalid_arg "Ricart_agrawala: unexpected message kind"
 
 let create ~net ~callbacks ~n () =
   if Net.size net <> n then invalid_arg "Ricart_agrawala.create: size mismatch";

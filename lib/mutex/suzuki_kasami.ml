@@ -74,7 +74,12 @@ let handle_message t i ~src payload =
     nd.ln <- ln;
     (* The token only travels towards a requester. *)
     enter t nd
-  | _ -> invalid_arg "Suzuki_kasami: unexpected message kind"
+  | Message.Request _ | Message.Token _ | Message.Enquiry _
+  | Message.Enquiry_answer _ | Message.Test _ | Message.Test_answer _
+  | Message.Anomaly _ | Message.Void _ | Message.Census _
+  | Message.Census_reply _ | Message.Release | Message.Ra_request _
+  | Message.Ra_reply ->
+    invalid_arg "Suzuki_kasami: unexpected message kind"
 
 let create ~net ~callbacks ~n () =
   if Net.size net <> n then invalid_arg "Suzuki_kasami.create: size mismatch";

@@ -76,7 +76,9 @@ let render t =
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
-let print t = print_string (render t)
+(* The one sanctioned console sink of the stats layer: examples and bin/
+   call it at top level, where printing is the point. *)
+let print t = print_string (render t) [@@ocube.lint.allow "io-hygiene"]
 
 let fmt_float ?(decimals = 2) v =
   if Float.is_nan v then "-" else Printf.sprintf "%.*f" decimals v

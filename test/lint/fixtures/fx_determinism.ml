@@ -1,0 +1,6 @@
+(* Seeded violations for the determinism rule: ambient wall-clock and the
+   global PRNG, both of which must flow through Ocube_sim.Rng instead. *)
+
+let now () = Unix.gettimeofday ()
+
+let roll n = Random.int n

@@ -1,0 +1,6 @@
+(* Seeded violations for io-hygiene: console output and process exit from
+   library code. *)
+
+let announce s = print_endline s
+
+let bail () = exit 1

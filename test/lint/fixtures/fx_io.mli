@@ -1,0 +1,2 @@
+val announce : string -> unit
+val bail : unit -> 'a

@@ -1,0 +1,3 @@
+(* Seeded violation for no-marshal: unstable, unversioned serialisation. *)
+
+let blob (x : int * string) = Marshal.to_string x []

@@ -1,0 +1,1 @@
+val blob : int * string -> string

@@ -1,0 +1,4 @@
+(* Seeded violation for mli-coverage: this module deliberately ships
+   without an interface file. The body itself is clean. *)
+
+let answer = 42

@@ -1,0 +1,8 @@
+(* Seeded violations for no-poly-compare: structural equality and
+   membership at a record type with no custom comparator. *)
+
+type pair = { left : int; right : string }
+
+let same (a : pair) (b : pair) = a = b
+
+let known (p : pair) (ps : pair list) = List.mem p ps

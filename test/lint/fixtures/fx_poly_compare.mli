@@ -1,0 +1,4 @@
+type pair = { left : int; right : string }
+
+val same : pair -> pair -> bool
+val known : pair -> pair list -> bool

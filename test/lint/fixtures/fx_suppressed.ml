@@ -1,0 +1,24 @@
+(* Every violation in this module carries a suppression, covering all
+   three placements: a floating file-level attribute, a value-binding
+   attribute, and expression-site attributes. The golden file must not
+   mention this module at all. *)
+
+[@@@ocube.lint.allow "no-marshal"]
+
+let blob (x : int list) = Marshal.to_string x []
+
+let now () = (Unix.gettimeofday [@ocube.lint.allow "determinism"]) ()
+
+type pair = { left : int; right : string }
+
+let same (a : pair) (b : pair) = (a = b) [@ocube.lint.allow "no-poly-compare"]
+
+let bail () = exit 1 [@@ocube.lint.allow "io-hygiene"]
+
+module Message = struct
+  type t = Ping | Pong
+end
+
+let classify (m : Message.t) =
+  (match m with Message.Ping -> 0 | _ -> 1)
+  [@ocube.lint.allow "handler-totality"]

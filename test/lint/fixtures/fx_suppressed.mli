@@ -1,0 +1,13 @@
+val blob : int list -> string
+val now : unit -> float
+
+type pair = { left : int; right : string }
+
+val same : pair -> pair -> bool
+val bail : unit -> 'a
+
+module Message : sig
+  type t = Ping | Pong
+end
+
+val classify : Message.t -> int

@@ -1,0 +1,10 @@
+(* Seeded violations for handler-totality: wildcard arms in dispatches
+   over a protocol message type (any type named [Message.t] counts). *)
+
+module Message = struct
+  type t = Ping | Pong | Payload of int
+end
+
+let classify (m : Message.t) = match m with Message.Ping -> 0 | _ -> 1
+
+let tag = function Message.Pong -> "pong" | _other -> "other"

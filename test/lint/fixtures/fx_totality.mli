@@ -1,0 +1,6 @@
+module Message : sig
+  type t = Ping | Pong | Payload of int
+end
+
+val classify : Message.t -> int
+val tag : Message.t -> string

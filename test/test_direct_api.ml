@@ -245,4 +245,4 @@ let suite =
     Alcotest.test_case "stress: 256 nodes with failures" `Slow
       test_stress_256_nodes;
   ]
-  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests
+  @ List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qcheck_tests

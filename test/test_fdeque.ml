@@ -189,4 +189,4 @@ let suite =
     Alcotest.test_case "ring duplicate handling" `Quick test_ring_duplicates;
     Alcotest.test_case "ring zero capacity" `Quick test_ring_zero_capacity;
   ]
-  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests
+  @ List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qcheck_tests

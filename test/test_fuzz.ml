@@ -263,4 +263,4 @@ let suite =
     Alcotest.test_case "injected always-grant bug caught and shrunk" `Quick
       test_injected_bug_caught_and_shrunk;
   ]
-  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests
+  @ List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qcheck_tests

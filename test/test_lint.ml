@@ -1,0 +1,167 @@
+(* The linter's reporting layer is a text contract: diagnostics render to
+   [file:line rule message] lines and parse back, and the checked-in
+   allowlist (the file-granular suppression store) round-trips through its
+   printer. These properties are what make the golden fixture files and
+   the CI log scrapers trustworthy. *)
+
+module Diag = Ocube_lint.Diag
+module Allowlist = Ocube_lint.Allowlist
+module Driver = Ocube_lint.Driver
+
+let lowercase = "abcdefghijklmnopqrstuvwxyz"
+
+let string_of ?(extra = "") ~min_len gen_len =
+  let alphabet = lowercase ^ extra in
+  QCheck.Gen.(
+    map
+      (fun cs -> String.init (List.length cs) (List.nth cs))
+      (list_size
+         (map (fun n -> max min_len n) gen_len)
+         (map (String.get alphabet) (int_bound (String.length alphabet - 1)))))
+
+(* A file path: no ':' (the field separator) and no whitespace. *)
+let gen_file = string_of ~extra:"_-./" ~min_len:1 QCheck.Gen.(int_range 1 20)
+
+(* A rule id: kebab-case word, no whitespace. *)
+let gen_rule = string_of ~extra:"-" ~min_len:1 QCheck.Gen.(int_range 1 12)
+
+(* A message: single line; internal spaces are fine and must survive. *)
+let gen_message =
+  string_of ~extra:"-./ " ~min_len:0 QCheck.Gen.(int_range 0 40)
+
+let gen_diag =
+  QCheck.Gen.(
+    map
+      (fun (file, line, rule, message) -> Diag.make ~file ~line ~rule ~message)
+      (quad gen_file (int_range 1 100_000) gen_rule gen_message))
+
+let arbitrary_diag =
+  QCheck.make ~print:Diag.to_string gen_diag
+
+let diag_roundtrip =
+  QCheck.Test.make ~name:"diag to_string/of_string round-trip" ~count:500
+    arbitrary_diag (fun d ->
+      match Diag.of_string (Diag.to_string d) with
+      | Some d' -> Diag.equal d d'
+      | None -> false)
+
+(* Driver.render is the reporter the golden files diff against: every line
+   it emits must parse back to exactly the diagnostic that produced it. *)
+let reporter_roundtrip =
+  QCheck.Test.make ~name:"reporter output parses back losslessly" ~count:200
+    QCheck.(make ~print:(fun ds -> Driver.render ds) (Gen.list_size (Gen.int_range 0 12) gen_diag))
+    (fun ds ->
+      let lines =
+        Driver.render ds |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+      in
+      let parsed = List.filter_map Diag.of_string lines in
+      List.length parsed = List.length ds
+      && List.for_all2 Diag.equal ds parsed)
+
+(* A note: free-form justification, but the textual form trims each line,
+   so leading/trailing whitespace cannot survive (and does not need to). *)
+let gen_note =
+  QCheck.Gen.map String.trim
+    (string_of ~extra:"-./ " ~min_len:0 QCheck.Gen.(int_range 0 30))
+
+let gen_entry =
+  QCheck.Gen.(
+    map
+      (fun (rule, path, note) -> { Allowlist.rule; path; note })
+      (triple gen_rule gen_file gen_note))
+
+(* Paths are normalised on parse ("./x" = "x"), so generate them
+   pre-normalised for a byte-exact round-trip. *)
+let normalised_entry (e : Allowlist.entry) =
+  let path =
+    if String.length e.path >= 2 && String.sub e.path 0 2 = "./" then
+      String.sub e.path 2 (String.length e.path - 2)
+    else e.path
+  in
+  let path = if path = "" then "f.ml" else path in
+  { e with path }
+
+let allowlist_roundtrip =
+  QCheck.Test.make ~name:"allowlist suppressions round-trip" ~count:300
+    QCheck.(
+      make
+        ~print:(fun es ->
+          String.concat ""
+            (List.map
+               (fun (e : Allowlist.entry) ->
+                 Printf.sprintf "%s %s %s\n" e.rule e.path e.note)
+               es))
+        (Gen.list_size (Gen.int_range 0 10) (Gen.map normalised_entry gen_entry)))
+    (fun es ->
+      let text =
+        String.concat ""
+          (List.map
+             (fun (e : Allowlist.entry) ->
+               if e.note = "" then Printf.sprintf "%s %s\n" e.rule e.path
+               else Printf.sprintf "%s %s %s\n" e.rule e.path e.note)
+             es)
+      in
+      match Allowlist.of_string text with
+      | Error _ -> false
+      | Ok t ->
+        Allowlist.entries t = es && Allowlist.to_string t = text)
+
+let permits_unit () =
+  let t =
+    match
+      Allowlist.of_string
+        "# header\n\
+         determinism bin/ocmutex.ml wall clock for --time\n\
+         * lib/legacy.ml grandfathered\n"
+    with
+    | Ok t -> t
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check bool)
+    "exact rule+file" true
+    (Allowlist.permits t ~rule:"determinism" ~file:"bin/ocmutex.ml");
+  Alcotest.(check bool)
+    "./ path normalisation" true
+    (Allowlist.permits t ~rule:"determinism" ~file:"./bin/ocmutex.ml");
+  Alcotest.(check bool)
+    "wildcard rule" true
+    (Allowlist.permits t ~rule:"io-hygiene" ~file:"lib/legacy.ml");
+  Alcotest.(check bool)
+    "other file not permitted" false
+    (Allowlist.permits t ~rule:"determinism" ~file:"lib/sim/rng.ml")
+
+let sort_uniq_unit () =
+  let d file line rule =
+    Diag.make ~file ~line ~rule ~message:"m"
+  in
+  let ds =
+    [ d "b.ml" 2 "r"; d "a.ml" 9 "r"; d "a.ml" 1 "z"; d "a.ml" 1 "a";
+      d "b.ml" 2 "r" ]
+  in
+  let sorted = Diag.sort_uniq ds in
+  Alcotest.(check int) "dedup" 4 (List.length sorted);
+  Alcotest.(check (list string))
+    "order: file, line, rule"
+    [ "a.ml:1 a m"; "a.ml:1 z m"; "a.ml:9 r m"; "b.ml:2 r m" ]
+    (List.map Diag.to_string sorted)
+
+let malformed_unit () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %S" s)
+        true
+        (Diag.of_string s = None))
+    [ ""; "no-colon determinism msg"; "a.ml:x determinism msg";
+      "a.ml:0 determinism msg"; ":3 rule msg"; "a.ml:3" ]
+
+let suite =
+  List.map
+    (fun t -> QCheck_alcotest.to_alcotest ~long:false t)
+    [ diag_roundtrip; reporter_roundtrip; allowlist_roundtrip ]
+  @ [
+      Alcotest.test_case "allowlist permits semantics" `Quick permits_unit;
+      Alcotest.test_case "diag sort_uniq order" `Quick sort_uniq_unit;
+      Alcotest.test_case "diag rejects malformed lines" `Quick malformed_unit;
+    ]

@@ -18,5 +18,6 @@ let () =
       ("fdeque", Test_fdeque.suite);
       ("par", Test_par.suite);
       ("fuzz", Test_fuzz.suite);
+      ("lint", Test_lint.suite);
       ("perf-smoke", Test_perf_smoke.suite);
     ]

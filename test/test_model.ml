@@ -251,4 +251,4 @@ let suite =
     Alcotest.test_case "spec = DES on serial schedules" `Quick
       test_spec_matches_des_serial;
   ]
-  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_encoding_tests
+  @ List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qcheck_encoding_tests

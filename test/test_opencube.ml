@@ -473,4 +473,4 @@ let suite =
     Alcotest.test_case "root cache agrees with the scan" `Quick
       test_root_cache_agrees_with_scan;
   ]
-  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests
+  @ List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qcheck_tests

@@ -213,4 +213,4 @@ let suite =
     Alcotest.test_case "series error measures" `Quick test_series_errors;
     Alcotest.test_case "series fit arity" `Quick test_series_fit_needs_points;
   ]
-  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests
+  @ List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qcheck_tests
