@@ -13,6 +13,9 @@ open Ocube_mutex
 module Opencube = Ocube_topology.Opencube
 module Registry = Ocube_harness.Registry
 module Exp_common = Ocube_harness.Exp_common
+module Export = Ocube_obs.Export
+module Span = Ocube_obs.Span
+module Trace = Ocube_sim.Trace
 
 (* --- shared arguments ---------------------------------------------------- *)
 
@@ -56,6 +59,11 @@ let kind_of_string = function
   | "generic-transit" -> Ok (Exp_common.Generic Generic_scheme.Always_transit)
   | s -> Error (Printf.sprintf "unknown algorithm %S" s)
 
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
 (* --- experiments --------------------------------------------------------- *)
 
 let run_experiments jobs name_opt =
@@ -97,18 +105,23 @@ let list_cmd =
 
 (* --- simulate -------------------------------------------------------------- *)
 
-let run_simulate algo n seed rate horizon cs failures recover patience verbose =
+let run_simulate algo n seed rate horizon cs failures recover patience verbose
+    metrics_out trace_out =
   match kind_of_string algo with
   | Error msg ->
     prerr_endline msg;
     1
   | Ok kind ->
+    (* The observability layer is a passive tap: turning it on for the
+       export flags leaves the simulation event-for-event identical. *)
+    let observe = metrics_out <> None || trace_out <> None in
+    let with_trace = trace_out <> None in
     let env, inst =
       match kind with
       | Exp_common.Opencube { census_rounds; fault_tolerance } ->
         let env =
           Runner.make_env ~seed ~n ~delay:(Ocube_net.Network.Constant 1.0)
-            ~cs:(Runner.Fixed cs) ()
+            ~cs:(Runner.Fixed cs) ~trace:with_trace ~metrics:observe ()
         in
         let p = Exp_common.log2i n in
         let algo =
@@ -125,7 +138,9 @@ let run_simulate algo n seed rate horizon cs failures recover patience verbose =
         let inst = Opencube_algo.instance algo in
         Runner.attach env inst;
         (env, inst)
-      | _ -> Exp_common.make ~seed ~kind ~n ~cs:(Runner.Fixed cs) ()
+      | _ ->
+        Exp_common.make ~seed ~kind ~n ~cs:(Runner.Fixed cs) ~trace:with_trace
+          ~metrics:observe ()
     in
     let arrivals =
       Runner.Arrivals.poisson ~rng:(Runner.rng env) ~n ~rate_per_node:rate
@@ -163,6 +178,24 @@ let run_simulate algo n seed rate horizon cs failures recover patience verbose =
         (fun (c, k) -> Printf.printf "  %-15s %d\n" c k)
         (Runner.messages_by_category env)
     end;
+    (match (metrics_out, Runner.metrics_snapshot env) with
+    | Some path, Some snap ->
+      let body =
+        if Filename.check_suffix path ".json" then Export.json snap
+        else Export.prometheus snap
+      in
+      write_file path body;
+      Printf.printf "metrics          -> %s\n" path
+    | _, _ -> ());
+    (match (trace_out, Runner.spans env) with
+    | Some path, Some spans ->
+      let tr =
+        match Runner.trace env with Some t -> Trace.entries t | None -> []
+      in
+      write_file path
+        (Export.chrome_trace ~trace:tr ~spans:(Span.closed spans) ());
+      Printf.printf "trace            -> %s\n" path
+    | _, _ -> ());
     if Runner.violations env = 0 then 0 else 2
 
 let simulate_cmd =
@@ -196,13 +229,91 @@ let simulate_cmd =
     let doc = "Print the per-category message breakdown." in
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
   in
+  let metrics_arg =
+    let doc =
+      "Write the run's metrics snapshot to $(docv) (Prometheus text, or \
+       JSON when the file ends in .json)."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let trace_out_arg =
+    let doc =
+      "Write the request spans as Chrome trace_event JSON to $(docv) (load \
+       in chrome://tracing or Perfetto)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
   let doc = "Simulate one algorithm under a Poisson workload." in
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
       const run_simulate $ algo_arg $ nodes_arg $ seed_arg $ rate_arg
       $ horizon_arg $ cs_arg $ failures_arg $ recover_arg $ patience_arg
-      $ verbose_arg)
+      $ verbose_arg $ metrics_arg $ trace_out_arg)
+
+(* --- metrics ----------------------------------------------------------------- *)
+
+let run_metrics algo n seed rate horizon cs format =
+  match kind_of_string algo with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok kind ->
+    let env, _ =
+      Exp_common.make ~seed ~kind ~n ~cs:(Runner.Fixed cs) ~trace:true
+        ~metrics:true ()
+    in
+    let arrivals =
+      Runner.Arrivals.poisson ~rng:(Runner.rng env) ~n ~rate_per_node:rate
+        ~horizon
+    in
+    Runner.run_arrivals env arrivals;
+    Runner.run_to_quiescence ~max_steps:50_000_000 env;
+    let snap = Option.get (Runner.metrics_snapshot env) in
+    (match format with
+    | "prom" ->
+      print_string (Export.prometheus snap);
+      0
+    | "json" ->
+      print_string (Export.json snap);
+      0
+    | "chrome" ->
+      let spans = Option.get (Runner.spans env) in
+      let tr =
+        match Runner.trace env with Some t -> Trace.entries t | None -> []
+      in
+      print_string (Export.chrome_trace ~trace:tr ~spans:(Span.closed spans) ());
+      0
+    | f ->
+      Printf.eprintf "unknown format %S (expected prom, json or chrome)\n" f;
+      1)
+
+let metrics_cmd =
+  let rate_arg =
+    let doc = "Poisson request rate per node per time unit." in
+    Arg.(value & opt float 0.01 & info [ "rate" ] ~docv:"R" ~doc)
+  in
+  let horizon_arg =
+    let doc = "Arrival horizon (virtual time units)." in
+    Arg.(value & opt float 1000.0 & info [ "horizon" ] ~docv:"T" ~doc)
+  in
+  let cs_arg =
+    let doc = "Critical-section duration." in
+    Arg.(value & opt float 1.0 & info [ "cs" ] ~docv:"D" ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: prom (Prometheus text), json, chrome." in
+    Arg.(value & opt string "prom" & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let doc =
+    "Run a deterministic workload with the observability layer on and print \
+     the exported metrics (or spans) to stdout."
+  in
+  Cmd.v (Cmd.info "metrics" ~doc)
+    Term.(
+      const run_metrics $ algo_arg $ nodes_arg $ seed_arg $ rate_arg
+      $ horizon_arg $ cs_arg $ format_arg)
 
 (* --- tree ------------------------------------------------------------------- *)
 
@@ -541,6 +652,6 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [
-            experiments_cmd; list_cmd; simulate_cmd; tree_cmd; dot_cmd;
-            verify_cmd; walkthrough_cmd; fuzz_cmd; lint_cmd;
+            experiments_cmd; list_cmd; simulate_cmd; metrics_cmd; tree_cmd;
+            dot_cmd; verify_cmd; walkthrough_cmd; fuzz_cmd; lint_cmd;
           ]))

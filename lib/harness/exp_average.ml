@@ -7,6 +7,8 @@
 
 open Ocube_stats
 module Pool = Ocube_par.Pool
+module Runner = Ocube_mutex.Runner
+module Metrics = Ocube_obs.Metrics
 
 let run_sum ~p =
   let n = 1 lsl p in
@@ -17,6 +19,29 @@ let run_sum ~p =
       let env, _ = Exp_common.make_opencube ~fault_tolerance:false ~p () in
       Exp_common.probe env i)
     ~init:0 ~combine:( + )
+
+(* Same probe fan-out, but each probe runs with the observability layer
+   on and returns its metrics snapshot; the shards are merged in index
+   order. [Metrics.merge] is commutative and associative, so the result
+   is identical at every pool width — the parity test in test_par pins
+   this down by comparing the rendered Prometheus text. *)
+let merged_metrics ~pool ~p =
+  let n = 1 lsl p in
+  let snaps =
+    Pool.map_array pool ~n (fun i ->
+        let env, _ =
+          Exp_common.make_opencube ~fault_tolerance:false ~metrics:true ~p ()
+        in
+        ignore (Exp_common.probe env i : int);
+        match Runner.metrics_snapshot env with
+        | Some s -> s
+        | None -> assert false)
+  in
+  let acc = ref snaps.(0) in
+  for i = 1 to Array.length snaps - 1 do
+    acc := Metrics.merge !acc snaps.(i)
+  done;
+  !acc
 
 let run () =
   let table =

@@ -3,3 +3,10 @@
 
 val run : unit -> string
 (** Execute the experiment and return its rendered report. *)
+
+val merged_metrics : pool:Ocube_par.Pool.t -> p:int -> Ocube_obs.Metrics.snapshot
+(** The E2 probe fan-out with metrics enabled: one isolated request per
+    node on a fresh cube, per-probe snapshots merged in index order.
+    Deterministic across pool widths (the --jobs parity test relies on
+    it). The merged [messages_sent_total] equals {!Exp_common.alpha}[ p]
+    exactly. *)

@@ -33,8 +33,8 @@ let log2i n =
   go 0 n
 
 let make ?(seed = 42) ?(delay = Ocube_net.Network.Constant 1.0)
-    ?(cs = Runner.Fixed 1.0) ~kind ~n () =
-  let env = Runner.make_env ~seed ~n ~delay ~cs () in
+    ?(cs = Runner.Fixed 1.0) ?(trace = false) ?(metrics = false) ~kind ~n () =
+  let env = Runner.make_env ~seed ~n ~delay ~cs ~trace ~metrics () in
   let net = Runner.net env in
   let callbacks = Runner.callbacks env in
   let inst =
@@ -64,9 +64,9 @@ let make ?(seed = 42) ?(delay = Ocube_net.Network.Constant 1.0)
 let make_opencube ?(seed = 42) ?(delay = Ocube_net.Network.Constant 1.0)
     ?(cs = Runner.Fixed 1.0) ?(census_rounds = 2) ?(fault_tolerance = true)
     ?(asker_patience = 1.0) ?(queue_policy = Opencube_algo.Fifo)
-    ?(trace = false) ~p () =
+    ?(trace = false) ?(metrics = false) ~p () =
   let n = 1 lsl p in
-  let env = Runner.make_env ~seed ~n ~delay ~cs ~trace () in
+  let env = Runner.make_env ~seed ~n ~delay ~cs ~trace ~metrics () in
   let config =
     {
       (Opencube_algo.default_config ~p) with

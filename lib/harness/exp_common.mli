@@ -21,6 +21,8 @@ val make :
   ?seed:int ->
   ?delay:Ocube_net.Network.delay_model ->
   ?cs:Runner.cs_model ->
+  ?trace:bool ->
+  ?metrics:bool ->
   kind:algo_kind ->
   n:int ->
   unit ->
@@ -38,6 +40,7 @@ val make_opencube :
   ?asker_patience:float ->
   ?queue_policy:Opencube_algo.queue_policy ->
   ?trace:bool ->
+  ?metrics:bool ->
   p:int ->
   unit ->
   Runner.env * Opencube_algo.t

@@ -197,7 +197,8 @@ let check_ident ctx (loc : Location.t) raw ty =
     emit ctx Rules.Io_hygiene loc
       (Printf.sprintf
          "console I/O or exit in library code (%s); route output through \
-          Trace or return it"
+          Trace or return it as a string (the Obs.Export pattern: renderers \
+          build bytes, bin/ decides where they go)"
          name);
   if not (Hashtbl.mem ctx.handled_heads loc) then begin
     match poly_compare_name raw with

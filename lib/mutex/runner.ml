@@ -5,8 +5,29 @@ module Engine = Ocube_sim.Engine
 module Rng = Ocube_sim.Rng
 module Trace = Ocube_sim.Trace
 module Summary = Ocube_stats.Summary
+module Metrics = Ocube_obs.Metrics
+module Span = Ocube_obs.Span
 
 type cs_model = Fixed of float | Exponential of { mean : float; cap : float }
+
+(* Observability bundle: the registry, the span table and the handles of
+   every runner-defined metric. Built once in [make_env] when metrics are
+   requested; [None] keeps the hot path free of even the enabled-flag
+   loads. *)
+type obs = {
+  reg : Metrics.t;
+  spans : Span.t;
+  m_wishes : Metrics.counter;
+  m_entries : Metrics.counter;
+  m_messages : Metrics.counter;
+  m_faults : Metrics.counter;
+  m_recoveries : Metrics.counter;
+  m_violations : Metrics.counter;
+  m_abandoned : Metrics.counter;
+  h_hops : Metrics.hist;
+  h_wait_ms : Metrics.hist;
+  g_pending : Metrics.gauge;
+}
 
 type env = {
   engine : Engine.t;
@@ -29,7 +50,21 @@ type env = {
   mutable dropped_wishes : int;
   wait_stats : Summary.t;
   mutable rev_waits : float list;
+  (* observability *)
+  obs : obs option;
+  (* Busy-time integral: accumulated virtual time during which at least
+     one node was inside its critical section. The spans layer derives
+     the queueing/transit split of a wait from differences of this
+     integral. Only maintained when [obs] is on. *)
+  mutable cs_occupancy : int;
+  mutable busy_acc : float;
+  mutable busy_since : float;
 }
+
+let busy_now env =
+  if env.cs_occupancy > 0 then
+    env.busy_acc +. (Engine.now env.engine -. env.busy_since)
+  else env.busy_acc
 
 let instance env =
   match env.inst with
@@ -56,6 +91,12 @@ let rec submit env node =
     env.issue_time.(node) <- Engine.now env.engine;
     env.issued <- env.issued + 1;
     record env ~node ~tag:"wish" (fun () -> "requests CS");
+    (match env.obs with
+    | None -> ()
+    | Some o ->
+      Metrics.incr o.m_wishes ~node;
+      Span.open_span o.spans ~node ~time:(Engine.now env.engine)
+        ~busy:(busy_now env));
     (instance env).request_cs node
   end
 
@@ -64,8 +105,27 @@ and on_enter_cb env node =
   if others then begin
     env.violations <- env.violations + 1;
     record env ~node ~tag:"violation"
-      (fun () -> "entered CS while another node is inside")
+      (fun () -> "entered CS while another node is inside");
+    match env.obs with
+    | None -> ()
+    | Some o -> Metrics.incr o.m_violations ~node
   end;
+  (match env.obs with
+  | None -> ()
+  | Some o ->
+    (* The busy integral is read before this entry raises the occupancy:
+       the queueing phase of the entering span counts only time blocked
+       behind *other* nodes' critical sections. *)
+    let now = Engine.now env.engine in
+    Metrics.incr o.m_entries ~node;
+    Span.enter o.spans ~node ~time:now ~busy:(busy_now env);
+    if env.waiting.(node) then begin
+      let wait = now -. env.issue_time.(node) in
+      Metrics.observe o.h_wait_ms ~node
+        (int_of_float (Float.round (wait *. 1000.0)))
+    end;
+    if env.cs_occupancy = 0 then env.busy_since <- now;
+    env.cs_occupancy <- env.cs_occupancy + 1);
   if env.waiting.(node) then begin
     env.waiting.(node) <- false;
     let wait = Engine.now env.engine -. env.issue_time.(node) in
@@ -85,10 +145,69 @@ and on_enter_cb env node =
          end))
 
 and on_exit_cb env node =
+  (match env.obs with
+  | None -> ()
+  | Some o ->
+    if env.in_cs.(node) then release_occupancy env;
+    (match Span.close o.spans ~node ~time:(Engine.now env.engine) with
+    | Some sp -> Metrics.observe o.h_hops ~node sp.Span.hops
+    | None -> ()));
   env.in_cs.(node) <- false;
   record env ~node ~tag:"cs" (fun () -> "exit")
 
-let make_env ~seed ~n ~delay ~cs ?(trace = false) () =
+and release_occupancy env =
+  env.cs_occupancy <- env.cs_occupancy - 1;
+  if env.cs_occupancy = 0 then begin
+    env.busy_acc <- env.busy_acc +. (Engine.now env.engine -. env.busy_since);
+    env.busy_since <- 0.0
+  end
+
+let make_obs ~engine ~net ~n =
+  let reg = Metrics.create ~n () in
+  let o =
+    {
+      reg;
+      spans = Span.create ~n;
+      m_wishes = Metrics.counter reg ~name:"wishes_total" ~help:"CS wishes issued";
+      m_entries = Metrics.counter reg ~name:"cs_entries_total" ~help:"critical sections entered";
+      m_messages =
+        Metrics.counter reg ~name:"messages_sent_total"
+          ~help:"protocol messages sent, by source node";
+      m_faults = Metrics.counter reg ~name:"faults_total" ~help:"fail-stop events";
+      m_recoveries = Metrics.counter reg ~name:"recoveries_total" ~help:"node recoveries";
+      m_violations =
+        Metrics.counter reg ~name:"violations_total"
+          ~help:"mutual-exclusion safety violations (must stay 0)";
+      m_abandoned =
+        Metrics.counter reg ~name:"abandoned_total"
+          ~help:"requests lost to the requester's failure";
+      h_hops =
+        Metrics.hist reg ~name:"request_hops"
+          ~help:"messages attributed to one request span";
+      h_wait_ms =
+        Metrics.hist reg ~name:"request_wait_ms"
+          ~help:"wish-to-entry latency in milli-time-units";
+      g_pending =
+        Metrics.gauge reg ~name:"engine_pending_events_max"
+          ~help:"event-queue depth watermark (node 0 carries the value)";
+    }
+  in
+  (* Message tap: count every send against its source and charge
+     origin-attributed messages to the origin's open span. *)
+  Net.set_send_hook net (fun ~src ~dst:_ payload ->
+      Metrics.incr o.m_messages ~node:src;
+      match Message.origin payload with
+      | Some origin -> Span.note_hop o.spans ~node:origin
+      | None -> ());
+  (* Step observer: event-queue depth watermark, sampled after every
+     executed event alongside (not instead of) any installed oracle. *)
+  ignore
+    (Engine.add_step_hook engine (fun () ->
+         Metrics.set_max o.g_pending ~node:0
+           (float_of_int (Engine.pending engine))));
+  o
+
+let make_env ~seed ~n ~delay ~cs ?(trace = false) ?(metrics = false) () =
   let engine = Engine.create () in
   let master = Rng.create seed in
   let net_rng = Rng.split master in
@@ -96,6 +215,7 @@ let make_env ~seed ~n ~delay ~cs ?(trace = false) () =
   let cs_rng = Rng.split master in
   let trace = if trace then Some (Trace.create ()) else None in
   let net = Net.create ~engine ~rng:net_rng ?trace ~n ~delay () in
+  let obs = if metrics then Some (make_obs ~engine ~net ~n) else None in
   {
     engine;
     net;
@@ -115,6 +235,10 @@ let make_env ~seed ~n ~delay ~cs ?(trace = false) () =
     dropped_wishes = 0;
     wait_stats = Summary.create ();
     rev_waits = [];
+    obs;
+    cs_occupancy = 0;
+    busy_acc = 0.0;
+    busy_since = 0.0;
   }
 
 let net env = env.net
@@ -129,9 +253,20 @@ let callbacks env =
 let attach env inst =
   match env.inst with
   | Some _ -> invalid_arg "Runner.attach: instance already attached"
-  | None -> env.inst <- Some inst
+  | None ->
+    env.inst <- Some inst;
+    (match env.obs with
+    | Some o -> Metrics.set_algo o.reg inst.algo_name
+    | None -> ())
 
 let trace env = env.trace
+
+let metrics env = match env.obs with Some o -> Some o.reg | None -> None
+
+let spans env = match env.obs with Some o -> Some o.spans | None -> None
+
+let metrics_snapshot env =
+  match env.obs with Some o -> Some (Metrics.snapshot o.reg) | None -> None
 
 let run_arrivals env arrivals =
   List.iter
@@ -142,6 +277,18 @@ let run_arrivals env arrivals =
 
 let fail_node env node =
   (* The node dies: whatever it was doing evaporates with it. *)
+  (match env.obs with
+  | None -> ()
+  | Some o ->
+    Metrics.incr o.m_faults ~node;
+    if env.waiting.(node) then Metrics.incr o.m_abandoned ~node;
+    if env.in_cs.(node) then release_occupancy env;
+    (* Close the victim's span first (it does not overlap its own
+       death), then mark the fault on every other open span. *)
+    ignore
+      (Span.abandon o.spans ~node ~time:(Engine.now env.engine)
+         ~busy:(busy_now env));
+    Span.fault_tick o.spans);
   if env.waiting.(node) then begin
     env.waiting.(node) <- false;
     env.abandoned <- env.abandoned + 1
@@ -154,6 +301,11 @@ let fail_node env node =
   record env ~node ~tag:"fault" (fun () -> "failed")
 
 let recover_node env node =
+  (match env.obs with
+  | None -> ()
+  | Some o ->
+    Metrics.incr o.m_recoveries ~node;
+    Span.fault_tick o.spans);
   Net.recover env.net node;
   record env ~node ~tag:"fault" (fun () -> "recovering");
   (instance env).on_recovered node

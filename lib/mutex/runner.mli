@@ -37,9 +37,16 @@ val make_env :
   delay:Ocube_net.Network.delay_model ->
   cs:cs_model ->
   ?trace:bool ->
+  ?metrics:bool ->
   unit ->
   env
-(** Fresh engine, RNG, network (and optionally a trace). *)
+(** Fresh engine, RNG, network (and optionally a trace and an
+    observability layer). With [~metrics:true] the runner owns an
+    {!Ocube_obs.Metrics} registry (wishes, entries, per-source message
+    counts, faults, hop and wait histograms, an event-queue watermark
+    gauge) and an {!Ocube_obs.Span} table tracking every request from
+    wish to CS exit; both are passive taps — a metrics run is
+    event-for-event identical to a plain one. *)
 
 val net : env -> Net.t
 
@@ -55,6 +62,19 @@ val attach : env -> instance -> unit
 (** Must be called exactly once, after the algorithm is created. *)
 
 val trace : env -> Ocube_sim.Trace.t option
+
+(** {1 Observability} *)
+
+val metrics : env -> Ocube_obs.Metrics.t option
+(** The registry, when the env was built with [~metrics:true]. *)
+
+val spans : env -> Ocube_obs.Span.t option
+(** The request-span table, when the env was built with [~metrics:true]. *)
+
+val metrics_snapshot : env -> Ocube_obs.Metrics.snapshot option
+(** Immutable copy of the registry's current state (see
+    {!Ocube_obs.Metrics.snapshot}); snapshots from parallel shards merge
+    deterministically with {!Ocube_obs.Metrics.merge}. *)
 
 (** {1 Driving} *)
 

@@ -96,6 +96,20 @@ module Message = struct
     | Ra_request _ -> "request"
     | Ra_reply -> "reply"
 
+  let origin = function
+    | Request { rid; _ } -> Some rid.source
+    | Token { rid = Some r; _ } -> Some r.source
+    | Token { rid = None; _ } -> None
+    | Enquiry { rid } -> Some rid.source
+    | Enquiry_answer { rid; _ } -> Some rid.source
+    | Anomaly { rid } -> Some rid.source
+    | Void { rid } -> Some rid.source
+    | Sk_request { origin; _ } -> Some origin
+    | Ra_request { origin; _ } -> Some origin
+    | Test _ | Test_answer _ | Census _ | Census_reply _ | Release
+    | Sk_privilege _ | Ra_reply ->
+      None
+
   let is_fault_overhead = function
     | Enquiry _ | Enquiry_answer _ | Test _ | Test_answer _ | Anomaly _
     | Void _ | Census _ | Census_reply _ ->

@@ -93,6 +93,17 @@ module Message : sig
   (** "request" | "token" | "enquiry" | "enquiry_answer" | "test"
       | "test_answer" | "anomaly" | "void" | "release". *)
 
+  val origin : t -> node_id option
+  (** The node on whose account this message travels: the request chain
+      ([Request], [Sk_request], [Ra_request]), the token grant satisfying a
+      request ([Token] with a rid), and the per-request fault machinery
+      ([Enquiry]/[Anomaly]/[Void] and answers). [None] for messages that
+      serve the system rather than one wish (loan returns, search probes,
+      census, broadcast privileges, permission replies). The observability
+      layer charges each attributed message to the origin's open request
+      span — a node has at most one outstanding wish, so the origin node
+      identifies the span uniquely. *)
+
   val is_fault_overhead : t -> bool
   (** True for the categories that exist only because of the
       fault-tolerance machinery (enquiry, answers, test probes, anomaly). *)

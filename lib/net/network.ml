@@ -46,6 +46,7 @@ module Make (P : PAYLOAD) = struct
     mutable delivered : int;
     mutable dropped : int;
     mutable drop_handler : (dst:int -> P.t -> unit) option;
+    mutable send_hook : (src:int -> dst:int -> P.t -> unit) option;
     categories : (string, int) Hashtbl.t;
   }
 
@@ -65,6 +66,7 @@ module Make (P : PAYLOAD) = struct
       delivered = 0;
       dropped = 0;
       drop_handler = None;
+      send_hook = None;
       categories = Hashtbl.create 16;
     }
 
@@ -83,6 +85,10 @@ module Make (P : PAYLOAD) = struct
     t.nodes.(i).handler <- Some h
 
   let set_drop_handler t h = t.drop_handler <- Some h
+
+  let set_send_hook t h = t.send_hook <- Some h
+
+  let clear_send_hook t = t.send_hook <- None
 
   (* [detail] is a thunk: with tracing off it is never called, so the hot
      path allocates no format buffers; with tracing on it is stored
@@ -111,6 +117,7 @@ module Make (P : PAYLOAD) = struct
         (Printf.sprintf "Network.send: node %d is failed and cannot send" src);
     t.sent <- t.sent + 1;
     bump_category t payload;
+    (match t.send_hook with None -> () | Some h -> h ~src ~dst payload);
     record t ~node:src ~tag:"send" (fun () ->
         Format.asprintf "-> %d: %a" dst P.pp payload);
     let dst_node = t.nodes.(dst) in

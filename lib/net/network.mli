@@ -69,6 +69,16 @@ module Make (P : PAYLOAD) : sig
   (** Observe messages lost to failed destinations (protocol layers use
       this for token accounting). At most one global handler. *)
 
+  val set_send_hook : t -> (src:int -> dst:int -> P.t -> unit) -> unit
+  (** Passive observer invoked synchronously on every {!send}, before the
+      delivery is scheduled (so it also sees messages later lost to a
+      failed destination, mirroring {!sent_total}). The observability
+      layer attributes messages to request spans through this. The hook
+      must not send, fail or otherwise touch the simulation — it is a
+      pure tap. At most one; a second call replaces the first. *)
+
+  val clear_send_hook : t -> unit
+
   (** {1 Communication} *)
 
   val send : t -> src:int -> dst:int -> P.t -> unit

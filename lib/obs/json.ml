@@ -1,0 +1,165 @@
+(* Minimal JSON support for the exporters: the repo deliberately has no
+   JSON dependency, and the exporters only need to emit (escaping) and
+   the tests only need to accept/reject (well-formedness). Numbers are
+   validated syntactically, not converted. *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  escape_to buf s;
+  Buffer.contents buf
+
+(* --- well-formedness checker --------------------------------------------- *)
+
+exception Bad of int * string
+
+let check s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let bump () = incr pos in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      bump ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some d when Char.equal c d -> bump ()
+    | Some d -> fail (Printf.sprintf "expected %c, found %c" c d)
+    | None -> fail (Printf.sprintf "expected %c, found end of input" c)
+  in
+  let literal word =
+    String.iter expect word
+  in
+  let is_digit c = Char.code c >= Char.code '0' && Char.code c <= Char.code '9' in
+  let digits () =
+    let seen = ref false in
+    let continue_ = ref true in
+    while !continue_ do
+      match peek () with
+      | Some c when is_digit c ->
+        seen := true;
+        bump ()
+      | _ -> continue_ := false
+    done;
+    if not !seen then fail "expected digit"
+  in
+  let number () =
+    (match peek () with Some '-' -> bump () | _ -> ());
+    digits ();
+    (match peek () with
+    | Some '.' ->
+      bump ();
+      digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+      bump ();
+      (match peek () with Some ('+' | '-') -> bump () | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let string_lit () =
+    expect '"';
+    let continue_ = ref true in
+    while !continue_ do
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' ->
+        bump ();
+        continue_ := false
+      | Some '\\' -> (
+        bump ();
+        match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> bump ()
+        | Some 'u' ->
+          bump ();
+          for _ = 1 to 4 do
+            match peek () with
+            | Some c
+              when is_digit c
+                   || (Char.code (Char.lowercase_ascii c) >= Char.code 'a'
+                      && Char.code (Char.lowercase_ascii c) <= Char.code 'f')
+              ->
+              bump ()
+            | _ -> fail "bad \\u escape"
+          done
+        | _ -> fail "bad escape"
+      )
+      | Some c when Char.code c < 0x20 -> fail "control character in string"
+      | Some _ -> bump ()
+    done
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some c -> fail (Printf.sprintf "unexpected %c" c)
+    | None -> fail "unexpected end of input");
+    skip_ws ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    (match peek () with
+    | Some '}' -> ()
+    | _ ->
+      let continue_ = ref true in
+      while !continue_ do
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        match peek () with
+        | Some ',' -> bump ()
+        | _ -> continue_ := false
+      done);
+    skip_ws ();
+    expect '}'
+  and arr () =
+    expect '[';
+    skip_ws ();
+    (match peek () with
+    | Some ']' -> ()
+    | _ ->
+      let continue_ = ref true in
+      while !continue_ do
+        value ();
+        match peek () with
+        | Some ',' -> bump ()
+        | _ -> continue_ := false
+      done);
+    skip_ws ();
+    expect ']'
+  in
+  match
+    value ();
+    if !pos < len then fail "trailing garbage"
+  with
+  | () -> Ok ()
+  | exception Bad (p, msg) -> Error (Printf.sprintf "at byte %d: %s" p msg)

@@ -1,0 +1,16 @@
+(** Dependency-free JSON helpers for the exporters.
+
+    The repository has no JSON library on purpose; the exporters only
+    need correct string escaping on the way out, and the tests need a
+    yes/no well-formedness oracle for what was emitted. *)
+
+val escape : string -> string
+(** The JSON string literal (including surrounding quotes) encoding the
+    argument. Control characters are [\uXXXX]-escaped. *)
+
+val escape_to : Buffer.t -> string -> unit
+(** Same, appended to a buffer (the exporters' hot path). *)
+
+val check : string -> (unit, string) result
+(** Accepts exactly the well-formed JSON documents (single value, no
+    trailing garbage). Numbers are validated syntactically only. *)

@@ -1,0 +1,234 @@
+(* Metrics registry: typed counters, gauges and integer-valued histograms,
+   keyed by (metric, node, algorithm).
+
+   Hot-path discipline: a handle holds the registry (for the enabled
+   flag) and its own per-node array, so an increment is one bounds-checked
+   array write guarded by one boolean load — no hashing, no allocation.
+   When the registry is disabled the guard fails and nothing at all is
+   recorded, so a disabled registry stays empty across disable/enable
+   cycles (the state-leak regression in the test suite). *)
+
+module Histogram = Ocube_stats.Histogram
+
+type cells =
+  | C_counter of int array
+  | C_gauge of float array
+  | C_hist of Histogram.t array
+
+type metric = { m_name : string; m_help : string; m_cells : cells }
+
+type t = {
+  n : int;
+  mutable algo : string;
+  mutable enabled : bool;
+  mutable rev_metrics : metric list;
+}
+
+let create ?(enabled = true) ~n () =
+  if n < 1 then invalid_arg "Metrics.create: n must be >= 1";
+  { n; algo = ""; enabled; rev_metrics = [] }
+
+let size t = t.n
+
+let enabled t = t.enabled
+
+let set_enabled t flag = t.enabled <- flag
+
+let algo t = t.algo
+
+let set_algo t label = t.algo <- label
+
+let register t ~name ~help cells =
+  if List.exists (fun m -> String.equal m.m_name name) t.rev_metrics then
+    invalid_arg (Printf.sprintf "Metrics: metric %S registered twice" name);
+  t.rev_metrics <- { m_name = name; m_help = help; m_cells = cells } :: t.rev_metrics
+
+(* --- handles -------------------------------------------------------------- *)
+
+type counter = { cr : t; cv : int array }
+
+type gauge = { gr : t; gv : float array }
+
+type hist = { hr : t; hv : Histogram.t array }
+
+let counter t ~name ~help =
+  let cv = Array.make t.n 0 in
+  register t ~name ~help (C_counter cv);
+  { cr = t; cv }
+
+let gauge t ~name ~help =
+  let gv = Array.make t.n 0.0 in
+  register t ~name ~help (C_gauge gv);
+  { gr = t; gv }
+
+let hist t ~name ~help =
+  let hv = Array.init t.n (fun _ -> Histogram.create ()) in
+  register t ~name ~help (C_hist hv);
+  { hr = t; hv }
+
+let add c ~node k = if c.cr.enabled then c.cv.(node) <- c.cv.(node) + k
+
+let incr c ~node = add c ~node 1
+
+let counter_value c ~node = c.cv.(node)
+
+let set g ~node v = if g.gr.enabled then g.gv.(node) <- v
+
+let set_max g ~node v =
+  if g.gr.enabled && v > g.gv.(node) then g.gv.(node) <- v
+
+let gauge_value g ~node = g.gv.(node)
+
+let observe h ~node v = if h.hr.enabled then Histogram.add h.hv.(node) v
+
+let hist_value h ~node = h.hv.(node)
+
+let reset t =
+  List.iter
+    (fun m ->
+      match m.m_cells with
+      | C_counter a -> Array.fill a 0 (Array.length a) 0
+      | C_gauge a -> Array.fill a 0 (Array.length a) 0.0
+      | C_hist a -> Array.iteri (fun i _ -> a.(i) <- Histogram.create ()) a)
+    t.rev_metrics
+
+(* --- snapshots ------------------------------------------------------------ *)
+
+type sdata =
+  | S_counter of int array
+  | S_gauge of float array
+  | S_hist of (int * int) list array
+
+type srow = { name : string; help : string; data : sdata }
+
+type snapshot = { s_algo : string; s_n : int; rows : srow list }
+
+let snapshot t =
+  let rows =
+    List.rev_map
+      (fun m ->
+        let data =
+          match m.m_cells with
+          | C_counter a -> S_counter (Array.copy a)
+          | C_gauge a -> S_gauge (Array.copy a)
+          | C_hist a -> S_hist (Array.map Histogram.to_sorted_list a)
+        in
+        { name = m.m_name; help = m.m_help; data })
+      t.rev_metrics
+    |> List.sort (fun a b -> String.compare a.name b.name)
+  in
+  { s_algo = t.algo; s_n = t.n; rows }
+
+let hist_of_pairs pairs =
+  let h = Histogram.create () in
+  List.iter (fun (v, c) -> Histogram.add_many h v c) pairs;
+  h
+
+let zip_rows ctx a b =
+  if a.s_n <> b.s_n then
+    invalid_arg (Printf.sprintf "Metrics.%s: node counts differ" ctx);
+  if List.length a.rows <> List.length b.rows then
+    invalid_arg (Printf.sprintf "Metrics.%s: metric sets differ" ctx);
+  List.map2
+    (fun ra rb ->
+      if not (String.equal ra.name rb.name) then
+        invalid_arg (Printf.sprintf "Metrics.%s: metric sets differ" ctx);
+      (ra, rb))
+    a.rows b.rows
+
+(* Deterministic reduction for per-domain registries: counters and
+   histogram contents add, gauges take the pointwise maximum (every gauge
+   in the repo is a watermark). All three combiners are commutative and
+   associative, so any reduction order — in particular the pool's
+   in-index-order one — produces the same snapshot. *)
+let merge a b =
+  let rows =
+    List.map
+      (fun (ra, rb) ->
+        let data =
+          match (ra.data, rb.data) with
+          | S_counter xa, S_counter xb ->
+            S_counter (Array.init (Array.length xa) (fun i -> xa.(i) + xb.(i)))
+          | S_gauge xa, S_gauge xb ->
+            S_gauge (Array.init (Array.length xa) (fun i -> Float.max xa.(i) xb.(i)))
+          | S_hist xa, S_hist xb ->
+            S_hist
+              (Array.init (Array.length xa) (fun i ->
+                   Histogram.to_sorted_list
+                     (Histogram.merge (hist_of_pairs xa.(i)) (hist_of_pairs xb.(i)))))
+          | (S_counter _ | S_gauge _ | S_hist _), _ ->
+            invalid_arg "Metrics.merge: metric kinds differ"
+        in
+        { ra with data })
+      (zip_rows "merge" a b)
+  in
+  { a with rows }
+
+let diff ~later ~earlier =
+  let rows =
+    List.map
+      (fun (rl, re) ->
+        let data =
+          match (rl.data, re.data) with
+          | S_counter xl, S_counter xe ->
+            S_counter (Array.init (Array.length xl) (fun i -> xl.(i) - xe.(i)))
+          | S_gauge xl, S_gauge _ -> S_gauge (Array.copy xl)
+          | S_hist xl, S_hist xe ->
+            S_hist
+              (Array.init (Array.length xl) (fun i ->
+                   let he = hist_of_pairs xe.(i) in
+                   List.filter_map
+                     (fun (v, c) ->
+                       let c' = c - Histogram.count_of he v in
+                       if c' < 0 then
+                         invalid_arg "Metrics.diff: later is not a superset"
+                       else if c' = 0 then None
+                       else Some (v, c'))
+                     xl.(i)))
+          | (S_counter _ | S_gauge _ | S_hist _), _ ->
+            invalid_arg "Metrics.diff: metric kinds differ"
+        in
+        { rl with data })
+      (zip_rows "diff" later earlier)
+  in
+  { later with rows }
+
+let equal a b =
+  a.s_n = b.s_n
+  && String.equal a.s_algo b.s_algo
+  && List.length a.rows = List.length b.rows
+  && List.for_all2
+       (fun ra rb ->
+         String.equal ra.name rb.name
+         &&
+         match (ra.data, rb.data) with
+         | S_counter xa, S_counter xb ->
+           Array.length xa = Array.length xb
+           && Array.for_all2 (fun x y -> x = y) xa xb
+         | S_gauge xa, S_gauge xb ->
+           Array.length xa = Array.length xb
+           && Array.for_all2 (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)) xa xb
+         | S_hist xa, S_hist xb ->
+           Array.length xa = Array.length xb
+           && Array.for_all2
+                (List.equal (fun (v1, c1) (v2, c2) -> v1 = v2 && c1 = c2))
+                xa xb
+         | (S_counter _ | S_gauge _ | S_hist _), _ -> false)
+       a.rows b.rows
+
+(* --- snapshot accessors --------------------------------------------------- *)
+
+let find_row s name = List.find_opt (fun r -> String.equal r.name name) s.rows
+
+let total_of s name =
+  match find_row s name with
+  | Some { data = S_counter a; _ } -> Array.fold_left ( + ) 0 a
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics.total_of: %S is not a counter" name)
+  | None -> invalid_arg (Printf.sprintf "Metrics.total_of: no metric %S" name)
+
+let hist_total s name =
+  match find_row s name with
+  | Some { data = S_hist a; _ } ->
+    Array.fold_left (fun h pairs -> Histogram.merge h (hist_of_pairs pairs)) (Histogram.create ()) a
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics.hist_total: %S is not a histogram" name)
+  | None -> invalid_arg (Printf.sprintf "Metrics.hist_total: no metric %S" name)

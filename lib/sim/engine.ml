@@ -15,13 +15,20 @@ module Event_heap = Heap.Make (struct
     if c <> 0 then c else Int.compare a.seq b.seq
 end)
 
+type hook_id = int
+
 type t = {
   mutable clock : float;
   mutable next_seq : int;
   mutable next_id : int;
   queue : Event_heap.t;
   cancelled : (timer_id, unit) Hashtbl.t;
-  mutable step_hook : (unit -> unit) option;
+  (* Registration-ordered: observers (metrics, oracles) must fire in a
+     deterministic order. The list is tiny (0-2 hooks), so the per-step
+     cost is one match on the common empty case. *)
+  mutable hooks : (hook_id * (unit -> unit)) list;
+  mutable next_hook : int;
+  mutable primary_hook : hook_id option;
 }
 
 let create () =
@@ -31,15 +38,37 @@ let create () =
     next_id = 0;
     queue = Event_heap.create ();
     cancelled = Hashtbl.create 64;
-    step_hook = None;
+    hooks = [];
+    next_hook = 0;
+    primary_hook = None;
   }
 
-let set_step_hook t hook = t.step_hook <- Some hook
+let add_step_hook t hook =
+  let id = t.next_hook in
+  t.next_hook <- id + 1;
+  t.hooks <- t.hooks @ [ (id, hook) ];
+  id
 
-let clear_step_hook t = t.step_hook <- None
+let remove_step_hook t id =
+  t.hooks <- List.filter (fun (i, _) -> not (Int.equal i id)) t.hooks
+
+let set_step_hook t hook =
+  (match t.primary_hook with
+  | Some id -> remove_step_hook t id
+  | None -> ());
+  t.primary_hook <- Some (add_step_hook t hook)
+
+let clear_step_hook t =
+  match t.primary_hook with
+  | Some id ->
+    remove_step_hook t id;
+    t.primary_hook <- None
+  | None -> ()
 
 let run_hook t =
-  match t.step_hook with None -> () | Some hook -> hook ()
+  match t.hooks with
+  | [] -> ()
+  | hooks -> List.iter (fun (_, hook) -> hook ()) hooks
 
 let now t = t.clock
 

@@ -47,10 +47,21 @@ val quiescent : t -> bool
 (** [true] when no live (non-cancelled) event remains. *)
 
 val set_step_hook : t -> (unit -> unit) -> unit
-(** Install a callback invoked after every executed event (in both {!step}
-    and {!run}), with the clock already advanced. At most one hook is
-    installed; a second call replaces the first. Runtime invariant oracles
-    hang off this: a hook that raises aborts the run at the exact event
-    that broke the invariant. *)
+(** Install the {e primary} callback invoked after every executed event
+    (in both {!step} and {!run}), with the clock already advanced. At most
+    one primary hook is installed; a second call replaces the first.
+    Runtime invariant oracles hang off this: a hook that raises aborts the
+    run at the exact event that broke the invariant. *)
 
 val clear_step_hook : t -> unit
+
+type hook_id
+
+val add_step_hook : t -> (unit -> unit) -> hook_id
+(** Register an additional step observer alongside the primary hook (the
+    metrics layer samples watermark gauges this way without displacing an
+    installed oracle). Hooks fire in registration order, which keeps
+    multi-observer runs deterministic. *)
+
+val remove_step_hook : t -> hook_id -> unit
+(** Unregister an observer. Removing twice is a no-op. *)

@@ -6,9 +6,18 @@ type entry = { time : float; node : int option; tag : string; detail : string }
    detail is rendered at most once however many times it is read. *)
 type raw = { r_time : float; r_node : int option; r_tag : string; r_detail : string Lazy.t }
 
-type t = { mutable rev_entries : raw list; mutable count : int }
+type t = {
+  mutable rev_entries : raw list;
+  mutable count : int;
+  (* Laziness accounting, used by the perf-smoke tests: [thunks] entries
+     were recorded unevaluated, [forced] of them have been rendered so
+     far. Memoization keeps [forced] <= [thunks] however often the trace
+     is read. *)
+  mutable thunks : int;
+  mutable forced : int;
+}
 
-let create () = { rev_entries = []; count = 0 }
+let create () = { rev_entries = []; count = 0; thunks = 0; forced = 0 }
 
 let record_raw t ~time ?node ~tag detail =
   t.rev_entries <- { r_time = time; r_node = node; r_tag = tag; r_detail = detail } :: t.rev_entries;
@@ -18,23 +27,33 @@ let record t ~time ?node ~tag detail =
   record_raw t ~time ?node ~tag (Lazy.from_val detail)
 
 let record_thunk t ~time ?node ~tag thunk =
+  t.thunks <- t.thunks + 1;
   record_raw t ~time ?node ~tag (Lazy.from_fun thunk)
 
-let force r =
+let force t r =
+  if not (Lazy.is_val r.r_detail) then t.forced <- t.forced + 1;
   { time = r.r_time; node = r.r_node; tag = r.r_tag; detail = Lazy.force r.r_detail }
 
-let entries t = List.rev_map force t.rev_entries
+let entries t = List.rev_map (force t) t.rev_entries
 
 let length t = t.count
 
+let thunk_count t = t.thunks
+
+let forced_count t = t.forced
+
+let pending_thunks t = t.thunks - t.forced
+
 let clear t =
   t.rev_entries <- [];
-  t.count <- 0
+  t.count <- 0;
+  t.thunks <- 0;
+  t.forced <- 0
 
 let find_all t ~tag =
   List.rev t.rev_entries
   |> List.filter_map (fun r ->
-         if String.equal r.r_tag tag then Some (force r) else None)
+         if String.equal r.r_tag tag then Some (force t r) else None)
 
 let pp_entry ppf e =
   match e.node with

@@ -31,7 +31,21 @@ val entries : t -> entry list
 
 val length : t -> int
 
+val thunk_count : t -> int
+(** Entries recorded via {!record_thunk} since creation (or {!clear}). *)
+
+val forced_count : t -> int
+(** Thunk details rendered so far. Memoization guarantees
+    [forced_count t <= thunk_count t] no matter how often the trace is
+    read; the perf-smoke suite asserts on these counters. *)
+
+val pending_thunks : t -> int
+(** [thunk_count t - forced_count t]: recorded but never rendered. *)
+
 val clear : t -> unit
+(** Drop all entries {e and} reset the laziness counters — a cleared
+    trace reports zero [thunk_count]/[forced_count], so counter-based
+    assertions are safe across trial reuse. *)
 
 val find_all : t -> tag:string -> entry list
 (** Entries whose tag matches, in order. *)

@@ -45,6 +45,19 @@ let percentile t q =
   in
   scan 0 (to_sorted_list t)
 
+let merge a b =
+  let m = create () in
+  let blit src = Hashtbl.iter (fun v c -> add_many m v c) src.counts in
+  blit a;
+  blit b;
+  m
+
+let equal a b =
+  a.total = b.total
+  && List.equal
+       (fun (v1, c1) (v2, c2) -> v1 = v2 && c1 = c2)
+       (to_sorted_list a) (to_sorted_list b)
+
 let render ?(width = 40) t =
   let items = to_sorted_list t in
   let maxc = List.fold_left (fun m (_, c) -> max m c) 1 items in

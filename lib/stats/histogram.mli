@@ -33,5 +33,13 @@ val percentile : t -> float -> int
 val to_sorted_list : t -> (int * int) list
 (** [(value, count)] pairs, ascending by value. *)
 
+val merge : t -> t -> t
+(** Fresh histogram holding the observations of both arguments (inputs are
+    not mutated). Commutative, associative and count-preserving — the
+    reduction step for per-domain metric registries. *)
+
+val equal : t -> t -> bool
+(** Same multiset of observations. *)
+
 val render : ?width:int -> t -> string
 (** ASCII bars, one line per distinct value. *)

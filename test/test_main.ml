@@ -17,6 +17,7 @@ let () =
       ("direct-api", Test_direct_api.suite);
       ("fdeque", Test_fdeque.suite);
       ("par", Test_par.suite);
+      ("obs", Test_obs.suite);
       ("fuzz", Test_fuzz.suite);
       ("lint", Test_lint.suite);
       ("perf-smoke", Test_perf_smoke.suite);

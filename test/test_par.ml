@@ -6,6 +6,9 @@
 
 module Pool = Ocube_par.Pool
 module Registry = Ocube_harness.Registry
+module Exp_average = Ocube_harness.Exp_average
+module Metrics = Ocube_obs.Metrics
+module Export = Ocube_obs.Export
 
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
@@ -110,6 +113,21 @@ let test_harness_table_parity () =
   Pool.set_default_jobs 1;
   checks "table identical at jobs=4" serial parallel
 
+(* The same promise for the observability layer: a metrics snapshot
+   assembled from per-probe registries across 4 domains must be
+   *identical* to the serial one — structurally and as exported bytes.
+   Metrics.merge is commutative/associative and the pool reduces in index
+   order, so any divergence here is a real nondeterminism bug. *)
+let test_metrics_snapshot_parity () =
+  let serial = Pool.with_pool ~jobs:1 (fun pool -> Exp_average.merged_metrics ~pool ~p:4) in
+  let parallel = Pool.with_pool ~jobs:4 (fun pool -> Exp_average.merged_metrics ~pool ~p:4) in
+  checkb "snapshots structurally equal" true (Metrics.equal serial parallel);
+  checks "prometheus bytes identical at jobs=4"
+    (Export.prometheus serial)
+    (Export.prometheus parallel);
+  checks "json bytes identical at jobs=4" (Export.json serial)
+    (Export.json parallel)
+
 let suite =
   [
     Alcotest.test_case "parallel_for covers every index once" `Quick
@@ -128,4 +146,6 @@ let suite =
     Alcotest.test_case "default pool width" `Quick test_default_pool;
     Alcotest.test_case "harness table identical at jobs=4" `Quick
       test_harness_table_parity;
+    Alcotest.test_case "metrics snapshot identical at jobs=4" `Quick
+      test_metrics_snapshot_parity;
   ]

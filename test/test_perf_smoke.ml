@@ -86,11 +86,50 @@ let test_trace_on_formats_only_when_read () =
   Engine.run engine;
   checki "recording alone renders nothing" 0 !Counting.pp_calls;
   checki "entries were recorded" 20 (Trace.length trace) (* 10 send + 10 recv *);
+  (* The trace's own laziness counters agree with the payload counter:
+     all thunks pending, none forced. *)
+  checki "thunks recorded" 20 (Trace.thunk_count trace);
+  checki "nothing forced yet" 0 (Trace.forced_count trace);
+  checki "all pending" 20 (Trace.pending_thunks trace);
   ignore (Trace.render trace);
   let after_first_read = !Counting.pp_calls in
   checkb "reading the trace renders details" true (after_first_read > 0);
+  checki "forcing is observable" 20 (Trace.forced_count trace);
+  checki "none left pending" 0 (Trace.pending_thunks trace);
   ignore (Trace.render trace);
-  checki "details are memoized across reads" after_first_read !Counting.pp_calls
+  checki "details are memoized across reads" after_first_read !Counting.pp_calls;
+  checki "memoized reads do not re-force" 20 (Trace.forced_count trace)
+
+(* Regression: Trace.clear used to drop the entries but keep the
+   thunk/forced counters, so a reused trace reported phantom pending
+   thunks and the laziness assertions above broke on the second
+   workload. A cleared trace must be indistinguishable from a fresh
+   one. *)
+let test_trace_clear_resets_laziness_counters () =
+  Counting.pp_calls := 0;
+  let trace = Trace.create () in
+  let engine, net = make_net ~trace () in
+  Net.set_handler net 1 (fun ~src:_ _ -> ());
+  for k = 1 to 5 do
+    Net.send net ~src:0 ~dst:1 (Counting.Ping k)
+  done;
+  Engine.run engine;
+  ignore (Trace.render trace);
+  checkb "counters are hot before the clear" true
+    (Trace.thunk_count trace > 0 && Trace.forced_count trace > 0);
+  Trace.clear trace;
+  checki "no entries" 0 (Trace.length trace);
+  checki "thunk counter reset" 0 (Trace.thunk_count trace);
+  checki "forced counter reset" 0 (Trace.forced_count trace);
+  checki "pending reset" 0 (Trace.pending_thunks trace);
+  (* The cleared trace keeps working as a fresh one. *)
+  Counting.pp_calls := 0;
+  for k = 1 to 3 do
+    Net.send net ~src:0 ~dst:1 (Counting.Ping k)
+  done;
+  Engine.run engine;
+  checki "fresh thunks counted from zero" 6 (Trace.thunk_count trace);
+  checki "still lazy after a clear" 0 !Counting.pp_calls
 
 (* --- trace on/off equivalence -------------------------------------------- *)
 
@@ -225,6 +264,8 @@ let suite =
       test_trace_off_drop_path_formats_nothing;
     Alcotest.test_case "trace on: formatting deferred until read" `Quick
       test_trace_on_formats_only_when_read;
+    Alcotest.test_case "Trace.clear resets the laziness counters" `Quick
+      test_trace_clear_resets_laziness_counters;
     Alcotest.test_case "trace on/off runs are equivalent" `Quick
       test_trace_off_vs_on_equivalence;
     Alcotest.test_case "last_son beats the O(N) scan" `Quick

@@ -96,6 +96,21 @@ let test_histogram_percentile_empty () =
     (Invalid_argument "Histogram.percentile: empty histogram") (fun () ->
       ignore (Histogram.percentile h 50.0))
 
+let test_histogram_merge_basic () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.add a) [ 1; 2; 2 ];
+  List.iter (Histogram.add b) [ 2; 7 ];
+  let m = Histogram.merge a b in
+  checki "total" 5 (Histogram.count m);
+  checki "counts add" 3 (Histogram.count_of m 2);
+  (* merge is a fresh histogram: the inputs are untouched *)
+  checki "left input intact" 3 (Histogram.count a);
+  checki "right input intact" 2 (Histogram.count b);
+  checkb "equal to pooled" true
+    (let pooled = Histogram.create () in
+     List.iter (Histogram.add pooled) [ 1; 2; 2; 2; 7 ];
+     Histogram.equal m pooled)
+
 let test_histogram_render () =
   let h = Histogram.create () in
   Histogram.add_many h 2 10;
@@ -189,6 +204,56 @@ let qcheck_tests =
         let h = Histogram.create () in
         List.iter (Histogram.add h) xs;
         Histogram.percentile h 25.0 <= Histogram.percentile h 75.0);
+    Test.make ~count:300 ~name:"histogram merge commutes and preserves counts"
+      (pair
+         (list_of_size (Gen.int_range 0 60) (int_range 0 40))
+         (list_of_size (Gen.int_range 0 60) (int_range 0 40)))
+      (fun (xs, ys) ->
+        let of_list vs =
+          let h = Histogram.create () in
+          List.iter (Histogram.add h) vs;
+          h
+        in
+        let a = of_list xs and b = of_list ys in
+        let m = Histogram.merge a b in
+        Histogram.count m = List.length xs + List.length ys
+        && Histogram.equal m (Histogram.merge b a)
+        && Histogram.equal m (of_list (xs @ ys)));
+    Test.make ~count:200 ~name:"histogram merge is associative"
+      (triple
+         (list_of_size (Gen.int_range 0 40) (int_range 0 30))
+         (list_of_size (Gen.int_range 0 40) (int_range 0 30))
+         (list_of_size (Gen.int_range 0 40) (int_range 0 30)))
+      (fun (xs, ys, zs) ->
+        let of_list vs =
+          let h = Histogram.create () in
+          List.iter (Histogram.add h) vs;
+          h
+        in
+        let a = of_list xs and b = of_list ys and c = of_list zs in
+        Histogram.equal
+          (Histogram.merge (Histogram.merge a b) c)
+          (Histogram.merge a (Histogram.merge b c)));
+    Test.make ~count:300
+      ~name:"histogram percentile is monotone in q and consistent with the \
+             sorted list"
+      (pair
+         (list_of_size (Gen.int_range 1 80) (int_range 0 50))
+         (pair (float_range 0.0 100.0) (float_range 0.0 100.0)))
+      (fun (xs, (q1, q2)) ->
+        let h = Histogram.create () in
+        List.iter (Histogram.add h) xs;
+        let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+        let monotone = Histogram.percentile h lo <= Histogram.percentile h hi in
+        (* percentile must return a recorded value, and sweep the whole
+           support: p100 is the max of the expanded sorted list, p>0
+           values appear in it. *)
+        let sorted = Histogram.to_sorted_list h in
+        let mem v = List.exists (fun (x, _) -> x = v) sorted in
+        monotone
+        && mem (Histogram.percentile h hi)
+        && Histogram.percentile h 100.0
+           = fst (List.nth sorted (List.length sorted - 1)));
   ]
 
 let suite =
@@ -205,6 +270,8 @@ let suite =
       test_histogram_percentiles;
     Alcotest.test_case "histogram percentile on empty" `Quick
       test_histogram_percentile_empty;
+    Alcotest.test_case "histogram merge pools counts" `Quick
+      test_histogram_merge_basic;
     Alcotest.test_case "histogram rendering" `Quick test_histogram_render;
     Alcotest.test_case "table rendering" `Quick test_table_render;
     Alcotest.test_case "table arity check" `Quick test_table_arity_check;
