@@ -67,7 +67,7 @@ let () =
   reg ~name:"fig3_hypercube_embedding_p8" ~batch:4 (fun () ->
       let c = Opencube.build ~p:8 in
       List.iter
-        (fun (s, f) -> assert (Ocube_topology.Hypercube.is_edge s f))
+        (fun (s, f) -> assert (Ocube_topology.Opencube.Hypercube.is_edge s f))
         (Opencube.edges c))
 
 (* Thm. 2.1: a long chain of b-transformations. *)
@@ -303,13 +303,18 @@ let () =
   bench_scale_trace false "scale_probe_traceoff_n64";
   bench_scale_trace true "scale_probe_traceon_n64"
 
-(* Chains of b-transformations exercise [last_son] + the sons index; the
-   p = 10 -> 14 pair (16x the nodes) must show sub-linear per-op growth. *)
+(* Chains of b-transformations exercise [last_son] + son reconstruction;
+   the ladder quadruples N per rung from p = 14 up to p = 20 (N ≈ 1M).
+   With the implicit representation both operations are O(p), so per-op
+   time must stay near-flat up the ladder. Cubes are built lazily inside
+   the kernel: a --quick run that never selects the big rungs must not
+   pay their megabyte allocations at startup. *)
 let bench_scale_btransform p =
-  let cube = Opencube.build ~p in
+  let cube = lazy (Opencube.build ~p) in
   let n = 1 lsl p in
   let rng = Rng.create 8 in
   reg ~name:(Printf.sprintf "scale_btransform_chain_p%d" p) ~batch:4 (fun () ->
+      let cube = Lazy.force cube in
       for _ = 1 to 64 do
         let i = Rng.int rng n in
         if Opencube.last_son cube i <> None then Opencube.b_transform cube i
@@ -317,7 +322,24 @@ let bench_scale_btransform p =
 
 let () =
   bench_scale_btransform 10;
-  bench_scale_btransform 14
+  bench_scale_btransform 14;
+  bench_scale_btransform 16;
+  bench_scale_btransform 18;
+  bench_scale_btransform 20
+
+(* End-to-end N ≈ 1M smoke: a full wish -> token -> CS round trip on a
+   2^20-node simulated system. The environment (flat Bigarray node state,
+   one shared message handler) is built lazily once; each iteration
+   drives one probe from a random node, whose cost must stay O(p)
+   messages — independent of N. *)
+let () =
+  let env_1m =
+    lazy (Exp_common.make_opencube ~fault_tolerance:false ~p:20 ())
+  in
+  let rng = Rng.create 9 in
+  reg ~name:"simulate_n_1M" (fun () ->
+      let env, _ = Lazy.force env_1m in
+      ignore (Exp_common.probe env (Rng.int rng (1 lsl 20))))
 
 (* Model-checker ladder: one rung per wish budget at p=2 (the state space
    grows ~30x per wish), pinning the explorer's per-state cost. *)
@@ -367,6 +389,8 @@ let quick_names =
     "prop23_branch_stats_p10";
     "tbl_comparison_central_n64";
     "scale_btransform_chain_p10";
+    "scale_btransform_chain_p16";
+    "simulate_n_1M";
     "scale_packed_encode_256";
     "tbl_modelcheck_p2_w1";
   ]
@@ -498,6 +522,7 @@ let compare_against ~baseline_file ~max_regression rows =
     else Printf.sprintf "%.0f ns" ns
   in
   let worst = ref ("", 0.0) in
+  let regressed = ref [] in
   List.iter
     (fun (name, now, r2) ->
       match List.assoc_opt name baseline with
@@ -507,7 +532,10 @@ let compare_against ~baseline_file ~max_regression rows =
         (* A poor fit means the estimate itself is unreliable (noisy
            runner, GC spike): report it but keep it out of the gate. *)
         let reliable = (not (Float.is_nan r2)) && r2 >= 0.8 in
-        if reliable && ratio > snd !worst then worst := (name, ratio);
+        if reliable then begin
+          if ratio > snd !worst then worst := (name, ratio);
+          if ratio > max_regression then regressed := (name, ratio) :: !regressed
+        end;
         Ocube_stats.Table.add_row table
           [
             name;
@@ -519,14 +547,20 @@ let compare_against ~baseline_file ~max_regression rows =
       | Some _ -> ())
     rows;
   Ocube_stats.Table.print table;
-  let name, ratio = !worst in
-  if ratio > max_regression then begin
-    Printf.printf "REGRESSION: %s is %.2fx its baseline (limit %.1fx)\n" name
-      ratio max_regression;
+  (* Report every kernel beyond the limit, not just the worst one: a CI
+     run that trips on several fronts should say so in one pass. *)
+  match List.rev !regressed with
+  | [] ->
+    let name, ratio = !worst in
+    Printf.printf "worst ratio %.2fx (%s) - within the %.1fx limit\n" ratio
+      name max_regression
+  | regs ->
+    List.iter
+      (fun (name, ratio) ->
+        Printf.printf "REGRESSION: %s is %.2fx its baseline (limit %.1fx)\n"
+          name ratio max_regression)
+      regs;
     exit 3
-  end
-  else Printf.printf "worst ratio %.2fx (%s) - within the %.1fx limit\n" ratio
-         name max_regression
 
 let () =
   let argv = Sys.argv in

@@ -42,6 +42,38 @@ let algo_arg =
   in
   Arg.(value & opt string "opencube" & info [ "a"; "algo" ] ~docv:"ALGO" ~doc)
 
+(* Evaluates to (), flipping the process-wide open-cube representation as
+   a side effect before the command body runs: compose it as the first
+   argument of a command's term. *)
+let topology_term =
+  let doc =
+    "Open-cube topology representation: $(b,implicit) (closed-form id \
+     arithmetic over a flat Bigarray father vector; scales to N in the \
+     millions) or $(b,explicit) (the record-and-adjacency reference \
+     oracle). The two are observationally identical; see DESIGN.md \
+     section 11."
+  in
+  let mode_conv =
+    let parse s =
+      match Opencube.mode_of_string s with
+      | Some m -> Ok m
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown topology %S (expected explicit or implicit)"
+               s))
+    in
+    let print ppf m = Format.pp_print_string ppf (Opencube.mode_to_string m) in
+    Arg.conv (parse, print)
+  in
+  let arg =
+    Arg.(
+      value
+      & opt mode_conv Opencube.Implicit
+      & info [ "topology" ] ~docv:"MODE" ~doc)
+  in
+  Term.(const Opencube.set_default_mode $ arg)
+
 let kind_of_string = function
   | "opencube" -> Ok (Exp_common.Opencube { census_rounds = 2; fault_tolerance = true })
   | "opencube-paper" ->
@@ -248,7 +280,8 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
-      const run_simulate $ algo_arg $ nodes_arg $ seed_arg $ rate_arg
+      const (fun () -> run_simulate)
+      $ topology_term $ algo_arg $ nodes_arg $ seed_arg $ rate_arg
       $ horizon_arg $ cs_arg $ failures_arg $ recover_arg $ patience_arg
       $ verbose_arg $ metrics_arg $ trace_out_arg)
 
@@ -312,7 +345,8 @@ let metrics_cmd =
   in
   Cmd.v (Cmd.info "metrics" ~doc)
     Term.(
-      const run_metrics $ algo_arg $ nodes_arg $ seed_arg $ rate_arg
+      const (fun () -> run_metrics)
+      $ topology_term $ algo_arg $ nodes_arg $ seed_arg $ rate_arg
       $ horizon_arg $ cs_arg $ format_arg)
 
 (* --- tree ------------------------------------------------------------------- *)
@@ -355,8 +389,9 @@ let tree_cmd =
   Cmd.v
     (Cmd.info "tree" ~doc)
     Term.(
-      const (fun p reqs seed -> run_tree p (List.map (fun r -> r - 1) reqs) seed)
-      $ p_arg $ req_arg $ seed_arg)
+      const (fun () p reqs seed ->
+          run_tree p (List.map (fun r -> r - 1) reqs) seed)
+      $ topology_term $ p_arg $ req_arg $ seed_arg)
 
 (* --- dot -------------------------------------------------------------------- *)
 
@@ -396,8 +431,9 @@ let dot_cmd =
   let doc = "Export the (possibly evolved) open-cube as Graphviz DOT." in
   Cmd.v (Cmd.info "dot" ~doc)
     Term.(
-      const (fun p reqs seed out ->
+      const (fun () p reqs seed out ->
           run_dot p (List.map (fun r -> r - 1) reqs) seed out)
+      $ topology_term
       $ p_arg $ req_arg $ seed_arg $ out_arg)
 
 (* --- walkthrough ------------------------------------------------------------ *)
@@ -596,7 +632,8 @@ let fuzz_cmd =
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
-      const run_fuzz $ seed_arg $ jobs_arg $ iters_arg $ time_arg $ algos_arg
+      const (fun () -> run_fuzz)
+      $ topology_term $ seed_arg $ jobs_arg $ iters_arg $ time_arg $ algos_arg
       $ max_p_arg $ no_faults_arg $ replay_arg $ progress_arg)
 
 (* --- lint ------------------------------------------------------------------- *)

@@ -3,7 +3,7 @@
 
 open Ocube_mutex
 module Opencube = Ocube_topology.Opencube
-module Hypercube = Ocube_topology.Hypercube
+module Hypercube = Ocube_topology.Opencube.Hypercube
 
 let fig2 () =
   let buf = Buffer.create 256 in

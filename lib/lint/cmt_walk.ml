@@ -61,6 +61,9 @@ let rec safe_compare_type ty =
       true
     | "option" | "list" | "array" | "ref" ->
       List.for_all safe_compare_type args
+    | "Bigarray.kind" | "Bigarray.layout" ->
+      (* kind/layout witnesses over whitelisted phantom markers *)
+      List.for_all safe_compare_type args
     | _ -> matches_suffix ~candidates:Rules.safe_named_types n)
   | Types.Ttuple ts -> List.for_all safe_compare_type ts
   | Types.Tpoly (t, _) -> safe_compare_type t

@@ -98,6 +98,22 @@ let safe_named_types =
     (* flat integer records: one canonical representation *)
     "Types.request_id";
     "request_id";
+    (* Bigarray phantom markers: reads from Bigarray vectors are plain
+       scalars, and the kind/layout witnesses are one-constructor
+       phantoms — comparing them is representation-safe and must not
+       trip no-poly-compare *)
+    "Bigarray.int_elt";
+    "Bigarray.int8_unsigned_elt";
+    "Bigarray.int8_signed_elt";
+    "Bigarray.int16_unsigned_elt";
+    "Bigarray.int16_signed_elt";
+    "Bigarray.int32_elt";
+    "Bigarray.int64_elt";
+    "Bigarray.nativeint_elt";
+    "Bigarray.float32_elt";
+    "Bigarray.float64_elt";
+    "Bigarray.c_layout";
+    "Bigarray.fortran_layout";
   ]
 
 let protocol_types = [ "Message.t" ]

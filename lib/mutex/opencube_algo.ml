@@ -49,35 +49,67 @@ type search = {
   mutable phase_timer : Net.timer option;
 }
 
-type node = {
-  id : node_id;
-  mutable father : node_id option;
-  mutable token_here : bool;
-  mutable asking : bool;
-  mutable in_cs : bool;
-  mutable lender : node_id;
-  mutable mandator : node_id option;
-  mutable mandate_rid : request_id option;
-  mutable mandate_searches : int;
+(* --- per-node state, split hot/cold for N ≈ 1M ---------------------------
+
+   The hot scalars every message handler touches live in flat Bigarray
+   vectors indexed by node id (the layout DESIGN.md §11 documents):
+   O(N) words of unboxed memory, no per-node heap records, and the same
+   id-indexed striping [lib/par/pool.ml] uses, so parallel readers (the
+   packed model checker, striped init) touch disjoint cache lines.
+   Options are encoded with a [-1] sentinel (node ids and rid sources
+   are >= 0); the three booleans pack into one byte per node.
+
+   The structured, allocation-heavy remainder — wait queue, dedup ring,
+   loan/search records, timer handles — is {e cold}: it exists only for
+   nodes the protocol has actually engaged, behind one [cold option]
+   slot each. An idle node costs exactly one word of heap (the [None])
+   plus its stripe of the vectors, which is what makes 2^20-node
+   instances affordable. *)
+
+type int_ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type byte_ba =
+  (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type float_ba = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* flag bits *)
+let fl_token = 1
+
+let fl_asking = 2
+
+let fl_in_cs = 4
+
+type state = {
+  father : int_ba;  (* current father id, -1 = root/none *)
+  flags : byte_ba;  (* fl_token lor fl_asking lor fl_in_cs *)
+  lender : int_ba;  (* lender of the held token; self when not borrowed *)
+  mandator : int_ba;  (* whose request we carry, -1 = none *)
+  mrid_src : int_ba;  (* mandate request id, -1 src = none *)
+  mrid_seq : int_ba;
+  msearches : int_ba;
       (* searches started for the current mandate; repeat searches sweep
          from phase 1 with an exclusion list so a searcher caught in a
          waiting cycle makes monotone progress towards the token holder
          (DESIGN.md, deviations) *)
+  next_seq : int_ba;
+  lorid_src : int_ba;  (* last own request id, -1 src = none *)
+  lorid_seq : int_ba;
+  last_token_seen : float_ba;
+      (* virtual time this node last held, sent or received the token; lets
+         a census catch tokens that are momentarily in flight *)
+}
+
+type cold = {
   mutable mandate_excluded : node_id list;
       (* fathers already adopted for this mandate without the token
          arriving; their ok answers are ignored on repeat searches *)
-  mutable next_seq : int;
-  mutable last_own_rid : request_id option;
   mutable queue : pending Fdeque.t;  (* deferred events, service order per
                                         config.queue_policy *)
   recent_rids : request_id Ringbuf.t;
       (* own recently *satisfied* request ids (last [dedup_window] of
          them), consulted when answering a lender's enquiry (Token_sent
          vs Token_lost) *)
-  (* --- fault-tolerance state --- *)
-  mutable last_token_seen : float;
-      (* virtual time this node last held, sent or received the token; lets
-         a census catch tokens that are momentarily in flight *)
   mutable loan : loan option;
   mutable loan_timer : Net.timer option;
   mutable enquiry_timer : Net.timer option;
@@ -104,7 +136,9 @@ type t = {
   callbacks : callbacks;
   config : config;
   pmax : int;
-  nodes : node array;
+  n : int;
+  st : state;
+  cold : cold option array;
   policy_rng : Ocube_sim.Rng.t;  (* for the Random_order queue policy *)
   mutable tokens_in_flight : int;
   mutable s_token_regenerations : int;
@@ -123,32 +157,143 @@ type t = {
 let dist = Opencube.dist
 
 (* ------------------------------------------------------------------ *)
+(* State accessors                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fget t i = t.st.father.{i}
+
+let fset t i v = t.st.father.{i} <- v
+
+let fset_none t i = t.st.father.{i} <- -1
+
+let has_token t i = t.st.flags.{i} land fl_token <> 0
+
+let set_token t i b =
+  let f = t.st.flags.{i} in
+  t.st.flags.{i} <- (if b then f lor fl_token else f land lnot fl_token)
+
+let is_asking t i = t.st.flags.{i} land fl_asking <> 0
+
+let set_asking t i b =
+  let f = t.st.flags.{i} in
+  t.st.flags.{i} <- (if b then f lor fl_asking else f land lnot fl_asking)
+
+let is_in_cs t i = t.st.flags.{i} land fl_in_cs <> 0
+
+let set_in_cs t i b =
+  let f = t.st.flags.{i} in
+  t.st.flags.{i} <- (if b then f lor fl_in_cs else f land lnot fl_in_cs)
+
+let lender_of t i = t.st.lender.{i}
+
+let set_lender t i v = t.st.lender.{i} <- v
+
+let mandator_raw t i = t.st.mandator.{i}
+
+let set_mandator t i v = t.st.mandator.{i} <- v
+
+let clear_mandator t i = t.st.mandator.{i} <- -1
+
+let mrid_some t i = t.st.mrid_src.{i} >= 0
+
+let mrid_is t i (rid : request_id) =
+  t.st.mrid_src.{i} = rid.source && t.st.mrid_seq.{i} = rid.seq
+
+let mrid_opt t i =
+  let s = t.st.mrid_src.{i} in
+  if s < 0 then None else Some { source = s; seq = t.st.mrid_seq.{i} }
+
+let set_mrid t i (rid : request_id) =
+  t.st.mrid_src.{i} <- rid.source;
+  t.st.mrid_seq.{i} <- rid.seq
+
+let clear_mrid t i = t.st.mrid_src.{i} <- -1
+
+let msearches t i = t.st.msearches.{i}
+
+let set_msearches t i v = t.st.msearches.{i} <- v
+
+let lorid_is t i (rid : request_id) =
+  t.st.lorid_src.{i} = rid.source && t.st.lorid_seq.{i} = rid.seq
+
+let set_lorid t i (rid : request_id) =
+  t.st.lorid_src.{i} <- rid.source;
+  t.st.lorid_seq.{i} <- rid.seq
+
+let clear_lorid t i = t.st.lorid_src.{i} <- -1
+
+let lts t i = t.st.last_token_seen.{i}
+
+let set_lts t i v = t.st.last_token_seen.{i} <- v
+
+let fresh_cold t =
+  {
+    mandate_excluded = [];
+    queue = Fdeque.empty;
+    recent_rids = Ringbuf.create ~capacity:t.config.dedup_window;
+    loan = None;
+    loan_timer = None;
+    enquiry_timer = None;
+    asker_timer = None;
+    search = None;
+  }
+
+let cold t i =
+  match t.cold.(i) with
+  | Some c -> c
+  | None ->
+    let c = fresh_cold t in
+    t.cold.(i) <- Some c;
+    c
+
+(* Read-only cold views: never allocate a record for an untouched node. *)
+let search_of t i = match t.cold.(i) with Some c -> c.search | None -> None
+
+let searching_now t i =
+  match t.cold.(i) with Some { search = Some _; _ } -> true | _ -> false
+
+let loan_of t i = match t.cold.(i) with Some c -> c.loan | None -> None
+
+let has_loan t i =
+  match t.cold.(i) with Some { loan = Some _; _ } -> true | _ -> false
+
+let excluded t i =
+  match t.cold.(i) with Some c -> c.mandate_excluded | None -> []
+
+let clear_excluded t i =
+  match t.cold.(i) with Some c -> c.mandate_excluded <- [] | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Small helpers                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let node t i = t.nodes.(i)
-
-let power_of t nd =
-  match nd.search with
+let power_of t i =
+  match search_of t i with
   | Some s -> s.phase - 1 (* "while performing phase d, i evaluates its power
                              as d-1" (Section 5) *)
-  | None -> (
-    match nd.father with None -> t.pmax | Some f -> dist nd.id f - 1)
+  | None ->
+    let f = fget t i in
+    if f < 0 then t.pmax else dist i f - 1
 
-let fresh_rid nd =
-  let rid = { source = nd.id; seq = nd.next_seq } in
-  nd.next_seq <- nd.next_seq + 1;
-  rid
+let fresh_rid t i =
+  let seq = t.st.next_seq.{i} in
+  t.st.next_seq.{i} <- seq + 1;
+  { source = i; seq }
 
-let remember_rid nd rid = Ringbuf.add nd.recent_rids rid
+let remember_rid t i rid = Ringbuf.add (cold t i).recent_rids rid
 
-let seen_rid nd rid = Ringbuf.mem nd.recent_rids rid
+let seen_rid t i rid =
+  match t.cold.(i) with
+  | Some c -> Ringbuf.mem c.recent_rids rid
+  | None -> false
+
+let now t = Ocube_sim.Engine.now (Net.engine t.net)
 
 let send t ~src ~dst payload =
   (match payload with
   | Message.Token _ ->
     t.tokens_in_flight <- t.tokens_in_flight + 1;
-    t.nodes.(src).last_token_seen <- Ocube_sim.Engine.now (Net.engine t.net)
+    set_lts t src (now t)
   | Message.Request _ | Message.Enquiry _ | Message.Enquiry_answer _
   | Message.Test _ | Message.Test_answer _ | Message.Anomaly _
   | Message.Void _ | Message.Census _ | Message.Census_reply _
@@ -159,90 +304,126 @@ let send t ~src ~dst payload =
 
 let token_received t = t.tokens_in_flight <- t.tokens_in_flight - 1
 
-let now t = Ocube_sim.Engine.now (Net.engine t.net)
-
-let cancel_timer t slot =
-  match slot with Some timer -> Net.cancel_timer t.net timer | None -> ()
-
 (* ------------------------------------------------------------------ *)
 (* Timers (all no-ops when fault tolerance is off)                     *)
 (* ------------------------------------------------------------------ *)
 
 let delta t = Net.delta t.net
 
-let rec arm_asker_timer t nd =
+let cancel_slot t tm = match tm with Some tm -> Net.cancel_timer t.net tm | None -> ()
+
+let cancel_asker t i =
+  match t.cold.(i) with
+  | None -> ()
+  | Some c ->
+    cancel_slot t c.asker_timer;
+    c.asker_timer <- None
+
+let cancel_loan_timer t i =
+  match t.cold.(i) with
+  | None -> ()
+  | Some c ->
+    cancel_slot t c.loan_timer;
+    c.loan_timer <- None
+
+let cancel_enquiry_timer t i =
+  match t.cold.(i) with
+  | None -> ()
+  | Some c ->
+    cancel_slot t c.enquiry_timer;
+    c.enquiry_timer <- None
+
+(* loan <- None and both loan-related timers off, in one step. *)
+let clear_loan_and_timers t i =
+  match t.cold.(i) with
+  | None -> ()
+  | Some c ->
+    c.loan <- None;
+    cancel_slot t c.loan_timer;
+    c.loan_timer <- None;
+    cancel_slot t c.enquiry_timer;
+    c.enquiry_timer <- None
+
+let rec arm_asker_timer t i =
   if t.config.fault_tolerance then begin
-    cancel_timer t nd.asker_timer;
+    let c = cold t i in
+    cancel_slot t c.asker_timer;
     let delay =
       t.config.asker_patience *. 2.0 *. float_of_int t.pmax *. delta t
     in
-    nd.asker_timer <-
-      Some (Net.set_timer t.net ~node:nd.id ~delay (fun () -> asker_timeout t nd))
+    c.asker_timer <-
+      Some (Net.set_timer t.net ~node:i ~delay (fun () -> asker_timeout t i))
   end
 
-and arm_loan_timer t nd =
+and arm_loan_timer t i =
   if t.config.fault_tolerance then begin
-    cancel_timer t nd.loan_timer;
-    match nd.loan with
+    let c = cold t i in
+    cancel_slot t c.loan_timer;
+    c.loan_timer <- None;
+    match c.loan with
     | None -> ()
     | Some loan ->
       let delay =
         if loan.direct then (2.0 *. delta t) +. t.config.cs_estimate
         else (float_of_int (t.pmax + 1) *. delta t) +. t.config.cs_estimate
       in
-      nd.loan_timer <-
-        Some (Net.set_timer t.net ~node:nd.id ~delay (fun () -> loan_timeout t nd))
+      c.loan_timer <-
+        Some (Net.set_timer t.net ~node:i ~delay (fun () -> loan_timeout t i))
   end
 
-and arm_enquiry_timer t nd =
-  cancel_timer t nd.enquiry_timer;
+and arm_enquiry_timer t i =
+  let c = cold t i in
+  cancel_slot t c.enquiry_timer;
   let delay = 2.0 *. delta t *. 1.05 in
-  nd.enquiry_timer <-
-    Some (Net.set_timer t.net ~node:nd.id ~delay (fun () -> enquiry_timeout t nd))
+  c.enquiry_timer <-
+    Some (Net.set_timer t.net ~node:i ~delay (fun () -> enquiry_timeout t i))
 
 (* ------------------------------------------------------------------ *)
 (* Critical-section entry/exit and the deferred-event queue            *)
 (* ------------------------------------------------------------------ *)
 
-and enter_cs t nd =
-  nd.in_cs <- true;
-  t.callbacks.on_enter nd.id
+and enter_cs t i =
+  set_in_cs t i true;
+  t.callbacks.on_enter i
 
-and pop_queued t nd =
+and pop_queued t i =
   (* The paper only assumes the waiting-queue service policy is fair
      ("for example, the FIFO policy"); Lifo is deliberately unfair and
      exists for the fairness ablation. *)
-  if Fdeque.is_empty nd.queue then None
-  else
-    let popped =
-      match t.config.queue_policy with
-      | Fifo -> Fdeque.pop_front nd.queue
-      | Lifo -> Fdeque.pop_back nd.queue
-      | Random_order ->
-        Fdeque.pop_nth nd.queue
-          (Ocube_sim.Rng.int t.policy_rng (Fdeque.length nd.queue))
-    in
-    match popped with
-    | None -> None
-    | Some (ev, rest) ->
-      nd.queue <- rest;
-      Some ev
+  match t.cold.(i) with
+  | None -> None
+  | Some c ->
+    if Fdeque.is_empty c.queue then None
+    else
+      let popped =
+        match t.config.queue_policy with
+        | Fifo -> Fdeque.pop_front c.queue
+        | Lifo -> Fdeque.pop_back c.queue
+        | Random_order ->
+          Fdeque.pop_nth c.queue
+            (Ocube_sim.Rng.int t.policy_rng (Fdeque.length c.queue))
+      in
+      (match popped with
+      | None -> None
+      | Some (ev, rest) ->
+        c.queue <- rest;
+        Some ev)
 
-and drain t nd =
+and drain t i =
   (* Serve deferred events while the node is idle. Processing an event may
      set [asking] again, which stops the loop. *)
   let continue = ref true in
-  while (not nd.asking) && !continue do
-    match pop_queued t nd with
+  while (not (is_asking t i)) && !continue do
+    match pop_queued t i with
     | None -> continue := false
-    | Some Wish -> process_wish t nd
+    | Some Wish -> process_wish t i
     | Some (Preq { origin; rid }) ->
-      if rid.source = nd.id && nd.mandate_rid <> Some rid then
-        drop_own_stale_request t nd ~origin ~rid
-      else process_request t nd ~origin ~rid
+      if rid.source = i && not (mrid_is t i rid) then
+        drop_own_stale_request t i ~origin ~rid
+      else process_request t i ~origin ~rid
   done
 
-and drop_own_stale_request t nd ~origin ~rid =
+and drop_own_stale_request t i ~origin ~rid =
   (* A stale copy of one of our own requests came back around (a proxy
      regenerated it after we were already served): drop it, and tell the
      proxy its mandate is void — otherwise it retries the dead request
@@ -250,44 +431,45 @@ and drop_own_stale_request t nd ~origin ~rid =
      livelock). Fault-free runs never regenerate, so this path stays
      silent there and message counts are unchanged. *)
   t.s_duplicate_requests_dropped <- t.s_duplicate_requests_dropped + 1;
-  if t.config.fault_tolerance && origin <> nd.id then
-    send t ~src:nd.id ~dst:origin (Message.Void { rid })
+  if t.config.fault_tolerance && origin <> i then
+    send t ~src:i ~dst:origin (Message.Void { rid })
 
-and process_wish t nd =
-  nd.asking <- true;
-  if nd.token_here then begin
+and process_wish t i =
+  set_asking t i true;
+  if has_token t i then begin
     (* The node already holds the token (it is the current root holder):
        enter immediately; lender invariant says lender = self. *)
-    nd.lender <- nd.id;
-    enter_cs t nd
+    set_lender t i i;
+    enter_cs t i
   end
   else begin
-    let rid = fresh_rid nd in
-    nd.mandator <- Some nd.id;
-    nd.mandate_rid <- Some rid;
-    nd.mandate_searches <- 0;
-    nd.mandate_excluded <- [];
-    nd.last_own_rid <- Some rid;
-    match nd.father with
-    | Some f ->
-      send t ~src:nd.id ~dst:f (Message.Request { origin = nd.id; rid });
-      arm_asker_timer t nd
-    | None ->
+    let rid = fresh_rid t i in
+    set_mandator t i i;
+    set_mrid t i rid;
+    set_msearches t i 0;
+    clear_excluded t i;
+    set_lorid t i rid;
+    let f = fget t i in
+    if f >= 0 then begin
+      send t ~src:i ~dst:f (Message.Request { origin = i; rid });
+      arm_asker_timer t i
+    end
+    else
       (* Root without token: the token is on its way back to us (we are the
          lender of an outstanding loan). The wish will be honoured when the
          return arrives (mandator = self triggers CS entry). *)
-      arm_asker_timer t nd
+      arm_asker_timer t i
   end
 
 (* ------------------------------------------------------------------ *)
 (* Request processing (Section 3.3, "Upon receipt of request(j)")      *)
 (* ------------------------------------------------------------------ *)
 
-and process_request t nd ~origin ~rid =
+and process_request t i ~origin ~rid =
   let j = origin in
-  let pw = power_of t nd in
-  let dj = dist nd.id j in
-  if t.config.fault_tolerance && dj > pw && not nd.token_here then begin
+  let pw = power_of t i in
+  let dj = dist i j in
+  if t.config.fault_tolerance && dj > pw && not (has_token t i) then begin
     (* Anomaly: a stale descendant of a recovered node (Section 5, "Node
        recovery"). In an open-cube power(father) >= dist(father, son).
        Exception: when we hold the token we serve the request anyway
@@ -295,108 +477,114 @@ and process_request t nd ~origin ~rid =
        accept any searcher as a son, so bouncing the son's request here
        would loop it forever between anomaly and re-attachment. *)
     t.s_anomalies_detected <- t.s_anomalies_detected + 1;
-    send t ~src:nd.id ~dst:j (Message.Anomaly { rid })
+    send t ~src:i ~dst:j (Message.Anomaly { rid })
   end
   else if dj = pw then begin
     (* j climbed through our last son: transit behaviour. First half of a
        b-transformation. *)
-    (if nd.token_here then begin
-       send t ~src:nd.id ~dst:j (Message.Token { lender = None; rid = Some rid });
-       nd.token_here <- false
+    (if has_token t i then begin
+       send t ~src:i ~dst:j (Message.Token { lender = None; rid = Some rid });
+       set_token t i false
      end
      else
-       match nd.father with
-       | Some f -> send t ~src:nd.id ~dst:f (Message.Request { origin = j; rid })
-       | None ->
+       let f = fget t i in
+       if f >= 0 then send t ~src:i ~dst:f (Message.Request { origin = j; rid })
+       else
          (* Root without the token and not asking: unreachable in fault-free
             runs (a lender is asking until the return). Drop; the origin's
             timeout machinery recovers. *)
          t.s_defensive_drops <- t.s_defensive_drops + 1);
-    nd.father <- Some j
+    fset t i j
   end
   else begin
     (* Proxy behaviour: serve j's request on our own account. *)
-    nd.asking <- true;
-    if nd.token_here then begin
-      nd.loan <- Some { loan_rid = rid; direct = j = rid.source; sent_acks = 0 };
-      send t ~src:nd.id ~dst:j
-        (Message.Token { lender = Some nd.id; rid = Some rid });
-      nd.token_here <- false;
-      arm_loan_timer t nd
+    set_asking t i true;
+    if has_token t i then begin
+      (cold t i).loan <-
+        Some { loan_rid = rid; direct = j = rid.source; sent_acks = 0 };
+      send t ~src:i ~dst:j (Message.Token { lender = Some i; rid = Some rid });
+      set_token t i false;
+      arm_loan_timer t i
     end
     else
-      match nd.father with
-      | Some f ->
-        nd.mandator <- Some j;
-        nd.mandate_rid <- Some rid;
-        nd.mandate_searches <- 0;
-        nd.mandate_excluded <- [];
-        send t ~src:nd.id ~dst:f (Message.Request { origin = nd.id; rid });
-        arm_asker_timer t nd
-      | None ->
+      let f = fget t i in
+      if f >= 0 then begin
+        set_mandator t i j;
+        set_mrid t i rid;
+        set_msearches t i 0;
+        clear_excluded t i;
+        send t ~src:i ~dst:f (Message.Request { origin = i; rid });
+        arm_asker_timer t i
+      end
+      else begin
         (* Same broken transient as above. *)
-        nd.asking <- false;
+        set_asking t i false;
         t.s_defensive_drops <- t.s_defensive_drops + 1
+      end
   end
 
-and receive_request t nd ~origin ~rid =
-  if rid.source = nd.id && nd.mandate_rid <> Some rid then
-    drop_own_stale_request t nd ~origin ~rid
-  else if nd.asking then begin
+and receive_request t i ~origin ~rid =
+  if rid.source = i && not (mrid_is t i rid) then
+    drop_own_stale_request t i ~origin ~rid
+  else if is_asking t i then begin
     (* wait (not asking): defer. De-duplicate against the active mandate and
        against already-queued requests (regenerated requests may race their
        originals; DESIGN.md §5). *)
     let duplicate =
-      nd.mandate_rid = Some rid
-      || Fdeque.exists
-           (function Preq r -> r.rid = rid | Wish -> false)
-           nd.queue
+      mrid_is t i rid
+      || (match t.cold.(i) with
+         | None -> false
+         | Some c ->
+           Fdeque.exists
+             (function Preq r -> r.rid = rid | Wish -> false)
+             c.queue)
     in
     if duplicate then
       t.s_duplicate_requests_dropped <- t.s_duplicate_requests_dropped + 1
-    else nd.queue <- Fdeque.push_back nd.queue (Preq { origin; rid })
+    else
+      let c = cold t i in
+      c.queue <- Fdeque.push_back c.queue (Preq { origin; rid })
   end
-  else process_request t nd ~origin ~rid
+  else process_request t i ~origin ~rid
 
 (* ------------------------------------------------------------------ *)
 (* Token processing (Section 3.3, "Upon the receipt of token(j)")      *)
 (* ------------------------------------------------------------------ *)
 
-and receive_token t nd ~from_ ~lender ~rid =
+and receive_token t i ~from_ ~lender ~rid =
   token_received t;
-  nd.last_token_seen <- now t;
+  set_lts t i (now t);
   (* A grant for a request id other than our pending mandate is a stale
      duplicate (a regenerated request raced its original). If it has a
      lender, hand it straight back; if it is ownerless (token(nil)) it is
      the real token and serves the mandate just as well (DESIGN.md §5). *)
   let stale =
-    match (rid, nd.mandate_rid) with
-    | Some r, Some e -> not (r = e)
-    | Some _, None -> nd.mandator <> None
-    | None, _ -> false
+    match rid with
+    | Some r -> if mrid_some t i then not (mrid_is t i r) else mandator_raw t i >= 0
+    | None -> false
   in
-  if nd.token_here then begin
+  if has_token t i then begin
     (* We already hold a token: the incoming one is a duplicate (possible
        only after an unsafe regeneration). Hand an owned one back to its
        lender so the loan bookkeeping there resolves; destroy an ownerless
        one so that duplication self-heals instead of persisting
        (DESIGN.md §5). *)
     match lender with
-    | Some l when l <> nd.id ->
+    | Some l when l <> i ->
       t.s_stale_tokens_bounced <- t.s_stale_tokens_bounced + 1;
-      send t ~src:nd.id ~dst:l (Message.Token { lender = None; rid = None })
+      send t ~src:i ~dst:l (Message.Token { lender = None; rid = None })
     | _ -> t.s_tokens_destroyed <- t.s_tokens_destroyed + 1
   end
   else
     match (stale, lender) with
-    | true, Some l when l <> nd.id ->
+    | true, Some l when l <> i ->
       t.s_stale_tokens_bounced <- t.s_stale_tokens_bounced + 1;
-      send t ~src:nd.id ~dst:l (Message.Token { lender = None; rid = None })
-    | _ -> receive_token_accept t nd ~from_ ~lender ~rid
+      send t ~src:i ~dst:l (Message.Token { lender = None; rid = None })
+    | _ -> receive_token_accept t i ~from_ ~lender ~rid
 
-and receive_token_accept t nd ~from_ ~lender ~rid =
-  match (nd.mandator, nd.loan, lender) with
-  | None, None, Some l when l <> nd.id ->
+and receive_token_accept t i ~from_ ~lender ~rid =
+  match lender with
+  | Some l when l <> i && mandator_raw t i < 0 && not (has_loan t i) ->
     (* Stale duplicate grant (DESIGN.md §5): no mandate and no loan means
        this owned token is not ours to keep - hand it back to its lender.
        Decided before the integration prologue below, because that
@@ -405,195 +593,176 @@ and receive_token_accept t nd ~from_ ~lender ~rid =
        have its recovery search silently destroyed by the pre-crash grant
        it bounces, leaving it asking forever with no timer armed. *)
     t.s_stale_tokens_bounced <- t.s_stale_tokens_bounced + 1;
-    send t ~src:nd.id ~dst:l (Message.Token { lender = None; rid = None })
-  | _ -> receive_token_integrate t nd ~from_ ~lender ~rid
+    send t ~src:i ~dst:l (Message.Token { lender = None; rid = None })
+  | _ -> receive_token_integrate t i ~from_ ~lender ~rid
 
-and receive_token_integrate t nd ~from_ ~lender ~rid =
-  cancel_timer t nd.asker_timer;
-  nd.asker_timer <- None;
+and receive_token_integrate t i ~from_ ~lender ~rid =
+  cancel_asker t i;
   (* A token in hand settles any ongoing father search. *)
-  stop_search t nd;
+  stop_search t i;
   (* It also settles an outstanding loan, whatever mandate state we are
      in: custody is back (or passing through us), so the lost-in-return
      suspicion must die with it. Leaving the loan record and its enquiry
      timer armed lets enquiry_timeout fire after we have re-lent the
      token, and regenerate a duplicate (DESIGN.md §5). The no-mandate
      branch below keeps its own loan handling untouched. *)
-  (if nd.mandator <> None then
-     match nd.loan with
-     | None -> ()
-     | Some _ ->
-       nd.loan <- None;
-       cancel_timer t nd.loan_timer;
-       nd.loan_timer <- None;
-       cancel_timer t nd.enquiry_timer;
-       nd.enquiry_timer <- None);
-  match nd.mandator with
-  | Some m when m = nd.id ->
+  (if mandator_raw t i >= 0 && has_loan t i then clear_loan_and_timers t i);
+  let m = mandator_raw t i in
+  if m = i then begin
     (* Our own wish is satisfied. *)
-    nd.mandate_searches <- 0;
-    nd.mandate_excluded <- [];
-    nd.token_here <- true;
+    set_msearches t i 0;
+    clear_excluded t i;
+    set_token t i true;
     (match lender with
     | None ->
-      nd.lender <- nd.id;
-      nd.father <- None
+      set_lender t i i;
+      fset_none t i
     | Some l ->
-      nd.lender <- l;
-      nd.father <- Some from_);
-    nd.mandator <- None;
-    nd.mandate_rid <- None;
-    (match rid with Some r -> remember_rid nd r | None -> ());
-    enter_cs t nd
-  | Some m -> (
+      set_lender t i l;
+      fset t i from_);
+    clear_mandator t i;
+    (match rid with Some r -> remember_rid t i r | None -> ());
+    clear_mrid t i;
+    enter_cs t i
+  end
+  else if m >= 0 then begin
     (* We are proxy for m: honour the mandate. *)
-    let granted_rid =
-      match rid with Some r -> Some r | None -> nd.mandate_rid
-    in
-    nd.mandator <- None;
-    nd.mandate_rid <- None;
-    nd.mandate_searches <- 0;
-    nd.mandate_excluded <- [];
+    let granted_rid = match rid with Some r -> Some r | None -> mrid_opt t i in
+    clear_mandator t i;
+    clear_mrid t i;
+    set_msearches t i 0;
+    clear_excluded t i;
     match lender with
     | None ->
       (* token(nil): we become the root and lend it to our mandator. *)
-      nd.father <- None;
-      nd.lender <- nd.id;
+      fset_none t i;
+      set_lender t i i;
       let loan_rid =
         match granted_rid with
         | Some r -> r
         | None -> { source = m; seq = -1 } (* unreachable in practice *)
       in
-      nd.loan <- Some { loan_rid; direct = m = loan_rid.source; sent_acks = 0 };
-      send t ~src:nd.id ~dst:m
-        (Message.Token { lender = Some nd.id; rid = granted_rid });
-      arm_loan_timer t nd
+      (cold t i).loan <-
+        Some { loan_rid; direct = m = loan_rid.source; sent_acks = 0 };
+      send t ~src:i ~dst:m (Message.Token { lender = Some i; rid = granted_rid });
+      arm_loan_timer t i
       (* asking remains true until the token returns. *)
     | Some l ->
-      nd.father <- Some from_;
-      send t ~src:nd.id ~dst:m (Message.Token { lender = Some l; rid = granted_rid });
-      nd.asking <- false;
-      drain t nd)
-  | None -> (
-    match nd.loan with
-    | Some _ ->
-      (* Return after a loan we granted: we are the resting holder again,
-         i.e. the de-facto root. *)
-      nd.loan <- None;
-      cancel_timer t nd.loan_timer;
-      nd.loan_timer <- None;
-      cancel_timer t nd.enquiry_timer;
-      nd.enquiry_timer <- None;
-      nd.token_here <- true;
-      nd.lender <- nd.id;
-      nd.father <- None;
-      nd.asking <- false;
-      drain t nd
-    | None -> (
-      match lender with
-      | None ->
-        (* A token with no lender and no expectation: adopt it (we become
-           the root holder). Happens only in fault scenarios. *)
-        t.s_unexpected_tokens <- t.s_unexpected_tokens + 1;
-        nd.token_here <- true;
-        nd.father <- None;
-        nd.lender <- nd.id;
-        nd.asking <- false;
-        drain t nd
-      | Some l when l = nd.id ->
-        (* Our own lent token routed back oddly: keep it. *)
-        t.s_unexpected_tokens <- t.s_unexpected_tokens + 1;
-        nd.token_here <- true;
-        nd.lender <- nd.id;
-        nd.asking <- false;
-        drain t nd
-      | Some l ->
-        (* Stale duplicate grant: bounce it back to its lender
-           (DESIGN.md §5). *)
-        t.s_stale_tokens_bounced <- t.s_stale_tokens_bounced + 1;
-        send t ~src:nd.id ~dst:l (Message.Token { lender = None; rid = None })))
+      fset t i from_;
+      send t ~src:i ~dst:m (Message.Token { lender = Some l; rid = granted_rid });
+      set_asking t i false;
+      drain t i
+  end
+  else if has_loan t i then begin
+    (* Return after a loan we granted: we are the resting holder again,
+       i.e. the de-facto root. *)
+    clear_loan_and_timers t i;
+    set_token t i true;
+    set_lender t i i;
+    fset_none t i;
+    set_asking t i false;
+    drain t i
+  end
+  else
+    match lender with
+    | None ->
+      (* A token with no lender and no expectation: adopt it (we become
+         the root holder). Happens only in fault scenarios. *)
+      t.s_unexpected_tokens <- t.s_unexpected_tokens + 1;
+      set_token t i true;
+      fset_none t i;
+      set_lender t i i;
+      set_asking t i false;
+      drain t i
+    | Some l when l = i ->
+      (* Our own lent token routed back oddly: keep it. *)
+      t.s_unexpected_tokens <- t.s_unexpected_tokens + 1;
+      set_token t i true;
+      set_lender t i i;
+      set_asking t i false;
+      drain t i
+    | Some l ->
+      (* Stale duplicate grant: bounce it back to its lender
+         (DESIGN.md §5). *)
+      t.s_stale_tokens_bounced <- t.s_stale_tokens_bounced + 1;
+      send t ~src:i ~dst:l (Message.Token { lender = None; rid = None })
 
 (* ------------------------------------------------------------------ *)
 (* Fault tolerance: lender-side enquiry and token regeneration         *)
 (* ------------------------------------------------------------------ *)
 
-and regenerate_token t nd =
+and regenerate_token t i =
   (* The regenerated token makes this node the holder: any father search
      still running must die with the suspicion, or it marches on to a
      census that polls everyone *except us*, concludes the token we now
      hold is lost, and regenerates a duplicate (DESIGN.md §5). *)
-  stop_search t nd;
+  stop_search t i;
   t.s_token_regenerations <- t.s_token_regenerations + 1;
-  nd.loan <- None;
-  cancel_timer t nd.loan_timer;
-  nd.loan_timer <- None;
-  cancel_timer t nd.enquiry_timer;
-  nd.enquiry_timer <- None;
-  nd.token_here <- true;
-  nd.lender <- nd.id;
+  clear_loan_and_timers t i;
+  set_token t i true;
+  set_lender t i i;
   (* Dispatch exactly as [regenerate_as_root] does: a pending mandate —
      our own wish or one we proxy — must be served by the new token, or
      it is orphaned with [asking] cleared and nothing ever serves it. *)
-  match nd.mandator with
-  | Some m when m = nd.id ->
-    nd.mandator <- None;
-    (match nd.mandate_rid with Some r -> remember_rid nd r | None -> ());
-    nd.mandate_rid <- None;
-    enter_cs t nd
-  | Some m ->
+  let m = mandator_raw t i in
+  if m = i then begin
+    clear_mandator t i;
+    (match mrid_opt t i with Some r -> remember_rid t i r | None -> ());
+    clear_mrid t i;
+    enter_cs t i
+  end
+  else if m >= 0 then begin
     let loan_rid =
-      match nd.mandate_rid with
-      | Some r -> r
-      | None -> { source = m; seq = -1 }
+      match mrid_opt t i with Some r -> r | None -> { source = m; seq = -1 }
     in
-    nd.mandator <- None;
-    nd.mandate_rid <- None;
-    nd.loan <- Some { loan_rid; direct = m = loan_rid.source; sent_acks = 0 };
-    send t ~src:nd.id ~dst:m
-      (Message.Token { lender = Some nd.id; rid = Some loan_rid });
-    nd.token_here <- false;
-    arm_loan_timer t nd
-  | None ->
-    nd.asking <- false;
-    drain t nd
+    clear_mandator t i;
+    clear_mrid t i;
+    (cold t i).loan <-
+      Some { loan_rid; direct = m = loan_rid.source; sent_acks = 0 };
+    send t ~src:i ~dst:m (Message.Token { lender = Some i; rid = Some loan_rid });
+    set_token t i false;
+    arm_loan_timer t i
+  end
+  else begin
+    set_asking t i false;
+    drain t i
+  end
 
-and loan_timeout t nd =
-  match nd.loan with
+and loan_timeout t i =
+  match loan_of t i with
   | None -> ()
   | Some loan ->
-    if nd.asking && not nd.token_here then begin
+    if is_asking t i && not (has_token t i) then begin
       t.s_enquiries_sent <- t.s_enquiries_sent + 1;
-      send t ~src:nd.id ~dst:loan.loan_rid.source
+      send t ~src:i ~dst:loan.loan_rid.source
         (Message.Enquiry { rid = loan.loan_rid });
-      arm_enquiry_timer t nd
+      arm_enquiry_timer t i
     end
 
-and enquiry_timeout t nd =
+and enquiry_timeout t i =
   (* No answer from the source within 2δ: it is down, the token is lost. *)
-  match nd.loan with None -> () | Some _ -> regenerate_token t nd
+  match loan_of t i with None -> () | Some _ -> regenerate_token t i
 
-and receive_enquiry t nd ~from_ ~rid =
+and receive_enquiry t i ~from_ ~rid =
   (* Order matters: a satisfied rid stays satisfied even if a stale
      duplicate of it was later re-adopted as a mandate - answering
      token-lost for a completed loan would make the lender regenerate a
      duplicate token. *)
   let answer =
-    if nd.in_cs && nd.last_own_rid = Some rid then In_cs
-    else if seen_rid nd rid then Token_sent
-    else if nd.mandate_rid = Some rid then Token_lost
+    if is_in_cs t i && lorid_is t i rid then In_cs
+    else if seen_rid t i rid then Token_sent
     else Token_lost
   in
-  send t ~src:nd.id ~dst:from_ (Message.Enquiry_answer { rid; answer })
+  send t ~src:i ~dst:from_ (Message.Enquiry_answer { rid; answer })
 
-and receive_enquiry_answer t nd ~rid ~answer =
-  match nd.loan with
+and receive_enquiry_answer t i ~rid ~answer =
+  match loan_of t i with
   | Some loan when loan.loan_rid = rid -> (
-    cancel_timer t nd.enquiry_timer;
-    nd.enquiry_timer <- None;
+    cancel_enquiry_timer t i;
     match answer with
     | In_cs ->
       (* Suspicion ill-founded: keep waiting another loan round. *)
-      arm_loan_timer t nd
+      arm_loan_timer t i
     | Token_sent ->
       loan.sent_acks <- loan.sent_acks + 1;
       if loan.sent_acks >= 3 then begin
@@ -603,47 +772,51 @@ and receive_enquiry_answer t nd ~rid ~answer =
            regenerated path and returned the token to a different lender).
            Orphan the loan - regenerating here would duplicate the token -
            and reintegrate under the real root via search_father
-           (DESIGN.md Â§5). *)
-        nd.loan <- None;
-        cancel_timer t nd.loan_timer;
-        nd.loan_timer <- None;
-        start_search t nd ~phase:1 ~resume:false
+           (DESIGN.md §5). *)
+        (match t.cold.(i) with Some c -> c.loan <- None | None -> ());
+        cancel_loan_timer t i;
+        start_search t i ~phase:1 ~resume:false
       end
       else begin
-        (* The return is in flight; give it 2Î´. *)
-        cancel_timer t nd.loan_timer;
-        nd.loan_timer <-
+        (* The return is in flight; give it 2δ. *)
+        let c = cold t i in
+        cancel_slot t c.loan_timer;
+        c.loan_timer <-
           Some
-            (Net.set_timer t.net ~node:nd.id ~delay:(2.0 *. delta t *. 1.05)
-               (fun () -> loan_timeout t nd))
+            (Net.set_timer t.net ~node:i ~delay:(2.0 *. delta t *. 1.05)
+               (fun () -> loan_timeout t i))
       end
-    | Token_lost -> regenerate_token t nd)
+    | Token_lost -> regenerate_token t i)
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Fault tolerance: search_father                                      *)
 (* ------------------------------------------------------------------ *)
 
-and stop_search t nd =
-  match nd.search with
+and stop_search t i =
+  match t.cold.(i) with
   | None -> ()
-  | Some s ->
-    cancel_timer t s.phase_timer;
-    s.phase_timer <- None;
-    nd.search <- None
+  | Some c -> (
+    match c.search with
+    | None -> ()
+    | Some s ->
+      cancel_slot t s.phase_timer;
+      s.phase_timer <- None;
+      c.search <- None)
 
-and ring_at_distance t nd d =
+and ring_at_distance i d =
   (* The 2^(d-1) nodes at distance exactly d: the sibling (d-1)-block. *)
-  ignore t;
-  let base = ((nd.id lsr (d - 1)) lxor 1) lsl (d - 1) in
+  let base = ((i lsr (d - 1)) lxor 1) lsl (d - 1) in
   List.init (1 lsl (d - 1)) (fun k -> base + k)
 
-and asker_timeout t nd =
-  if nd.asking && (not nd.token_here) && nd.mandate_rid <> None
-     && nd.search = None
-  then start_search t nd ~phase:(power_of t nd + 1) ~resume:true
+and asker_timeout t i =
+  if is_asking t i
+     && (not (has_token t i))
+     && mrid_some t i
+     && not (searching_now t i)
+  then start_search t i ~phase:(power_of t i + 1) ~resume:true
 
-and start_search t nd ~phase ~resume =
+and start_search t i ~phase ~resume =
   (* A node holding the token (or inside its CS) is the attach point
      everyone else is looking for: it never needs a father search. The
      guard matters when the token arrives between a search abort and its
@@ -652,10 +825,10 @@ and start_search t nd ~phase ~resume =
      search could then conclude it as a no-mandate recovery search, whose
      [asking <- false; drain] serves queued requests - transiting the
      token away in mid-CS and breaking mutual exclusion. *)
-  if nd.search = None && (not nd.token_here) && not nd.in_cs then begin
+  if (not (searching_now t i)) && (not (has_token t i)) && not (is_in_cs t i)
+  then begin
     t.s_searches_started <- t.s_searches_started + 1;
-    cancel_timer t nd.asker_timer;
-    nd.asker_timer <- None;
+    cancel_asker t i;
     let phase =
       (* Escalate past fathers that answered ok before but never led to the
          token: the k-th search for one mandate starts k-1 phases higher. *)
@@ -663,8 +836,8 @@ and start_search t nd ~phase ~resume =
          searches sweep every ring from phase 1, skipping fathers that
          already failed us (mandate_excluded). *)
       if resume then begin
-        nd.mandate_searches <- nd.mandate_searches + 1;
-        if nd.mandate_searches = 1 then phase else 1
+        set_msearches t i (msearches t i + 1);
+        if msearches t i = 1 then phase else 1
       end
       else phase
     in
@@ -678,37 +851,37 @@ and start_search t nd ~phase ~resume =
         phase_timer = None;
       }
     in
-    nd.search <- Some s;
-    run_phase t nd s
+    (cold t i).search <- Some s;
+    run_phase t i s
   end
 
-and run_phase t nd s =
-  if s.phase > t.pmax then begin_census t nd s
+and run_phase t i s =
+  if s.phase > t.pmax then begin_census t i s
   else begin
-    let ring = ring_at_distance t nd s.phase in
+    let ring = ring_at_distance i s.phase in
     s.outstanding <- ring;
     s.try_later <- [];
     t.s_search_nodes_tested <- t.s_search_nodes_tested + List.length ring;
     List.iter
-      (fun k -> send t ~src:nd.id ~dst:k (Message.Test { d = s.phase }))
+      (fun k -> send t ~src:i ~dst:k (Message.Test { d = s.phase }))
       ring;
-    arm_phase_timer t nd s
+    arm_phase_timer t i s
   end
 
-and arm_phase_timer t nd s =
-  cancel_timer t s.phase_timer;
+and arm_phase_timer t i s =
+  cancel_slot t s.phase_timer;
   s.phase_timer <-
     Some
-      (Net.set_timer t.net ~node:nd.id ~delay:(2.0 *. delta t *. 1.05)
-         (fun () -> phase_timeout t nd s))
+      (Net.set_timer t.net ~node:i ~delay:(2.0 *. delta t *. 1.05) (fun () ->
+           phase_timeout t i s))
 
-and phase_timeout t nd s =
+and phase_timeout t i s =
   let still_active =
-    match nd.search with Some s' -> s' == s | None -> false
+    match search_of t i with Some s' -> s' == s | None -> false
   in
   if still_active then begin
     match s.stage with
-    | Census round -> census_round_over t nd s round
+    | Census round -> census_round_over t i s round
     | Probing ->
       if s.try_later <> [] && s.retries < 8 then begin
         (* Retest the nodes that asked us to try later (Section 5, case
@@ -721,14 +894,14 @@ and phase_timeout t nd s =
         t.s_search_nodes_tested <-
           t.s_search_nodes_tested + List.length s.outstanding;
         List.iter
-          (fun k -> send t ~src:nd.id ~dst:k (Message.Test { d = s.phase }))
+          (fun k -> send t ~src:i ~dst:k (Message.Test { d = s.phase }))
           s.outstanding;
-        arm_phase_timer t nd s
+        arm_phase_timer t i s
       end
       else begin
         s.phase <- s.phase + 1;
         s.retries <- 0;
-        run_phase t nd s
+        run_phase t i s
       end
   end
 
@@ -738,122 +911,124 @@ and phase_timeout t nd s =
    while a token(nil) is in flight), so by default we first run a census:
    ask every node whether the token still exists, [census_rounds] times.
    census_rounds = 0 reproduces the paper's behaviour (DESIGN.md §5). *)
-and begin_census t nd s =
-  if t.config.census_rounds <= 0 then regenerate_as_root t nd
+and begin_census t i s =
+  if t.config.census_rounds <= 0 then regenerate_as_root t i
   else begin
     s.stage <- Census 1;
-    census_send t nd s 1
+    census_send t i s 1
   end
 
-and census_send t nd s round =
-  for k = 0 to Array.length t.nodes - 1 do
-    if k <> nd.id then send t ~src:nd.id ~dst:k (Message.Census { round })
+and census_send t i s round =
+  for k = 0 to t.n - 1 do
+    if k <> i then send t ~src:i ~dst:k (Message.Census { round })
   done;
-  cancel_timer t s.phase_timer;
+  cancel_slot t s.phase_timer;
   s.phase_timer <-
     Some
-      (Net.set_timer t.net ~node:nd.id
+      (Net.set_timer t.net ~node:i
          ~delay:((2.0 *. delta t *. 1.05) +. t.config.cs_estimate)
-         (fun () -> phase_timeout t nd s))
+         (fun () -> phase_timeout t i s))
 
-and census_round_over t nd s round =
-  if round >= t.config.census_rounds then regenerate_as_root t nd
+and census_round_over t i s round =
+  if round >= t.config.census_rounds then regenerate_as_root t i
   else begin
     let round = round + 1 in
     s.stage <- Census round;
-    census_send t nd s round
+    census_send t i s round
   end
 
-and receive_census t nd ~from_ ~round =
+and receive_census t i ~from_ ~round =
   let freshness = 4.0 *. delta t in
   let holds_token =
-    nd.token_here || nd.in_cs || nd.loan <> None
-    || now t -. nd.last_token_seen <= freshness
+    has_token t i || is_in_cs t i || has_loan t i
+    || now t -. lts t i <= freshness
   in
   if holds_token then
-    send t ~src:nd.id ~dst:from_
+    send t ~src:i ~dst:from_
       (Message.Census_reply { round; reply = Token_exists })
   else
-    match nd.search with
-    | Some s when (match s.stage with Census _ -> true | Probing -> false)
-                  && nd.id < from_ ->
+    match search_of t i with
+    | Some s
+      when (match s.stage with Census _ -> true | Probing -> false)
+           && i < from_ ->
       (* Both of us concluded the token is lost; the smaller id wins the
          right to regenerate. *)
-      send t ~src:nd.id ~dst:from_
+      send t ~src:i ~dst:from_
         (Message.Census_reply { round; reply = Census_defer })
     | _ -> ()
 
-and receive_census_reply t nd ~reply =
-  match nd.search with
+and receive_census_reply t i ~reply =
+  match search_of t i with
   | Some s when (match s.stage with Census _ -> true | Probing -> false) -> (
     match reply with
     | Token_exists | Census_defer ->
       (* The token is alive (or someone else will regenerate it): abort and
          search again from scratch after a backoff, forgetting which
          fathers failed us - the world has moved on. *)
-      nd.mandate_searches <- 0;
-      nd.mandate_excluded <- [];
-      stop_search t nd;
+      set_msearches t i 0;
+      clear_excluded t i;
+      stop_search t i;
       let backoff =
         ((2.0 *. delta t) +. t.config.cs_estimate)
-        *. (1.0 +. (float_of_int nd.id /. float_of_int (4 * Array.length t.nodes)))
+        *. (1.0 +. (float_of_int i /. float_of_int (4 * t.n)))
       in
       ignore
-        (Net.set_timer t.net ~node:nd.id ~delay:backoff (fun () ->
-             if nd.search = None && nd.asking then
-               start_search t nd ~phase:1
-                 ~resume:(nd.mandate_rid <> None))))
+        (Net.set_timer t.net ~node:i ~delay:backoff (fun () ->
+             if (not (searching_now t i)) && is_asking t i then
+               start_search t i ~phase:1 ~resume:(mrid_some t i))))
   | _ -> ()
 
-and conclude_father t nd k =
-  stop_search t nd;
-  nd.father <- Some k;
-  if nd.mandate_rid <> None then begin
+and conclude_father t i k =
+  stop_search t i;
+  fset t i k;
+  if mrid_some t i then begin
     (* Regenerate the pending request towards the new father; remember it
        so that a fruitless adoption is not repeated for this mandate. *)
-    if not (List.mem k nd.mandate_excluded) then
-      nd.mandate_excluded <- k :: nd.mandate_excluded;
-    let rid = Option.get nd.mandate_rid in
-    send t ~src:nd.id ~dst:k (Message.Request { origin = nd.id; rid });
-    arm_asker_timer t nd
+    let c = cold t i in
+    if not (List.mem k c.mandate_excluded) then
+      c.mandate_excluded <- k :: c.mandate_excluded;
+    let rid = Option.get (mrid_opt t i) in
+    send t ~src:i ~dst:k (Message.Request { origin = i; rid });
+    arm_asker_timer t i
   end
   else begin
     (* Recovery search: reconnection done, resume serving. *)
-    nd.asking <- false;
-    drain t nd
+    set_asking t i false;
+    drain t i
   end
 
-and regenerate_as_root t nd =
-  stop_search t nd;
-  nd.father <- None;
+and regenerate_as_root t i =
+  stop_search t i;
+  fset_none t i;
   t.s_token_regenerations <- t.s_token_regenerations + 1;
-  nd.token_here <- true;
-  nd.lender <- nd.id;
-  match nd.mandator with
-  | Some m when m = nd.id ->
-    nd.mandator <- None;
-    (match nd.mandate_rid with Some r -> remember_rid nd r | None -> ());
-    nd.mandate_rid <- None;
-    enter_cs t nd
-  | Some m ->
+  set_token t i true;
+  set_lender t i i;
+  let m = mandator_raw t i in
+  if m = i then begin
+    clear_mandator t i;
+    (match mrid_opt t i with Some r -> remember_rid t i r | None -> ());
+    clear_mrid t i;
+    enter_cs t i
+  end
+  else if m >= 0 then begin
     let loan_rid =
-      match nd.mandate_rid with
-      | Some r -> r
-      | None -> { source = m; seq = -1 }
+      match mrid_opt t i with Some r -> r | None -> { source = m; seq = -1 }
     in
-    nd.mandator <- None;
-    nd.mandate_rid <- None;
-    nd.loan <- Some { loan_rid; direct = m = loan_rid.source; sent_acks = 0 };
-    send t ~src:nd.id ~dst:m
-      (Message.Token { lender = Some nd.id; rid = Some loan_rid });
-    nd.token_here <- false;
-    arm_loan_timer t nd
-  | None ->
-    nd.asking <- false;
-    drain t nd
+    clear_mandator t i;
+    clear_mrid t i;
+    (cold t i).loan <-
+      Some { loan_rid; direct = m = loan_rid.source; sent_acks = 0 };
+    send t ~src:i ~dst:m (Message.Token { lender = Some i; rid = Some loan_rid });
+    set_token t i false;
+    arm_loan_timer t i
+  end
+  else begin
+    set_asking t i false;
+    drain t i
+  end
 
-and receive_test t nd ~from_ ~d =
-  match nd.search with
+and receive_test t i ~from_ ~d =
+  match search_of t i with
   | Some s -> (
     (* Concurrent suspicion arbitration (Section 5). A censusing node has
        exhausted every phase: it behaves as a higher-phase searcher. *)
@@ -861,48 +1036,43 @@ and receive_test t nd ~from_ ~d =
       match s.stage with Probing -> s.phase | Census _ -> t.pmax + 1
     in
     if my_phase > d then
-      send t ~src:nd.id ~dst:from_
-        (Message.Test_answer { d; answer = Father_ok })
+      send t ~src:i ~dst:from_ (Message.Test_answer { d; answer = Father_ok })
     else if my_phase < d then
       (* The paper's optimization: we would necessarily conclude
          father := from_ anyway. *)
-      conclude_father t nd from_
-    else if nd.id < from_ then
-      send t ~src:nd.id ~dst:from_
-        (Message.Test_answer { d; answer = Father_ok })
+      conclude_father t i from_
+    else if i < from_ then
+      send t ~src:i ~dst:from_ (Message.Test_answer { d; answer = Father_ok })
     else () (* equal phases, larger id: stay silent *))
   | None ->
-    let pw = power_of t nd in
-    if nd.token_here then
+    let pw = power_of t i in
+    if has_token t i then
       (* The holder is always a valid attach point: it serves any request
-         it receives directly (hardening, DESIGN.md Â§5). *)
-      send t ~src:nd.id ~dst:from_
-        (Message.Test_answer { d; answer = Holder_ok })
-    else if nd.father = Some from_ then
+         it receives directly (hardening, DESIGN.md §5). *)
+      send t ~src:i ~dst:from_ (Message.Test_answer { d; answer = Holder_ok })
+    else if fget t i = from_ then
       (* We are the prober's son: it cannot take us as its father (that
          would close a cycle), and our power cannot rise before the prober
          itself resolves - stay silent so it discards us. *)
       ()
     else if pw >= d then
-      send t ~src:nd.id ~dst:from_
-        (Message.Test_answer { d; answer = Father_ok })
-    else if nd.asking then
-      send t ~src:nd.id ~dst:from_
-        (Message.Test_answer { d; answer = Try_later })
+      send t ~src:i ~dst:from_ (Message.Test_answer { d; answer = Father_ok })
+    else if is_asking t i then
+      send t ~src:i ~dst:from_ (Message.Test_answer { d; answer = Try_later })
     else () (* cannot be the father: stay silent *)
 
-and receive_test_answer t nd ~from_ ~d ~answer =
-  match nd.search with
+and receive_test_answer t i ~from_ ~d ~answer =
+  match search_of t i with
   | None -> () (* stale answer *)
   | Some s -> (
     match answer with
-    | Holder_ok -> conclude_father t nd from_
+    | Holder_ok -> conclude_father t i from_
     | Father_ok ->
-      if List.mem from_ nd.mandate_excluded then
+      if List.mem from_ (excluded t i) then
         (* Adopting this node already failed to produce the token during
            this mandate: treat it as discarded. *)
         s.outstanding <- List.filter (fun k -> k <> from_) s.outstanding
-      else conclude_father t nd from_
+      else conclude_father t i from_
     | Try_later -> (
       match s.stage with
       | Probing ->
@@ -912,57 +1082,53 @@ and receive_test_answer t nd ~from_ ~d ~answer =
         end
       | Census _ -> ()))
 
-and receive_anomaly t nd ~rid =
+and receive_anomaly t i ~rid =
   (* Our father is inconsistent with the structure: re-run search_father
      (Section 5, "Node recovery"). *)
-  if nd.mandate_rid = Some rid && nd.search = None then begin
-    cancel_timer t nd.asker_timer;
-    nd.asker_timer <- None;
-    start_search t nd ~phase:(power_of t nd + 1) ~resume:true
+  if mrid_is t i rid && not (searching_now t i) then begin
+    cancel_asker t i;
+    start_search t i ~phase:(power_of t i + 1) ~resume:true
   end
 
-and receive_void t nd ~rid =
+and receive_void t i ~rid =
   (* The source says [rid] was already served: the proxy mandate we hold
      for it is void. Cancel it and pass the word down the mandate chain
      (each proxy in a chain holds the same [rid] and serves the previous
      one). Never cancels an own wish: the source only voids a [rid] that
      is no longer its active mandate, so [mandator = self] here would mean
      the void is itself stale — ignore it. *)
-  match nd.mandator with
-  | Some m when m <> nd.id && nd.mandate_rid = Some rid && not nd.token_here
-    ->
+  let m = mandator_raw t i in
+  if m >= 0 && m <> i && mrid_is t i rid && not (has_token t i) then begin
     t.s_mandates_voided <- t.s_mandates_voided + 1;
-    cancel_timer t nd.asker_timer;
-    nd.asker_timer <- None;
-    stop_search t nd;
-    nd.mandator <- None;
-    nd.mandate_rid <- None;
-    nd.mandate_searches <- 0;
-    nd.mandate_excluded <- [];
-    nd.asking <- false;
-    if m <> rid.source then send t ~src:nd.id ~dst:m (Message.Void { rid });
-    drain t nd
-  | _ -> ()
+    cancel_asker t i;
+    stop_search t i;
+    clear_mandator t i;
+    clear_mrid t i;
+    set_msearches t i 0;
+    clear_excluded t i;
+    set_asking t i false;
+    if m <> rid.source then send t ~src:i ~dst:m (Message.Void { rid });
+    drain t i
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let handle_message t i ~src payload =
-  let nd = node t i in
   match payload with
-  | Message.Request { origin; rid } -> receive_request t nd ~origin ~rid
-  | Message.Token { lender; rid } -> receive_token t nd ~from_:src ~lender ~rid
-  | Message.Enquiry { rid } -> receive_enquiry t nd ~from_:src ~rid
+  | Message.Request { origin; rid } -> receive_request t i ~origin ~rid
+  | Message.Token { lender; rid } -> receive_token t i ~from_:src ~lender ~rid
+  | Message.Enquiry { rid } -> receive_enquiry t i ~from_:src ~rid
   | Message.Enquiry_answer { rid; answer } ->
-    receive_enquiry_answer t nd ~rid ~answer
-  | Message.Test { d } -> receive_test t nd ~from_:src ~d
+    receive_enquiry_answer t i ~rid ~answer
+  | Message.Test { d } -> receive_test t i ~from_:src ~d
   | Message.Test_answer { d; answer } ->
-    receive_test_answer t nd ~from_:src ~d ~answer
-  | Message.Anomaly { rid } -> receive_anomaly t nd ~rid
-  | Message.Void { rid } -> receive_void t nd ~rid
-  | Message.Census { round } -> receive_census t nd ~from_:src ~round
-  | Message.Census_reply { reply; _ } -> receive_census_reply t nd ~reply
+    receive_test_answer t i ~from_:src ~d ~answer
+  | Message.Anomaly { rid } -> receive_anomaly t i ~rid
+  | Message.Void { rid } -> receive_void t i ~rid
+  | Message.Census { round } -> receive_census t i ~from_:src ~round
+  | Message.Census_reply { reply; _ } -> receive_census_reply t i ~reply
   | Message.Release | Message.Sk_request _ | Message.Sk_privilege _
   | Message.Ra_request _ | Message.Ra_reply ->
     t.s_defensive_drops <- t.s_defensive_drops + 1
@@ -971,29 +1137,54 @@ let handle_message t i ~src payload =
 (* Public API                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let fresh_node ~cube ~dedup_window i =
-  {
-    id = i;
-    father = Opencube.father cube i;
-    token_here = i = 0;
-    asking = false;
-    in_cs = false;
-    lender = i;
-    mandator = None;
-    mandate_rid = None;
-    mandate_searches = 0;
-    mandate_excluded = [];
-    next_seq = 0;
-    last_own_rid = None;
-    queue = Fdeque.empty;
-    recent_rids = Ringbuf.create ~capacity:dedup_window;
-    last_token_seen = (if i = 0 then 0.0 else neg_infinity);
-    loan = None;
-    loan_timer = None;
-    enquiry_timer = None;
-    asker_timer = None;
-    search = None;
-  }
+let make_state ~n =
+  let int_vec init =
+    let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+    Bigarray.Array1.fill a init;
+    a
+  in
+  let st =
+    {
+      father = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n;
+      flags =
+        (let a =
+           Bigarray.Array1.create Bigarray.int8_unsigned Bigarray.c_layout n
+         in
+         Bigarray.Array1.fill a 0;
+         a);
+      lender = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n;
+      mandator = int_vec (-1);
+      mrid_src = int_vec (-1);
+      mrid_seq = int_vec 0;
+      msearches = int_vec 0;
+      next_seq = int_vec 0;
+      lorid_src = int_vec (-1);
+      lorid_seq = int_vec 0;
+      last_token_seen =
+        (let a =
+           Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+         in
+         Bigarray.Array1.fill a neg_infinity;
+         a);
+    }
+  in
+  (* The id-dependent vectors are filled with the same static index
+     striping lib/par/pool.ml uses; at small n the pool degrades to the
+     plain serial loop. Initial fathers are the closed form of the id
+     (Opencube.initial_father) — no tree value is materialized. *)
+  let fill i =
+    st.father.{i} <- (if i = 0 then -1 else i land (i - 1));
+    st.lender.{i} <- i
+  in
+  if n >= 65536 then
+    Ocube_par.Pool.parallel_for (Ocube_par.Pool.default ()) ~n fill
+  else
+    for i = 0 to n - 1 do
+      fill i
+    done;
+  st.flags.{0} <- fl_token;
+  st.last_token_seen.{0} <- 0.0;
+  st
 
 let create ~net ~callbacks ~config =
   let n = 1 lsl config.p in
@@ -1001,16 +1192,15 @@ let create ~net ~callbacks ~config =
     invalid_arg
       (Printf.sprintf "Opencube_algo.create: network has %d nodes, need 2^%d"
          (Net.size net) config.p);
-  let cube = Opencube.build ~p:config.p in
   let t =
     {
       net;
       callbacks;
       config;
       pmax = config.p;
-      nodes =
-        Array.init n (fun i ->
-            fresh_node ~cube ~dedup_window:config.dedup_window i);
+      n;
+      st = make_state ~n;
+      cold = Array.make n None;
       policy_rng = Ocube_sim.Rng.create 0xc0be;
       tokens_in_flight = 0;
       s_token_regenerations = 0;
@@ -1026,9 +1216,10 @@ let create ~net ~callbacks ~config =
       s_defensive_drops = 0;
     }
   in
-  for i = 0 to n - 1 do
-    Net.set_handler net i (fun ~src payload -> handle_message t i ~src payload)
-  done;
+  (* One shared handler instead of 2^p per-node closures: dispatch is
+     uniform in the destination id. *)
+  Net.set_default_handler net (fun ~dst ~src payload ->
+      handle_message t dst ~src payload);
   (* A token dropped on a dead destination is lost: keep the in-flight
      account straight (the enquiry machinery will regenerate it). *)
   Net.set_drop_handler net (fun ~dst:_ payload ->
@@ -1044,89 +1235,91 @@ let create ~net ~callbacks ~config =
 
 let request_cs t i =
   if not (Net.is_failed t.net i) then begin
-    let nd = node t i in
-    if nd.asking then nd.queue <- Fdeque.push_back nd.queue Wish
-    else process_wish t nd
+    if is_asking t i then
+      let c = cold t i in
+      c.queue <- Fdeque.push_back c.queue Wish
+    else process_wish t i
   end
 
 let release_cs t i =
-  let nd = node t i in
-  if not nd.in_cs then
+  if not (is_in_cs t i) then
     invalid_arg (Printf.sprintf "Opencube_algo.release_cs: node %d not in CS" i);
-  nd.in_cs <- false;
+  set_in_cs t i false;
   t.callbacks.on_exit i;
-  if nd.lender <> nd.id then begin
-    send t ~src:nd.id ~dst:nd.lender (Message.Token { lender = None; rid = None });
-    nd.token_here <- false
+  let l = lender_of t i in
+  if l <> i then begin
+    send t ~src:i ~dst:l (Message.Token { lender = None; rid = None });
+    set_token t i false
   end;
-  nd.asking <- false;
-  drain t nd
+  set_asking t i false;
+  drain t i
 
 let on_recovered t i =
-  let nd = node t i in
   (* Volatile state is lost; {pmax, dist} survive on stable storage. Rebuild
      a leaf-like state and reconnect (Section 5, "Node recovery"). Request
      sequence numbers are salted by the incarnation so that rids from the
      previous life cannot alias new ones. *)
-  nd.father <- None;
-  nd.token_here <- false;
-  nd.asking <- true;
-  nd.in_cs <- false;
-  nd.lender <- i;
-  nd.mandator <- None;
-  nd.mandate_rid <- None;
-  nd.mandate_searches <- 0;
-  nd.mandate_excluded <- [];
-  nd.last_own_rid <- None;
-  nd.next_seq <- Net.incarnation t.net i * 1_000_000;
-  nd.queue <- Fdeque.empty;
-  Ringbuf.clear nd.recent_rids;
-  nd.last_token_seen <- neg_infinity;
-  nd.loan <- None;
-  nd.loan_timer <- None;
-  nd.enquiry_timer <- None;
-  nd.asker_timer <- None;
-  nd.search <- None;
-  start_search t nd ~phase:1 ~resume:false
+  fset_none t i;
+  set_token t i false;
+  set_asking t i true;
+  set_in_cs t i false;
+  set_lender t i i;
+  clear_mandator t i;
+  clear_mrid t i;
+  set_msearches t i 0;
+  clear_lorid t i;
+  t.st.next_seq.{i} <- Net.incarnation t.net i * 1_000_000;
+  (* Dropping the cold slot resets the queue, the dedup ring, the loan and
+     the search in one go; timers of the previous life are disarmed by the
+     network's incarnation guard. *)
+  t.cold.(i) <- None;
+  set_lts t i neg_infinity;
+  start_search t i ~phase:1 ~resume:false
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let father t i = (node t i).father
+let father t i = if fget t i < 0 then None else Some (fget t i)
 
-let snapshot_tree t = Array.map (fun nd -> nd.father) t.nodes
+let snapshot_tree t = Array.init t.n (fun i -> father t i)
 
-let power t i = power_of t (node t i)
+let power t i = power_of t i
 
 let token_holders t =
   (* A failed node's frozen state does not count: its token (if any) is
      lost with it. *)
-  Array.to_list t.nodes
-  |> List.filter_map (fun nd ->
-         if nd.token_here && not (Net.is_failed t.net nd.id) then Some nd.id
-         else None)
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if has_token t i && not (Net.is_failed t.net i) then acc := i :: !acc
+  done;
+  !acc
 
-let is_asking t i = (node t i).asking
+let is_asking = is_asking
 
-let in_cs t i = (node t i).in_cs
+let in_cs = is_in_cs
 
-let queue_length t i = Fdeque.length (node t i).queue
+let queue_length t i =
+  match t.cold.(i) with Some c -> Fdeque.length c.queue | None -> 0
 
-let searching t i = (node t i).search <> None
+let searching = searching_now
 
 let describe t i =
-  let nd = node t i in
   let fmt_opt = function None -> "nil" | Some v -> string_of_int v in
   let fmt_rid = function
     | None -> "-"
     | Some r -> Format.asprintf "%a" pp_request_id r
   in
+  let mand = mandator_raw t i in
   Printf.sprintf
     "node %d: father=%s power=%d token=%b asking=%b in_cs=%b lender=%d      mandator=%s rid=%s queue=%d searching=%b"
-    i (fmt_opt nd.father) (power_of t nd) nd.token_here nd.asking nd.in_cs
-    nd.lender (fmt_opt nd.mandator) (fmt_rid nd.mandate_rid)
-    (Fdeque.length nd.queue) (nd.search <> None)
+    i
+    (fmt_opt (father t i))
+    (power_of t i) (has_token t i) (is_asking t i) (is_in_cs t i)
+    (lender_of t i)
+    (fmt_opt (if mand < 0 then None else Some mand))
+    (fmt_rid (mrid_opt t i))
+    (queue_length t i) (searching_now t i)
 
 let stats t =
   {
@@ -1145,10 +1338,11 @@ let stats t =
 
 let invariant_check t =
   let holders = List.length (token_holders t) in
-  let in_cs_count =
-    Array.fold_left (fun acc nd -> if nd.in_cs then acc + 1 else acc) 0 t.nodes
-  in
-  if in_cs_count > 1 then Error "mutual exclusion violated: >1 node in CS"
+  let in_cs_count = ref 0 in
+  for i = 0 to t.n - 1 do
+    if is_in_cs t i then incr in_cs_count
+  done;
+  if !in_cs_count > 1 then Error "mutual exclusion violated: >1 node in CS"
   else if holders + t.tokens_in_flight <> 1 then
     Error
       (Printf.sprintf "token count %d (held %d + in flight %d) should be 1"

@@ -37,9 +37,13 @@ type env = {
   cs : cs_model;
   trace : Trace.t option;
   mutable inst : instance option;
-  (* per-node bookkeeping *)
-  waiting : bool array;  (* wish issued, CS not yet entered *)
-  in_cs : bool array;
+  (* per-node bookkeeping — byte flags, not bool arrays: one byte per node
+     instead of one word keeps the runner's footprint flat at N ≈ 1M *)
+  waiting : Bytes.t;  (* wish issued, CS not yet entered *)
+  in_cs : Bytes.t;
+  mutable in_cs_count : int;
+      (* population count of [in_cs], so the safety check on every CS
+         entry is O(1) instead of an O(N) scan *)
   backlog : int array;  (* wishes deferred while one is outstanding *)
   issue_time : float array;
   (* metrics *)
@@ -60,6 +64,16 @@ type env = {
   mutable busy_acc : float;
   mutable busy_since : float;
 }
+
+let flag b i = Bytes.get b i <> '\000'
+
+let set_flag b i v = Bytes.set b i (if v then '\001' else '\000')
+
+let set_in_cs env i v =
+  if flag env.in_cs i <> v then begin
+    set_flag env.in_cs i v;
+    env.in_cs_count <- (env.in_cs_count + if v then 1 else -1)
+  end
 
 let busy_now env =
   if env.cs_occupancy > 0 then
@@ -84,10 +98,10 @@ let cs_duration env =
 
 let rec submit env node =
   if Net.is_failed env.net node then env.dropped_wishes <- env.dropped_wishes + 1
-  else if env.waiting.(node) || env.in_cs.(node) then
+  else if flag env.waiting node || flag env.in_cs node then
     env.backlog.(node) <- env.backlog.(node) + 1
   else begin
-    env.waiting.(node) <- true;
+    set_flag env.waiting node true;
     env.issue_time.(node) <- Engine.now env.engine;
     env.issued <- env.issued + 1;
     record env ~node ~tag:"wish" (fun () -> "requests CS");
@@ -101,8 +115,7 @@ let rec submit env node =
   end
 
 and on_enter_cb env node =
-  let others = Array.exists (fun b -> b) env.in_cs in
-  if others then begin
+  if env.in_cs_count > 0 then begin
     env.violations <- env.violations + 1;
     record env ~node ~tag:"violation"
       (fun () -> "entered CS while another node is inside");
@@ -119,20 +132,20 @@ and on_enter_cb env node =
     let now = Engine.now env.engine in
     Metrics.incr o.m_entries ~node;
     Span.enter o.spans ~node ~time:now ~busy:(busy_now env);
-    if env.waiting.(node) then begin
+    if flag env.waiting node then begin
       let wait = now -. env.issue_time.(node) in
       Metrics.observe o.h_wait_ms ~node
         (int_of_float (Float.round (wait *. 1000.0)))
     end;
     if env.cs_occupancy = 0 then env.busy_since <- now;
     env.cs_occupancy <- env.cs_occupancy + 1);
-  if env.waiting.(node) then begin
-    env.waiting.(node) <- false;
+  if flag env.waiting node then begin
+    set_flag env.waiting node false;
     let wait = Engine.now env.engine -. env.issue_time.(node) in
     Summary.add env.wait_stats wait;
     env.rev_waits <- wait :: env.rev_waits
   end;
-  env.in_cs.(node) <- true;
+  set_in_cs env node true;
   env.entries <- env.entries + 1;
   record env ~node ~tag:"cs" (fun () -> "enter");
   let d = cs_duration env in
@@ -148,11 +161,11 @@ and on_exit_cb env node =
   (match env.obs with
   | None -> ()
   | Some o ->
-    if env.in_cs.(node) then release_occupancy env;
+    if flag env.in_cs node then release_occupancy env;
     (match Span.close o.spans ~node ~time:(Engine.now env.engine) with
     | Some sp -> Metrics.observe o.h_hops ~node sp.Span.hops
     | None -> ()));
-  env.in_cs.(node) <- false;
+  set_in_cs env node false;
   record env ~node ~tag:"cs" (fun () -> "exit")
 
 and release_occupancy env =
@@ -224,8 +237,9 @@ let make_env ~seed ~n ~delay ~cs ?(trace = false) ?(metrics = false) () =
     cs;
     trace;
     inst = None;
-    waiting = Array.make n false;
-    in_cs = Array.make n false;
+    waiting = Bytes.make n '\000';
+    in_cs = Bytes.make n '\000';
+    in_cs_count = 0;
     backlog = Array.make n 0;
     issue_time = Array.make n 0.0;
     issued = 0;
@@ -281,21 +295,21 @@ let fail_node env node =
   | None -> ()
   | Some o ->
     Metrics.incr o.m_faults ~node;
-    if env.waiting.(node) then Metrics.incr o.m_abandoned ~node;
-    if env.in_cs.(node) then release_occupancy env;
+    if flag env.waiting node then Metrics.incr o.m_abandoned ~node;
+    if flag env.in_cs node then release_occupancy env;
     (* Close the victim's span first (it does not overlap its own
        death), then mark the fault on every other open span. *)
     ignore
       (Span.abandon o.spans ~node ~time:(Engine.now env.engine)
          ~busy:(busy_now env));
     Span.fault_tick o.spans);
-  if env.waiting.(node) then begin
-    env.waiting.(node) <- false;
+  if flag env.waiting node then begin
+    set_flag env.waiting node false;
     env.abandoned <- env.abandoned + 1
   end;
   (* A node dying inside its CS already counted as an entry; the token it
      held is lost and must be regenerated by the survivors. *)
-  env.in_cs.(node) <- false;
+  set_in_cs env node false;
   env.backlog.(node) <- 0;
   Net.fail env.net node;
   record env ~node ~tag:"fault" (fun () -> "failed")

@@ -46,6 +46,7 @@ module Make (P : PAYLOAD) = struct
     mutable delivered : int;
     mutable dropped : int;
     mutable drop_handler : (dst:int -> P.t -> unit) option;
+    mutable default_handler : (dst:int -> src:int -> P.t -> unit) option;
     mutable send_hook : (src:int -> dst:int -> P.t -> unit) option;
     categories : (string, int) Hashtbl.t;
   }
@@ -66,6 +67,7 @@ module Make (P : PAYLOAD) = struct
       delivered = 0;
       dropped = 0;
       drop_handler = None;
+      default_handler = None;
       send_hook = None;
       categories = Hashtbl.create 16;
     }
@@ -86,13 +88,22 @@ module Make (P : PAYLOAD) = struct
 
   let set_drop_handler t h = t.drop_handler <- Some h
 
+  let set_default_handler t h = t.default_handler <- Some h
+
   let set_send_hook t h = t.send_hook <- Some h
 
   let clear_send_hook t = t.send_hook <- None
 
   (* [detail] is a thunk: with tracing off it is never called, so the hot
      path allocates no format buffers; with tracing on it is stored
-     unevaluated and rendered only when the trace is read. *)
+     unevaluated and rendered only when the trace is read.
+
+     Call sites whose thunk captures anything (the payload, a peer id)
+     must guard on [tracing] {e before} building the closure: the [fun]
+     expression itself allocates, and at N≈1M nodes a per-send closure
+     that exists only to be discarded dominates the minor heap. *)
+  let tracing t = t.trace <> None
+
   let record t ?node ~tag detail =
     match t.trace with
     | None -> ()
@@ -118,8 +129,9 @@ module Make (P : PAYLOAD) = struct
     t.sent <- t.sent + 1;
     bump_category t payload;
     (match t.send_hook with None -> () | Some h -> h ~src ~dst payload);
-    record t ~node:src ~tag:"send" (fun () ->
-        Format.asprintf "-> %d: %a" dst P.pp payload);
+    if tracing t then
+      record t ~node:src ~tag:"send" (fun () ->
+          Format.asprintf "-> %d: %a" dst P.pp payload);
     let dst_node = t.nodes.(dst) in
     let expected_incarnation = dst_node.incarnation in
     let delay = sample_delay t in
@@ -128,21 +140,27 @@ module Make (P : PAYLOAD) = struct
            if dst_node.failed || dst_node.incarnation <> expected_incarnation
            then begin
              t.dropped <- t.dropped + 1;
-             record t ~node:dst ~tag:"drop" (fun () ->
-                 Format.asprintf "from %d: %a (node down)" src P.pp payload);
+             if tracing t then
+               record t ~node:dst ~tag:"drop" (fun () ->
+                   Format.asprintf "from %d: %a (node down)" src P.pp payload);
              match t.drop_handler with
              | Some h -> h ~dst payload
              | None -> ()
            end
            else begin
              t.delivered <- t.delivered + 1;
-             record t ~node:dst ~tag:"recv" (fun () ->
-                 Format.asprintf "from %d: %a" src P.pp payload);
+             if tracing t then
+               record t ~node:dst ~tag:"recv" (fun () ->
+                   Format.asprintf "from %d: %a" src P.pp payload);
              match dst_node.handler with
              | Some h -> h ~src payload
-             | None ->
-               failwith
-                 (Printf.sprintf "Network: node %d has no handler installed" dst)
+             | None -> (
+               match t.default_handler with
+               | Some h -> h ~dst ~src payload
+               | None ->
+                 failwith
+                   (Printf.sprintf "Network: node %d has no handler installed"
+                      dst))
            end))
 
   let set_timer t ~node ~delay f =

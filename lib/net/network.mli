@@ -62,8 +62,17 @@ module Make (P : PAYLOAD) : sig
   (** {1 Node wiring} *)
 
   val set_handler : t -> int -> (src:int -> P.t -> unit) -> unit
-  (** Install the receive handler of a node. Must be called for every node
-      before the first delivery to it. *)
+  (** Install the receive handler of a node. Every node must have a
+      handler — per-node or the shared {!set_default_handler} — before
+      the first delivery to it. *)
+
+  val set_default_handler : t -> (dst:int -> src:int -> P.t -> unit) -> unit
+  (** Install one receive handler shared by every node that has no
+      per-node handler. Protocols whose dispatch is uniform in the node
+      id use this instead of [2^p] per-node closures — at N≈1M the
+      per-node closures alone cost tens of MB. A per-node handler, when
+      present, takes precedence. At most one; a second call replaces the
+      first. *)
 
   val set_drop_handler : t -> (dst:int -> P.t -> unit) -> unit
   (** Observe messages lost to failed destinations (protocol layers use

@@ -1,6 +1,9 @@
-(* Besides the father array (the paper's data structure), every tree
-   carries a sons-adjacency index and a cached root so that [sons],
-   [last_son] and [root] do not rescan the whole array. Invariants:
+(* Two representations live behind one interface.
+
+   The {e explicit} form is the original reference structure: a father
+   array of [int option] plus a sons-adjacency index and a cached root so
+   that [sons], [last_son] and [root] do not rescan the whole array.
+   Invariants:
 
    - [sons_ix.(i)] lists exactly the [j] with [fathers.(j) = Some i],
      sorted by [dist i j] descending, ties by id ascending (so the head
@@ -10,17 +13,69 @@
 
    Every mutation of [fathers] — [set_father] and [b_transform] — must
    maintain the index (O(deg) per update) and either maintain or
-   invalidate the cache. *)
-type t = {
+   invalidate the cache.
+
+   The {e implicit} form (the default) materializes nothing but one flat
+   Bigarray of father ids (-1 for the root): O(N) words off the OCaml
+   heap, no per-node records, no adjacency lists. Everything else is
+   recomputed by id arithmetic (DESIGN.md §11):
+
+   - [dist], p-groups and the initial tree are closed forms of the id;
+   - in a {e valid} open cube, node [i] has exactly one son at each
+     distance [d] in [1 .. power i] — the root of the sibling
+     (d-1)-group — recovered by walking the father chain up from the
+     mirror id [i lxor (1 lsl (d-1))] in at most [d] steps, so [sons]
+     is O(p^2) and [last_son]/[b_transform] are O(p) with zero
+     allocation on the hot path.
+
+   The son reconstruction is only sound in valid states, so the
+   implicit form tracks a [trusted] bit: [build] and [b_transform]
+   preserve it, raw [set_father] and [of_fathers] clear it, a
+   successful [check] restores it. While untrusted, [sons] and
+   [last_son] fall back to the O(N) scan with exactly the explicit
+   semantics, so recovery transients observe the same answers in both
+   modes. *)
+
+type int_ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type mode = Explicit | Implicit
+
+type explicit_t = {
   p : int;
   fathers : int option array;
   sons_ix : int list array;
   mutable root_cache : int option;
 }
 
-let order t = Array.length t.fathers
+type implicit_t = {
+  ip : int;
+  ifathers : int_ba; (* ifathers.{i} = father id, or -1 for a root *)
+  mutable iroot : int; (* cached root id, -1 = unknown *)
+  mutable trusted : bool; (* closed-form son reconstruction is sound *)
+}
 
-let pmax t = t.p
+type t = E of explicit_t | I of implicit_t
+
+let default_mode_ref = ref Implicit
+
+let set_default_mode m = default_mode_ref := m
+
+let default_mode () = !default_mode_ref
+
+let mode = function E _ -> Explicit | I _ -> Implicit
+
+let mode_of_string = function
+  | "explicit" -> Some Explicit
+  | "implicit" -> Some Implicit
+  | _ -> None
+
+let mode_to_string = function Explicit -> "explicit" | Implicit -> "implicit"
+
+let order = function
+  | E t -> Array.length t.fathers
+  | I t -> Bigarray.Array1.dim t.ifathers
+
+let pmax = function E t -> t.p | I t -> t.ip
 
 let check_node t i =
   if i < 0 || i >= order t then
@@ -42,6 +97,8 @@ let popcount32 v =
   let v = (v + (v lsr 4)) land 0x0F0F0F0F in
   ((v * 0x01010101) lsr 24) land 0x3F
 
+let popcount v = popcount32 (v land 0xFFFFFFFF) + popcount32 ((v lsr 32) land 0x7FFFFFFF)
+
 let dist i j =
   let x = i lxor j in
   let x = x lor (x lsr 1) in
@@ -50,11 +107,35 @@ let dist i j =
   let x = x lor (x lsr 8) in
   let x = x lor (x lsr 16) in
   let x = x lor (x lsr 32) in
-  popcount32 (x land 0xFFFFFFFF) + popcount32 ((x lsr 32) land 0x7FFFFFFF)
+  popcount x
 
-(* Index maintenance. Sons are kept sorted by (dist father son) descending
-   then id ascending; a node has at most [pmax] sons in any legal state,
-   so each update is O(deg) <= O(p). *)
+(* --- closed forms of the initial binomial tree (Figure 2) ---------------- *)
+
+let initial_father i =
+  if i < 0 then invalid_arg "Opencube.initial_father: negative id"
+  else if i = 0 then None
+  else Some (i land (i - 1))
+
+(* power of [i] in the initial tree: [p] for the root, otherwise the index
+   of the lowest set bit ([dist i (i land (i-1)) - 1]). *)
+let initial_power ~p i =
+  if i = 0 then p else log2 (i land -i)
+
+(* sons of [i] initially: [i lor (1 lsl b)] for [b] below the lowest set
+   bit of [i] (all of [0 .. p-1] for the root); the son at distance
+   [b + 1]. *)
+let initial_sons ~p i =
+  List.init (initial_power ~p i) (fun b -> i lor (1 lsl b))
+
+let initial_last_son ~p i =
+  let pw = initial_power ~p i in
+  if pw = 0 then None else Some (i lor (1 lsl (pw - 1)))
+
+(* --- explicit index maintenance ------------------------------------------ *)
+
+(* Sons are kept sorted by (dist father son) descending then id ascending;
+   a node has at most [pmax] sons in any legal state, so each update is
+   O(deg) <= O(p). *)
 let son_before fa a b =
   let da = dist fa a and db = dist fa b in
   da > db || (da = db && a < b)
@@ -81,15 +162,31 @@ let build_index fathers =
     ix;
   ix
 
-let build ~p =
-  if p < 0 || p > 24 then invalid_arg "Opencube.build: p must be in [0,24]";
+(* --- construction --------------------------------------------------------- *)
+
+let build_explicit p =
   let n = 1 lsl p in
   let fathers =
     Array.init n (fun i -> if i = 0 then None else Some (i land (i - 1)))
   in
-  { p; fathers; sons_ix = build_index fathers; root_cache = Some 0 }
+  E { p; fathers; sons_ix = build_index fathers; root_cache = Some 0 }
 
-let of_fathers fathers =
+let build_implicit p =
+  let n = 1 lsl p in
+  let ifathers = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+  ifathers.{0} <- -1;
+  for i = 1 to n - 1 do
+    ifathers.{i} <- i land (i - 1)
+  done;
+  I { ip = p; ifathers; iroot = 0; trusted = true }
+
+let build_mode mode ~p =
+  if p < 0 || p > 24 then invalid_arg "Opencube.build: p must be in [0,24]";
+  match mode with Explicit -> build_explicit p | Implicit -> build_implicit p
+
+let build ~p = build_mode !default_mode_ref ~p
+
+let of_fathers ?mode fathers =
   let n = Array.length fathers in
   if not (is_power_of_two n) then
     invalid_arg "Opencube.of_fathers: length must be a power of two";
@@ -99,16 +196,31 @@ let of_fathers fathers =
         invalid_arg "Opencube.of_fathers: father id out of range"
       | _ -> ())
     fathers;
-  let fathers = Array.copy fathers in
-  { p = log2 n; fathers; sons_ix = build_index fathers; root_cache = None }
+  match Option.value mode ~default:!default_mode_ref with
+  | Explicit ->
+    let fathers = Array.copy fathers in
+    E { p = log2 n; fathers; sons_ix = build_index fathers; root_cache = None }
+  | Implicit ->
+    let ifathers = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+    for i = 0 to n - 1 do
+      ifathers.{i} <- (match fathers.(i) with None -> -1 | Some f -> f)
+    done;
+    I { ip = log2 n; ifathers; iroot = -1; trusted = false }
 
-let copy t =
-  {
-    p = t.p;
-    fathers = Array.copy t.fathers;
-    sons_ix = Array.copy t.sons_ix;
-    root_cache = t.root_cache;
-  }
+let copy = function
+  | E t ->
+    E
+      {
+        p = t.p;
+        fathers = Array.copy t.fathers;
+        sons_ix = Array.copy t.sons_ix;
+        root_cache = t.root_cache;
+      }
+  | I t ->
+    let n = Bigarray.Array1.dim t.ifathers in
+    let ifathers = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+    Bigarray.Array1.blit t.ifathers ifathers;
+    I { ip = t.ip; ifathers; iroot = t.iroot; trusted = t.trusted }
 
 let dist_matrix ~p =
   (* Reference implementation straight from Definition 2.2: dist i j is the
@@ -128,59 +240,145 @@ let p_group ~d i =
   let base = (i lsr d) lsl d in
   List.init (1 lsl d) (fun k -> base + k)
 
+(* --- father access -------------------------------------------------------- *)
+
+(* Raw father as an int, -1 for none: the representation-agnostic accessor
+   everything generic below is written against. *)
+let father_raw t i =
+  match t with
+  | E t -> ( match t.fathers.(i) with None -> -1 | Some f -> f)
+  | I t -> t.ifathers.{i}
+
 let father t i =
   check_node t i;
-  t.fathers.(i)
+  match father_raw t i with -1 -> None | f -> Some f
 
 let set_father t i f =
   check_node t i;
   (match f with Some j -> check_node t j | None -> ());
-  (match t.fathers.(i) with Some old -> detach_son t old i | None -> ());
-  t.fathers.(i) <- f;
-  (match f with Some j -> attach_son t j i | None -> ());
-  (* A raw pointer update may create or destroy roots arbitrarily
-     (recovery transients): forget the cache, the next [root] rescans. *)
-  t.root_cache <- None
+  match t with
+  | E t ->
+    (match t.fathers.(i) with Some old -> detach_son t old i | None -> ());
+    t.fathers.(i) <- f;
+    (match f with Some j -> attach_son t j i | None -> ());
+    (* A raw pointer update may create or destroy roots arbitrarily
+       (recovery transients): forget the cache, the next [root] rescans. *)
+    t.root_cache <- None
+  | I t ->
+    t.ifathers.{i} <- (match f with None -> -1 | Some j -> j);
+    t.iroot <- -1;
+    (* The update may leave any structure at all: sons can no longer be
+       reconstructed arithmetically until [check] succeeds again. *)
+    t.trusted <- false
 
 let root t =
-  match t.root_cache with
-  | Some r when t.fathers.(r) = None -> r
-  | _ ->
+  let cached = match t with E e -> (match e.root_cache with None -> -1 | Some r -> r) | I i -> i.iroot in
+  if cached >= 0 && father_raw t cached = -1 then cached
+  else begin
     let n = order t in
     let rec find i =
       if i >= n then failwith "Opencube.root: no root (corrupted father array)"
-      else match t.fathers.(i) with None -> i | Some _ -> find (i + 1)
+      else if father_raw t i = -1 then i
+      else find (i + 1)
     in
     let r = find 0 in
-    t.root_cache <- Some r;
+    (match t with E e -> e.root_cache <- Some r | I i -> i.iroot <- r);
     r
+  end
 
 let power t i =
   check_node t i;
-  match t.fathers.(i) with None -> t.p | Some f -> dist i f - 1
+  match father_raw t i with -1 -> pmax t | f -> dist i f - 1
+
+(* --- sons ------------------------------------------------------------------ *)
+
+(* Implicit closed form: the son of [i] at distance [d] is the root of the
+   sibling (d-1)-group, reached from the mirror id [i lxor (1 lsl (d-1))]
+   by climbing fathers while they stay inside that aligned block. Valid
+   states terminate in at most [d] steps with a node whose father is [i];
+   anything else means the state is not a legal open cube and the caller
+   must fall back to the scan. *)
+let implicit_son_at (it : implicit_t) i d =
+  let m = i lxor (1 lsl (d - 1)) in
+  let blk = m lsr (d - 1) in
+  let rec up j steps =
+    if steps > d then -1
+    else
+      let f = it.ifathers.{j} in
+      if f = i then j
+      else if f >= 0 && f lsr (d - 1) = blk then up f (steps + 1)
+      else -1
+  in
+  up m 0
+
+(* O(N) fallback with exactly the explicit semantics, used while the
+   implicit tree is untrusted (recovery transients, unchecked adoptions). *)
+let scan_sons t i =
+  let n = order t in
+  let acc = ref [] in
+  for j = n - 1 downto 0 do
+    (* A self-loop ([father j = j], surgery transients only) counts as a
+       son of itself, exactly as the explicit adjacency index records
+       it — parity with the oracle extends to broken states. *)
+    if father_raw t j = i then acc := j :: !acc
+  done;
+  !acc
 
 let sons t i =
   check_node t i;
-  List.sort compare t.sons_ix.(i)
+  match t with
+  | E t -> List.sort compare t.sons_ix.(i)
+  | I it ->
+    if it.trusted then begin
+      let pw = (match it.ifathers.{i} with -1 -> it.ip | f -> dist i f - 1) in
+      let acc = ref [] in
+      let ok = ref true in
+      for d = pw downto 1 do
+        match implicit_son_at it i d with
+        | -1 -> ok := false
+        | s -> acc := s :: !acc
+      done;
+      if !ok then List.sort compare !acc else scan_sons t i
+    end
+    else scan_sons t i
 
 let last_son t i =
-  let p_i = power t i in
-  (* The index is sorted by dist descending, so scan the head: the first
-     son at dist = power i is the answer (smallest id on ties, like the
-     id-ordered scan it replaces); anything below power i ends it. O(1)
-     in legal states, O(deg) in recovery transients. *)
-  let rec scan = function
-    | [] -> None
-    | j :: tl ->
-      let d = dist i j in
-      if d = p_i then Some j else if d < p_i then None else scan tl
-  in
-  scan t.sons_ix.(i)
+  match t with
+  | E t ->
+    let p_i = match t.fathers.(i) with None -> t.p | Some f -> dist i f - 1 in
+    (* The index is sorted by dist descending, so scan the head: the first
+       son at dist = power i is the answer (smallest id on ties, like the
+       id-ordered scan it replaces); anything below power i ends it. O(1)
+       in legal states, O(deg) in recovery transients. *)
+    let rec scan = function
+      | [] -> None
+      | j :: tl ->
+        let d = dist i j in
+        if d = p_i then Some j else if d < p_i then None else scan tl
+    in
+    scan t.sons_ix.(i)
+  | I it ->
+    check_node t i;
+    let p_i = match it.ifathers.{i} with -1 -> it.ip | f -> dist i f - 1 in
+    if p_i = 0 then None
+    else if it.trusted then (
+      match implicit_son_at it i p_i with
+      | -1 -> None
+      | s -> Some s)
+    else
+      (* Untrusted: smallest-id son at dist exactly [power i], matching the
+         explicit index scan answer in arbitrary states. *)
+      let n = order t in
+      let best = ref (-1) in
+      for j = n - 1 downto 0 do
+        if j <> i && it.ifathers.{j} = i && dist i j = p_i then best := j
+      done;
+      if !best < 0 then None else Some !best
 
-let is_last_son t ~son ~father =
+let is_last_son t ~son ~father:fa =
   check_node t son;
-  check_node t father;
-  t.fathers.(son) = Some father && dist father son = power t father
+  check_node t fa;
+  father_raw t son = fa && son <> fa && dist fa son = power t fa
 
 let is_boundary_edge = is_last_son
 
@@ -188,25 +386,34 @@ let b_transform t i =
   check_node t i;
   match last_son t i with
   | None -> invalid_arg "Opencube.b_transform: node has no son"
-  | Some j ->
-    let fi = t.fathers.(i) in
-    detach_son t i j;
-    (match fi with Some f -> detach_son t f i | None -> ());
-    t.fathers.(j) <- fi;
-    (match fi with Some f -> attach_son t f j | None -> ());
-    t.fathers.(i) <- Some j;
-    attach_son t j i;
-    (* The swap moves the root only when [i] was it; a stale (None) cache
-       stays unknown. Exact maintenance keeps long b-transform chains free
-       of any rescan. *)
-    (match t.root_cache with
-    | Some r when r = i -> t.root_cache <- Some j
-    | _ -> ())
+  | Some j -> (
+    match t with
+    | E t ->
+      let fi = t.fathers.(i) in
+      detach_son t i j;
+      (match fi with Some f -> detach_son t f i | None -> ());
+      t.fathers.(j) <- fi;
+      (match fi with Some f -> attach_son t f j | None -> ());
+      t.fathers.(i) <- Some j;
+      attach_son t j i;
+      (* The swap moves the root only when [i] was it; a stale (None) cache
+         stays unknown. Exact maintenance keeps long b-transform chains free
+         of any rescan. *)
+      (match t.root_cache with
+      | Some r when r = i -> t.root_cache <- Some j
+      | _ -> ())
+    | I it ->
+      let fi = it.ifathers.{i} in
+      it.ifathers.{j} <- fi;
+      it.ifathers.{i} <- j;
+      (* Theorem 2.1: the swap of a valid cube is valid, so [trusted] is
+         preserved as-is; only the root may have moved (from i to j). *)
+      if it.iroot = i then it.iroot <- j)
 
 let edges t =
   let acc = ref [] in
   for i = order t - 1 downto 0 do
-    match t.fathers.(i) with None -> () | Some f -> acc := (i, f) :: !acc
+    match father_raw t i with -1 -> () | f -> acc := (i, f) :: !acc
   done;
   !acc
 
@@ -216,20 +423,37 @@ let branch t i =
   let rec up acc len j =
     if len > n then failwith "Opencube.branch: cycle in father pointers"
     else
-      match t.fathers.(j) with
-      | None -> List.rev (j :: acc)
-      | Some f -> up (j :: acc) (len + 1) f
+      match father_raw t j with
+      | -1 -> List.rev (j :: acc)
+      | f -> up (j :: acc) (len + 1) f
   in
   up [] 0 i
 
 let depth t i = List.length (branch t i) - 1
 
 let leaves t =
-  let acc = ref [] in
-  for i = order t - 1 downto 0 do
-    if t.sons_ix.(i) = [] then acc := i :: !acc
-  done;
-  !acc
+  match t with
+  | E t ->
+    let acc = ref [] in
+    for i = Array.length t.fathers - 1 downto 0 do
+      if t.sons_ix.(i) = [] then acc := i :: !acc
+    done;
+    !acc
+  | I _ ->
+    (* One marking pass; O(N) like the explicit index walk, without
+       materializing adjacency. *)
+    let n = order t in
+    let has_son = Bytes.make n '\000' in
+    for j = 0 to n - 1 do
+      match father_raw t j with
+      | -1 -> ()
+      | f -> if f <> j then Bytes.unsafe_set has_son f '\001'
+    done;
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if Bytes.unsafe_get has_son i = '\000' then acc := i :: !acc
+    done;
+    !acc
 
 let branch_stats t i =
   let path = branch t i in
@@ -246,13 +470,14 @@ let branch_stats t i =
 
 let check t =
   let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+  let fa i = father_raw t i in
   (* Recursively compute the root of each aligned d-group, verifying that the
      only edge leaving each group is the one from its root and that the edge
      joining the two halves of a group links their roots (Section 2). *)
   let rec group_root d base =
     if d = 0 then
       (* A 0-group's root is its single node; reject self-loops. *)
-      if t.fathers.(base) = Some base then
+      if fa base = base then
         Error (Printf.sprintf "node %d is its own father" base)
       else Ok base
     else
@@ -263,35 +488,43 @@ let check t =
       (* Every node of the group except its root must have a father inside
          the group; sub-group roots are the only candidates for pointing
          outside their half, so only r1/r2 need inspection here. *)
-      match (t.fathers.(r1), t.fathers.(r2)) with
-      | Some f1, Some f2 when f1 = r2 && f2 = r1 ->
+      let f1 = fa r1 and f2 = fa r2 in
+      if f1 = r2 && f2 = r1 then
         Error (Printf.sprintf "2-cycle between %d and %d" r1 r2)
-      | _, Some f2 when f2 = r1 -> Ok r1
-      | Some f1, _ when f1 = r2 -> Ok r2
-      | fo1, _ when (match fo1 with Some f -> inside f | None -> false) ->
+      else if f2 = r1 then Ok r1
+      else if f1 = r2 then Ok r2
+      else if f1 >= 0 && inside f1 then
         Error
           (Printf.sprintf
              "in %d-group at %d: root %d of first half points inside the \
               group but not to sibling root %d"
              d base r1 r2)
-      | _, fo2 when (match fo2 with Some f -> inside f | None -> false) ->
+      else if f2 >= 0 && inside f2 then
         Error
           (Printf.sprintf
              "in %d-group at %d: root %d of second half points inside the \
               group but not to sibling root %d"
              d base r2 r1)
-      | _ ->
+      else
         Error
           (Printf.sprintf
              "%d-group at %d: halves with roots %d and %d are not linked" d
              base r1 r2)
   in
-  let* r = group_root t.p 0 in
-  match t.fathers.(r) with
-  | None -> Ok ()
-  | Some f -> Error (Printf.sprintf "global root %d has father %d" r f)
+  let result =
+    let* r = group_root (pmax t) 0 in
+    match fa r with
+    | -1 -> Ok ()
+    | f -> Error (Printf.sprintf "global root %d has father %d" r f)
+  in
+  (* A successful check certifies the implicit closed-form son
+     reconstruction again; a failure pins the scan fallback. *)
+  (match t with
+  | I it -> it.trusted <- (match result with Ok () -> true | Error _ -> false)
+  | E _ -> ());
+  result
 
-(* The match above deserves a note: within a (d-1)-group, group_root has
+(* The if-chain above deserves a note: within a (d-1)-group, group_root has
    already validated that every non-root node's father stays inside that
    half, so when assembling a d-group the only father pointers that can
    cross between halves (or leave the group) are those of r1 and r2. *)
@@ -329,3 +562,31 @@ let to_dot ?(label = default_label) t =
   Buffer.contents buf
 
 let pp ppf t = Format.pp_print_string ppf (render t)
+
+(* --- hypercube views ------------------------------------------------------- *)
+
+(* The open cube is a spanning tree of the p-hypercube (Figure 3); the
+   graph-level helpers live here since they are the same id arithmetic. *)
+module Hypercube = struct
+  let order ~p = 1 lsl p
+
+  let neighbors ~p i =
+    if i < 0 || i >= 1 lsl p then
+      invalid_arg "Hypercube.neighbors: out of range";
+    List.init p (fun b -> i lxor (1 lsl b)) |> List.sort compare
+
+  let edges ~p =
+    let n = 1 lsl p in
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      for b = p - 1 downto 0 do
+        let j = i lxor (1 lsl b) in
+        if i < j then acc := (i, j) :: !acc
+      done
+    done;
+    List.sort compare !acc
+
+  let hamming i j = popcount (i lxor j)
+
+  let is_edge i j = hamming i j = 1
+end

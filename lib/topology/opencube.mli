@@ -10,24 +10,59 @@
     Two kinds of data live here:
 
     - {b static} data that no legal evolution of the tree ever changes:
-      the p-group decomposition (aligned blocks of size [2^d]) and the
-      distance function [dist] (Cor. 2.2 and 2.3 of the paper);
+      the p-group decomposition (aligned blocks of size [2^d]), the
+      distance function [dist] (Cor. 2.2 and 2.3 of the paper) and the
+      initial tree — all closed forms of the node id and the level, no
+      per-node records materialized;
     - {b dynamic} data: the father pointers, mutated only by
       {!b_transform} (Theorem 2.1) — or by raw {!set_father} during
       fault-recovery, after which {!check} may legitimately fail until the
       repair protocol has run.
 
+    Two representations implement this interface (DESIGN.md §11). The
+    {e implicit} form (the default) stores only a flat [Bigarray] of
+    father ids and recomputes sons by id arithmetic — O(N) words of flat
+    memory, O(p) [last_son]/[b_transform] — and scales to [p = 20]
+    (N ≈ 1M) and beyond. The {e explicit} form is the original
+    record-and-adjacency structure, kept as the reference oracle; parity
+    between the two is enforced by the qcheck suite and the fuzz
+    campaigns. Pick per call with {!build_mode}/{!of_fathers}, or flip
+    the process-wide default with {!set_default_mode} (the CLI's
+    [--topology explicit|implicit] flag).
+
     All functions raise [Invalid_argument] on out-of-range node ids. *)
 
 type t
 
+(** {1 Representation choice} *)
+
+type mode = Explicit | Implicit
+
+val set_default_mode : mode -> unit
+(** Representation used by {!build} and {!of_fathers} when none is given.
+    Initially [Implicit]. *)
+
+val default_mode : unit -> mode
+
+val mode : t -> mode
+(** The representation of this tree. *)
+
+val mode_of_string : string -> mode option
+(** ["explicit"] / ["implicit"]; anything else is [None]. *)
+
+val mode_to_string : mode -> string
+
 (** {1 Construction} *)
 
 val build : p:int -> t
-(** [build ~p] is the initial [2^p]-node open-cube of Figure 2: node [0] is
-    the root, [father i = i land (i-1)]. [p] must be in [0..24]. *)
+(** [build ~p] is the initial [2^p]-node open-cube of Figure 2 in the
+    default representation: node [0] is the root,
+    [father i = i land (i-1)]. [p] must be in [0..24]. *)
 
-val of_fathers : int option array -> t
+val build_mode : mode -> p:int -> t
+(** {!build} pinned to a representation (tests, parity harnesses). *)
+
+val of_fathers : ?mode:mode -> int option array -> t
 (** Adopt an arbitrary father array (length must be a power of two). No
     structural validation is performed — use {!check}. *)
 
@@ -55,6 +90,25 @@ val p_group : d:int -> int -> int list
 (** [p_group ~d i] is the d-group containing node [i]: the aligned block of
     [2^d] node ids. Static (Cor. 2.2). *)
 
+(** {2 The initial tree in closed form}
+
+    Pure functions of the node id and the dimension — what the protocol
+    engine uses to seed [2^p] nodes without building any tree value. *)
+
+val initial_father : int -> int option
+(** [i land (i - 1)]; [None] for node 0. *)
+
+val initial_power : p:int -> int -> int
+(** Index of the lowest set bit of [i] ([p] for node 0): the node's power
+    in the initial tree. *)
+
+val initial_sons : p:int -> int -> int list
+(** [[i lor (1 lsl b)]] for [b] below the lowest set bit of [i]: the son
+    at distance [b + 1]. Ascending (= ascending distance). *)
+
+val initial_last_son : p:int -> int -> int option
+(** [i lor (1 lsl (initial_power i - 1))], or [None] for a leaf. *)
+
 (** {1 Dynamic structure} *)
 
 val father : t -> int -> int option
@@ -62,7 +116,9 @@ val father : t -> int -> int option
 
 val set_father : t -> int -> int option -> unit
 (** Raw pointer update (used by the protocol engine and by fault recovery);
-    performs no structural check. *)
+    performs no structural check. On an implicit tree this also drops the
+    closed-form son reconstruction back to the scan fallback until the
+    next successful {!check}. *)
 
 val root : t -> int
 (** The unique node with no father.
@@ -117,7 +173,8 @@ val branch_stats : t -> int -> int * int
 val check : t -> (unit, string) result
 (** Full structural check from the recursive definition: every d-group has
     exactly one outward edge and it links the roots of its two halves.
-    Sound and complete (also rejects cycles). *)
+    Sound and complete (also rejects cycles). On an implicit tree a
+    success re-certifies the closed-form son reconstruction. *)
 
 val is_valid : t -> bool
 
@@ -132,3 +189,25 @@ val to_dot : ?label:(int -> string) -> t -> string
 (** Graphviz rendering of the father edges. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Hypercube view}
+
+    The open-cube is a spanning tree of the p-hypercube (Figure 3); the
+    graph-level helpers share its id arithmetic and live here — this
+    subsumes the former [Hypercube] module. *)
+module Hypercube : sig
+  val order : p:int -> int
+  (** [2^p]. *)
+
+  val neighbors : p:int -> int -> int list
+  (** The [p] neighbors of a node, ascending. *)
+
+  val edges : p:int -> (int * int) list
+  (** Undirected edge set as [(lo, hi)] pairs, lexicographic. *)
+
+  val is_edge : int -> int -> bool
+  (** True iff the ids differ in exactly one bit. *)
+
+  val hamming : int -> int -> int
+  (** Hamming distance between ids (graph distance in the hypercube). *)
+end

@@ -6,3 +6,22 @@ type pair = { left : int; right : string }
 let same (a : pair) (b : pair) = a = b
 
 let known (p : pair) (ps : pair list) = List.mem p ps
+
+(* Negative cases: reads from Bigarray vectors are plain scalars and the
+   kind/layout phantom witnesses are whitelisted — nothing below may
+   fire, pinning the absence of false positives on the flat node-state
+   representation. *)
+
+type vec = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let cell_equal (v : vec) i j = v.{i} = v.{j}
+
+let cell_known (v : vec) i ks = List.mem v.{i} ks
+
+let same_kind (a : (int, Bigarray.int_elt) Bigarray.kind)
+    (b : (int, Bigarray.int_elt) Bigarray.kind) =
+  a = b
+
+let same_layout (a : Bigarray.c_layout Bigarray.layout)
+    (b : Bigarray.c_layout Bigarray.layout) =
+  a = b

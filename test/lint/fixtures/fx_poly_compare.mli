@@ -2,3 +2,16 @@ type pair = { left : int; right : string }
 
 val same : pair -> pair -> bool
 val known : pair -> pair list -> bool
+
+type vec = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val cell_equal : vec -> int -> int -> bool
+val cell_known : vec -> int -> int list -> bool
+
+val same_kind :
+  (int, Bigarray.int_elt) Bigarray.kind ->
+  (int, Bigarray.int_elt) Bigarray.kind ->
+  bool
+
+val same_layout :
+  Bigarray.c_layout Bigarray.layout -> Bigarray.c_layout Bigarray.layout -> bool

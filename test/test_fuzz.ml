@@ -33,6 +33,48 @@ let test_smoke_opencube_faults () =
   checki "all scenarios ran" 150 report.Fuzz.ran;
   checkb "no violation" true (report.Fuzz.failure = None)
 
+module Opencube = Ocube_topology.Opencube
+
+(* Campaign pinned to the implicit (Bigarray) topology across every fault
+   scenario the generator produces: the closed-form representation must
+   survive the full adversarial space, not just legal b-transform
+   histories. The default mode is already Implicit; the explicit pin
+   documents the contract and protects against a flipped default. *)
+let test_smoke_implicit_faults () =
+  Opencube.set_default_mode Opencube.Implicit;
+  let opts =
+    { Scenario.default_opts with Scenario.algos = [ Scenario.Opencube ] }
+  in
+  let report = Fuzz.campaign ~opts ~iters:300 ~fuzz_seed:5150 () in
+  checki "all scenarios ran" 300 report.Fuzz.ran;
+  (match report.Fuzz.failure with
+  | None -> ()
+  | Some f ->
+    Alcotest.failf "scenario %d violated %S: %s" f.Fuzz.index f.Fuzz.error
+      (Scenario.to_string f.Fuzz.scenario))
+
+(* Cross-mode digest parity: the same campaign under each topology
+   representation must produce the same in-order digest checksum — the
+   oracle's structural checks route through Opencube.of_fathers/check, so
+   a divergent implicit reconstruction would change a digest. *)
+let test_campaign_checksum_mode_parity () =
+  let run mode =
+    Opencube.set_default_mode mode;
+    Fun.protect
+      ~finally:(fun () -> Opencube.set_default_mode Opencube.Implicit)
+      (fun () ->
+        let opts =
+          { Scenario.default_opts with Scenario.algos = [ Scenario.Opencube ] }
+        in
+        Fuzz.campaign ~opts ~iters:120 ~fuzz_seed:8086 ())
+  in
+  let im = run Opencube.Implicit in
+  let ex = run Opencube.Explicit in
+  checkb "no violation (implicit)" true (im.Fuzz.failure = None);
+  checkb "no violation (explicit)" true (ex.Fuzz.failure = None);
+  checki "same scenario count" im.Fuzz.ran ex.Fuzz.ran;
+  checki "same digest checksum across modes" im.Fuzz.checksum ex.Fuzz.checksum
+
 (* --- determinism ---------------------------------------------------------- *)
 
 let test_replay_bit_identical () =
@@ -246,6 +288,10 @@ let suite =
       test_smoke_all_algos;
     Alcotest.test_case "smoke: open-cube under faults" `Quick
       test_smoke_opencube_faults;
+    Alcotest.test_case "implicit topology: 300 fault scenarios" `Quick
+      test_smoke_implicit_faults;
+    Alcotest.test_case "campaign checksum identical across topology modes"
+      `Quick test_campaign_checksum_mode_parity;
     Alcotest.test_case "replay is bit-identical" `Quick
       test_replay_bit_identical;
     Alcotest.test_case "parallel campaign checksum = serial" `Quick

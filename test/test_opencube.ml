@@ -3,7 +3,7 @@
    (b-transformation), Prop. 2.3 (branch bound), Figures 2/3/5. *)
 
 module Opencube = Ocube_topology.Opencube
-module Hypercube = Ocube_topology.Hypercube
+module Hypercube = Ocube_topology.Opencube.Hypercube
 
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
@@ -420,7 +420,102 @@ let qcheck_tests =
             | None -> Opencube.power c i = p
             | Some f -> Opencube.power c i = Opencube.dist i f - 1)
           (List.init (1 lsl p) (fun i -> i)));
+    (* Representation parity: the implicit (Bigarray + id arithmetic)
+       tree must be observationally identical to the explicit reference
+       oracle — per node, on every accessor — for any b-transform
+       history. *)
+    Test.make ~count:200
+      ~name:"explicit/implicit parity under b-transform chains"
+      (pair (int_range 1 8)
+         (list_of_size (Gen.int_range 0 80) (int_range 0 100_000)))
+      (fun (p, picks) ->
+        let e = Opencube.build_mode Opencube.Explicit ~p in
+        let im = Opencube.build_mode Opencube.Implicit ~p in
+        let n = 1 lsl p in
+        List.iter
+          (fun pick ->
+            let i = pick mod n in
+            match Opencube.last_son e i with
+            | Some _ ->
+              Opencube.b_transform e i;
+              Opencube.b_transform im i
+            | None -> ())
+          picks;
+        let ok = ref (Opencube.root e = Opencube.root im) in
+        for i = 0 to n - 1 do
+          if
+            Opencube.father e i <> Opencube.father im i
+            || Opencube.power e i <> Opencube.power im i
+            || Opencube.sons e i <> Opencube.sons im i
+            || Opencube.last_son e i <> Opencube.last_son im i
+          then ok := false
+        done;
+        !ok
+        && Opencube.leaves e = Opencube.leaves im
+        && Opencube.is_valid e && Opencube.is_valid im);
+    (* Raw surgery drops the implicit tree to its untrusted scan
+       fallback; the fallback — and the re-certification performed by a
+       successful check — must still agree with the explicit oracle. *)
+    Test.make ~count:200
+      ~name:"explicit/implicit parity under raw set_father surgery"
+      (pair (int_range 1 8)
+         (list_of_size (Gen.int_range 0 24)
+            (pair (int_range 0 100_000) (int_range 0 100_000))))
+      (fun (p, edits) ->
+        let n = 1 lsl p in
+        let e = Opencube.build_mode Opencube.Explicit ~p in
+        let im = Opencube.build_mode Opencube.Implicit ~p in
+        List.iter
+          (fun (a, b) ->
+            let i = a mod n in
+            let fo =
+              let v = b mod (n + 1) in
+              if v = n then None else Some v
+            in
+            Opencube.set_father e i fo;
+            Opencube.set_father im i fo)
+          edits;
+        let agree () =
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            if
+              Opencube.father e i <> Opencube.father im i
+              || Opencube.sons e i <> Opencube.sons im i
+              || Opencube.last_son e i <> Opencube.last_son im i
+            then ok := false
+          done;
+          !ok
+        in
+        let untrusted_ok = agree () in
+        (* check verdicts must match; when they pass, the implicit tree is
+           back on the closed-form path and must still agree. *)
+        let ve = Opencube.is_valid e and vi = Opencube.is_valid im in
+        untrusted_ok && ve = vi && agree ());
   ]
+
+(* The closed-form initial-tree formulas against the explicit structures,
+   exhaustively for every node at p <= 8. *)
+let test_initial_closed_forms () =
+  for p = 0 to 8 do
+    let c = Opencube.build_mode Opencube.Explicit ~p in
+    for i = 0 to (1 lsl p) - 1 do
+      Alcotest.(check (option int))
+        (Printf.sprintf "initial_father p=%d i=%d" p i)
+        (Opencube.father c i) (Opencube.initial_father i);
+      checki
+        (Printf.sprintf "initial_power p=%d i=%d" p i)
+        (Opencube.power c i)
+        (Opencube.initial_power ~p i);
+      Alcotest.(check (list int))
+        (Printf.sprintf "initial_sons p=%d i=%d" p i)
+        (Opencube.sons c i)
+        (Opencube.initial_sons ~p i);
+      Alcotest.(check (option int))
+        (Printf.sprintf "initial_last_son p=%d i=%d" p i)
+        (Opencube.last_son c i)
+        (Opencube.initial_last_son ~p i)
+    done
+  done
 
 let suite =
   [
@@ -472,5 +567,7 @@ let suite =
     Alcotest.test_case "DOT export" `Quick test_to_dot;
     Alcotest.test_case "root cache agrees with the scan" `Quick
       test_root_cache_agrees_with_scan;
+    Alcotest.test_case "closed-form initial tree = explicit structures"
+      `Quick test_initial_closed_forms;
   ]
   @ List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qcheck_tests

@@ -131,6 +131,38 @@ let test_trace_clear_resets_laziness_counters () =
   checki "fresh thunks counted from zero" 6 (Trace.thunk_count trace);
   checki "still lazy after a clear" 0 !Counting.pp_calls
 
+(* With tracing off the send path must allocate only its fixed engine
+   bookkeeping (the payload box, the scheduled delivery closure, the
+   event-queue slot) — no trace thunks, no format buffers. Minor-word
+   deltas are exact in OCaml, so a per-send word budget is a
+   deterministic guard, not a timing heuristic: re-introducing even one
+   eager closure on the disabled path raises the count, and an eager
+   [Format.asprintf] (~hundreds of words) trips it immediately. *)
+let test_trace_off_send_allocation_budget () =
+  let measure ?trace () =
+    let engine, net = make_net ?trace () in
+    Net.set_handler net 1 (fun ~src:_ _ -> ());
+    (* warm-up: first send pays one-off lazy initialisation *)
+    Net.send net ~src:0 ~dst:1 (Counting.Ping 0);
+    let before = Gc.minor_words () in
+    for k = 1 to 1000 do
+      Net.send net ~src:0 ~dst:1 (Counting.Ping k)
+    done;
+    let per_send = (Gc.minor_words () -. before) /. 1000.0 in
+    Engine.run engine;
+    per_send
+  in
+  let off = measure () in
+  let on = measure ~trace:(Trace.create ()) () in
+  checkb "tracing off allocates strictly less per send than tracing on" true
+    (off < on);
+  checkb
+    (Printf.sprintf
+       "zero trace-attributable allocation growth with tracing off (%.1f \
+        words/send, budget 64)"
+       off)
+    true (off <= 64.0)
+
 (* --- trace on/off equivalence -------------------------------------------- *)
 
 (* Same seed, same workload, tracing on vs off: laziness must not change
@@ -266,6 +298,8 @@ let suite =
       test_trace_on_formats_only_when_read;
     Alcotest.test_case "Trace.clear resets the laziness counters" `Quick
       test_trace_clear_resets_laziness_counters;
+    Alcotest.test_case "trace off: per-send allocation budget holds" `Quick
+      test_trace_off_send_allocation_budget;
     Alcotest.test_case "trace on/off runs are equivalent" `Quick
       test_trace_off_vs_on_equivalence;
     Alcotest.test_case "last_son beats the O(N) scan" `Quick

@@ -1,7 +1,7 @@
 (* Tests for static trees (Raymond substrate) and the hypercube module. *)
 
 module Static_tree = Ocube_topology.Static_tree
-module Hypercube = Ocube_topology.Hypercube
+module Hypercube = Ocube_topology.Opencube.Hypercube
 
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
