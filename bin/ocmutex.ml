@@ -449,24 +449,48 @@ let walkthrough_cmd =
 
 (* --- verify ------------------------------------------------------------------ *)
 
-let run_verify p wishes max_states jobs =
+let run_verify p wishes max_states jobs symmetry mem_budget faults =
+  let module E = Ocube_model.Explore in
   Printf.printf
-    "Exhaustively exploring the fault-free protocol: N = %d, %d wish(es) \
-     per node...\n%!"
-    (1 lsl p) wishes;
+    "Exhaustively exploring the protocol: N = %d, %d wish(es) per node%s%s...\n\
+     %!"
+    (1 lsl p) wishes
+    (if faults > 0 then Printf.sprintf ", up to %d crash fault(s)" faults
+     else "")
+    (if symmetry then ", symmetry-reduced" else "");
   try
-    let s = Ocube_model.Explore.run ~max_states ~jobs ~p ~wishes () in
-    Printf.printf "  %d reachable states, %d transitions, %d terminal states\n"
-      s.Ocube_model.Explore.states s.Ocube_model.Explore.transitions
-      s.Ocube_model.Explore.terminals;
-    Printf.printf "  peak in-flight %d, depth %d\n"
-      s.Ocube_model.Explore.max_in_flight s.Ocube_model.Explore.max_depth;
+    let mem_budget =
+      if mem_budget <= 0 then None else Some (mem_budget * 1024 * 1024)
+    in
+    let s =
+      E.run ~max_states ~jobs ~max_faults:faults ~symmetry ?mem_budget ~p
+        ~wishes ()
+    in
+    if symmetry then begin
+      Printf.printf
+        "  %d canonical (quotient) states, %d transitions, %d terminal states\n"
+        s.E.states s.E.transitions s.E.terminals;
+      Printf.printf "  orbit upper bound on raw states: %d (<= %.2fx reduction)\n"
+        s.E.orbit_states
+        (float_of_int s.E.orbit_states /. float_of_int s.E.states)
+    end
+    else
+      Printf.printf
+        "  %d reachable states, %d transitions, %d terminal states\n" s.E.states
+        s.E.transitions s.E.terminals;
+    Printf.printf "  peak in-flight %d, depth %d\n" s.E.max_in_flight
+      s.E.max_depth;
+    if s.E.spilled_segments > 0 then
+      Printf.printf "  spilled %d frontier segment(s), %d bytes\n"
+        s.E.spilled_segments s.E.spilled_bytes;
     print_endline "  all invariants hold in every reachable state.";
     0
   with
-  | Ocube_model.Explore.Violation (msg, st) ->
-    Printf.printf "VIOLATION: %s\n%s" msg
-      (Format.asprintf "%a" Ocube_model.Spec.pp st);
+  | E.Violation v ->
+    Printf.printf "VIOLATION: %s\n%s" v.E.message
+      (Format.asprintf "%a" Ocube_model.Spec.pp v.E.state);
+    Printf.printf "trace (%d steps): %s\n" (List.length v.E.trace)
+      (Format.asprintf "%a" E.pp_trace v.E.trace);
     2
   | Failure msg ->
     prerr_endline msg;
@@ -485,11 +509,29 @@ let verify_cmd =
     let doc = "Abort beyond this many states." in
     Arg.(value & opt int 5_000_000 & info [ "max-states" ] ~docv:"K" ~doc)
   in
-  let doc =
-    "Model-check the fault-free protocol exhaustively (all interleavings)."
+  let symmetry_arg =
+    let doc =
+      "Explore the quotient under the open cube's automorphism group: \
+       canonicalize every state key, store one representative per orbit."
+    in
+    Arg.(value & flag & info [ "symmetry" ] ~doc)
   in
+  let mem_budget_arg =
+    let doc =
+      "Frontier memory budget in MiB; past it, BFS levels spill to \
+       front-coded temp-file segments. 0 = unlimited."
+    in
+    Arg.(value & opt int 0 & info [ "mem-budget" ] ~docv:"MB" ~doc)
+  in
+  let faults_arg =
+    let doc = "Enable up to $(docv) fail-stop crash faults." in
+    Arg.(value & opt int 0 & info [ "faults" ] ~docv:"F" ~doc)
+  in
+  let doc = "Model-check the protocol exhaustively (all interleavings)." in
   Cmd.v (Cmd.info "verify" ~doc)
-    Term.(const run_verify $ p_arg $ wishes_arg $ max_states_arg $ jobs_arg)
+    Term.(
+      const run_verify $ p_arg $ wishes_arg $ max_states_arg $ jobs_arg
+      $ symmetry_arg $ mem_budget_arg $ faults_arg)
 
 (* --- fuzz -------------------------------------------------------------------- *)
 

@@ -21,9 +21,9 @@ let () =
        \  holders hold the token, idle queues empty;\n\
        \  every terminal state: all wishes served, valid open-cube,\n\
        \  token at rest at the root."
-   with Ocube_model.Explore.Violation (msg, st) ->
-     Printf.printf "VIOLATION: %s\n%s\n" msg
-       (Format.asprintf "%a" Ocube_model.Spec.pp st));
+   with Ocube_model.Explore.Violation v ->
+     Printf.printf "VIOLATION: %s\n%s\n" v.Ocube_model.Explore.message
+       (Format.asprintf "%a" Ocube_model.Spec.pp v.Ocube_model.Explore.state));
   print_endline
     "\nThe same spec cross-validates against the simulator (see\n\
      test/test_model.ml); run `ocmutex experiments model-check` for the\n\

@@ -40,7 +40,8 @@ let run () =
       let verdict, stats =
         try ("all invariants hold", Some (Ocube_model.Explore.run ~p ~wishes ()))
         with
-        | Ocube_model.Explore.Violation (msg, _) -> ("VIOLATION: " ^ msg, None)
+        | Ocube_model.Explore.Violation v ->
+          ("VIOLATION: " ^ v.Ocube_model.Explore.message, None)
         | Failure msg -> (msg, None)
       in
       match stats with

@@ -10,6 +10,7 @@ type node = {
   token_here : bool;
   asking : bool;
   in_cs : bool;
+  dead : bool;
   lender : int;
   mandator : int;
   queue : int Fdeque.t;
@@ -31,13 +32,18 @@ type node = {
      bit     13  in_cs
      bits 14-24  lender
      bits 25-35  mandator + 1      (0 = none)
-     bits 36-62  wishes_left       (< 2^26, checked in [initial])
+     bits 36-61  wishes_left       (< 2^26, checked in [initial])
+     bit     62  dead              (fail-stop crash, faults mode only)
+   Bit 62 is the native-int sign bit, so a dead word is negative — every
+   access below is bitwise (and [lsr], not [asr]), which is well-defined
+   on the full 63-bit pattern.
    Queues are the only non-scalar per-node component and stay in their
    own copy-on-write array. *)
 
 let bit_token = 0x800
 let bit_asking = 0x1000
 let bit_in_cs = 0x2000
+let bit_dead = 1 lsl 62
 let max_nodes = 1024
 let max_wishes = (1 lsl 26) - 1
 
@@ -45,14 +51,18 @@ let[@inline] nfather w = (w land 0x7ff) - 1
 let[@inline] ntoken w = w land bit_token <> 0
 let[@inline] nasking w = w land bit_asking <> 0
 let[@inline] nincs w = w land bit_in_cs <> 0
+let[@inline] ndead w = w land bit_dead <> 0
 let[@inline] nlender w = (w lsr 14) land 0x7ff
 let[@inline] nmandator w = ((w lsr 25) land 0x7ff) - 1
-let[@inline] nwishes w = w lsr 36
+let[@inline] nwishes w = (w lsr 36) land max_wishes
+
+(* token/asking/in_cs/dead as one nibble, the byte the codecs write. *)
+let[@inline] flags_nibble w = ((w lsr 11) land 0x7) lor ((w lsr 59) land 0x8)
 
 let[@inline] with_father w f = w land lnot 0x7ff lor (f + 1)
 let[@inline] with_lender w l = w land lnot (0x7ff lsl 14) lor (l lsl 14)
 let[@inline] with_mandator w m = w land lnot (0x7ff lsl 25) lor ((m + 1) lsl 25)
-let[@inline] with_wishes w k = w land ((1 lsl 36) - 1) lor (k lsl 36)
+let[@inline] with_wishes w k = w land lnot (max_wishes lsl 36) lor (k lsl 36)
 
 let make_word ~father ~token_here ~asking ~in_cs ~lender ~mandator ~wishes_left
     =
@@ -63,6 +73,14 @@ let make_word ~father ~token_here ~asking ~in_cs ~lender ~mandator ~wishes_left
   lor (lender lsl 14)
   lor ((mandator + 1) lsl 25)
   lor (wishes_left lsl 36)
+
+(* The one legal word for a crashed node: no father, no flags, no wishes,
+   lender at rest (self). Anything else on a dead node is an invariant
+   violation. *)
+let dead_word i =
+  bit_dead
+  lor make_word ~father:(-1) ~token_here:false ~asking:false ~in_cs:false
+        ~lender:i ~mandator:(-1) ~wishes_left:0
 
 (* --- packed messages ---------------------------------------------------- *)
 
@@ -115,11 +133,17 @@ let node st i =
     token_here = ntoken w;
     asking = nasking w;
     in_cs = nincs w;
+    dead = ndead w;
     lender = nlender w;
     mandator = nmandator w;
     queue = st.queues.(i);
     wishes_left = nwishes w;
   }
+
+let is_dead st i = ndead st.packed.(i)
+
+let dead_count st =
+  Array.fold_left (fun k w -> if ndead w then k + 1 else k) 0 st.packed
 
 let word_of_node nd =
   if
@@ -135,6 +159,7 @@ let word_of_node nd =
   make_word ~father:nd.father ~token_here:nd.token_here ~asking:nd.asking
     ~in_cs:nd.in_cs ~lender:nd.lender ~mandator:nd.mandator
     ~wishes_left:nd.wishes_left
+  lor (if nd.dead then bit_dead else 0)
 
 let set_node st i nd =
   let packed = Array.copy st.packed in
@@ -165,7 +190,14 @@ let initial ~p ~wishes =
     flight = [];
   }
 
-type transition = Wish of int | Deliver of msg | Exit of int
+type transition = Wish of int | Deliver of msg | Exit of int | Crash of int
+
+(* Seeded-bug variants for the checker's own regression harness (the
+   model-level twin of the DES fuzzer's always-grant build): the buggy
+   dynamics still depend only on [dist] and per-node state, so symmetry
+   reduction remains sound for them — which is exactly what the
+   symmetry-vs-unreduced parity suite relies on. *)
+type variant = Faithful | Always_grant
 
 (* --- pure mirror of the fault-free handlers --------------------------- *)
 
@@ -200,6 +232,16 @@ let send st m = { st with flight = insert_sorted m st.flight }
 (* process one request(j) at node i; the caller guarantees not asking. *)
 let rec process_request st i j =
   let w = st.packed.(i) in
+  if (not (ntoken w)) && nfather w < 0 then begin
+    (* a tokenless, non-asking root is protocol-incoherent — unreachable
+       under [Faithful], but seeded-bug variants can manufacture it.
+       Defer the request instead of forwarding to the nonexistent father
+       so the spec stays total and the checker reports the real
+       invariant violation rather than crashing on a garbage message. *)
+    st.queues.(i) <- Fdeque.push_back st.queues.(i) j;
+    st
+  end
+  else
   let pw = power st i in
   let dj = Opencube.dist i j in
   if dj = pw then
@@ -221,28 +263,41 @@ let rec process_request st i j =
         (mk_req ~src:i ~dst:(nfather w) i)
   end
 
-(* drain the deferred queue of node i while it is idle *)
+(* drain the deferred queue of node i while it is idle. Bounded by the
+   queue length on entry: a faithful drain never re-queues at i, so the
+   bound is exact there, and it stops the pop/re-defer cycle that the
+   incoherent-root guard in [process_request] would otherwise cause. *)
 and drain st i =
-  if nasking st.packed.(i) then st
-  else
-    match Fdeque.pop_front st.queues.(i) with
-    | None -> st
-    | Some (j, rest) ->
-      st.queues.(i) <- rest;
-      let st = process_request st i j in
-      drain st i
+  let rec go st budget =
+    if budget = 0 || nasking st.packed.(i) then st
+    else
+      match Fdeque.pop_front st.queues.(i) with
+      | None -> st
+      | Some (j, rest) ->
+        st.queues.(i) <- rest;
+        let st = process_request st i j in
+        go st (budget - 1)
+  in
+  go st (Fdeque.length st.queues.(i))
 
-let deliver st m =
+let deliver ~variant st m =
   let src = msrc m in
   let i = mdst m in
   if not (mis_tok m) then begin
     let j = mval m in
     let w = st.packed.(i) in
     if nasking w then begin
-      (* re-canonicalise the deque right here (it is tiny), so successor
-         canonicalisation never has to rebuild anything *)
-      st.queues.(i) <- Fdeque.canonical (Fdeque.push_back st.queues.(i) j);
-      st
+      match variant with
+      | Always_grant ->
+        (* injected bug: serve the request immediately even though a
+           mandate/loan is pending — clobbers the mandate and duplicates
+           the token. The checker must catch this. *)
+        drain (process_request st i j) i
+      | Faithful ->
+        (* re-canonicalise the deque right here (it is tiny), so successor
+           canonicalisation never has to rebuild anything *)
+        st.queues.(i) <- Fdeque.canonical (Fdeque.push_back st.queues.(i) j);
+        st
     end
     else drain (process_request st i j) i
   end
@@ -353,7 +408,7 @@ let succ_exit st i =
   in
   canonical_nodes (exit_cs st' i)
 
-let succ_deliver st m flight' =
+let succ_deliver ~variant st m flight' =
   let i = mdst m in
   let touches_queue =
     ((not (mis_tok m)) && nasking st.packed.(i))
@@ -368,7 +423,69 @@ let succ_deliver st m flight' =
       }
     else { st with packed = Array.copy st.packed; flight = flight' }
   in
-  canonical_nodes (deliver st' m)
+  canonical_nodes (deliver ~variant st' m)
+
+(* --- fail-stop crash faults --------------------------------------------- *)
+
+(* The spec-level abstraction of the paper's Section 5 machinery: the
+   crash of node [i] and the ensuing recovery (father reconnection of
+   [i]'s orphaned sons) happen {e atomically}. The paper argues recovery
+   completes within a bounded delay and re-forms a legal structure; here
+   every orphan adopts the crashed node's own father (the path through
+   [i] contracts), which is the quiescent outcome of [search_father].
+
+   A node is crashable only while it is a quiescent bystander — not
+   holding or borrowing the token, not asking, not referenced by any
+   in-flight message, queue entry, mandate or loan. Structural damage
+   (sons losing their father) is the one effect that remains, which is
+   precisely the re-formation scenario the fault-tolerance argument is
+   about. Under these preconditions no reference to a dead node can ever
+   re-form: dead nodes never act, nothing points at them, and every
+   father/mandator/lender written afterwards names a live node. *)
+
+let crashable st i =
+  let w = st.packed.(i) in
+  (not (ndead w))
+  && (not (ntoken w))
+  && (not (nasking w))
+  && (not (nincs w))
+  && nfather w >= 0
+  && Fdeque.is_empty st.queues.(i)
+  && (not
+        (List.exists
+           (fun m ->
+             msrc m = i || mdst m = i
+             ||
+             if mis_tok m then mval m - 1 = i else mval m = i)
+           st.flight))
+  &&
+  let n = Array.length st.packed in
+  let rec clear j =
+    j >= n
+    || ((j = i
+        ||
+        let wj = st.packed.(j) in
+        ndead wj
+        || (nmandator wj <> i && nlender wj <> i
+           && not (Fdeque.exists (fun x -> x = i) st.queues.(j))))
+       && clear (j + 1))
+  in
+  clear 0
+
+let succ_crash st i =
+  let packed = Array.copy st.packed in
+  let n = Array.length packed in
+  let fi = nfather packed.(i) in
+  for j = 0 to n - 1 do
+    let w = Array.unsafe_get packed j in
+    if (not (ndead w)) && nfather w = i then
+      Array.unsafe_set packed j (with_father w fi)
+  done;
+  packed.(i) <- dead_word i;
+  (* queues and flight untouched: [i]'s queue is empty and no message
+     references it, so sharing the parent's arrays keeps the
+     [encode_delta] fast path valid. *)
+  { st with packed }
 
 (* One enumeration core drives both the labelled [transitions] list (used
    by tests and diagnostics) and the label-free {!iter_successors} hot
@@ -377,7 +494,8 @@ let succ_deliver st m flight' =
    the flight bag is a handful of ints, so a prefix scan beats allocating
    a dedup table, and [rev_append prefix rest] (which preserves
    sortedness) replaces a remove-first walk. *)
-let iter_core st fwish fexit fdeliver =
+let iter_core ?(max_faults = 0) ?(variant = Faithful) st fwish fexit fdeliver
+    fcrash =
   let count = ref 0 in
   let n = Array.length st.packed in
   for i = 0 to n - 1 do
@@ -396,26 +514,37 @@ let iter_core st fwish fexit fdeliver =
     | m :: rest ->
       if not (List.memq m prefix) then begin
         incr count;
-        fdeliver m (succ_deliver st m (List.rev_append prefix rest))
+        fdeliver m (succ_deliver ~variant st m (List.rev_append prefix rest))
       end;
       go (m :: prefix) rest
   in
   go [] st.flight;
+  if max_faults > 0 && dead_count st < max_faults then
+    for i = 0 to n - 1 do
+      if crashable st i then begin
+        incr count;
+        fcrash i (succ_crash st i)
+      end
+    done;
   !count
 
-let transitions st =
+let transitions ?max_faults ?variant st =
   let acc = ref [] in
   let (_ : int) =
-    iter_core st
+    iter_core ?max_faults ?variant st
       (fun i st' -> acc := (Wish i, st') :: !acc)
       (fun i st' -> acc := (Exit i, st') :: !acc)
       (fun m st' -> acc := (Deliver (msg_of_int m), st') :: !acc)
+      (fun i st' -> acc := (Crash i, st') :: !acc)
   in
   !acc
 
-let iter_successors st f =
+let iter_successors ?max_faults ?variant st f =
   let g _ st' = f st' in
-  iter_core st g g g
+  iter_core ?max_faults ?variant st g g g g
+
+let iter_transitions ?max_faults ?variant st ~wish ~exit ~deliver ~crash =
+  iter_core ?max_faults ?variant st wish exit deliver crash
 
 (* --- invariants -------------------------------------------------------- *)
 
@@ -428,18 +557,47 @@ let check_invariants st =
   let n = Array.length st.packed in
   for i = 0 to n - 1 do
     let w = Array.unsafe_get st.packed i in
-    if nincs w then begin
-      incr in_cs;
-      if not (ntoken w) then
-        set_err (fun () -> Printf.sprintf "node %d in CS without the token" i)
-    end;
-    if ntoken w then incr held;
-    if (not (nasking w)) && not (Fdeque.is_empty st.queues.(i)) then
-      set_err (fun () -> Printf.sprintf "idle node %d has a non-empty queue" i)
+    if ndead w then begin
+      if w <> dead_word i then
+        set_err (fun () -> Printf.sprintf "dead node %d has live state" i);
+      if not (Fdeque.is_empty st.queues.(i)) then
+        set_err (fun () -> Printf.sprintf "dead node %d has a queue" i)
+    end
+    else begin
+      if nincs w then begin
+        incr in_cs;
+        if not (ntoken w) then
+          set_err (fun () -> Printf.sprintf "node %d in CS without the token" i)
+      end;
+      if ntoken w then incr held;
+      if (not (nasking w)) && not (Fdeque.is_empty st.queues.(i)) then
+        set_err (fun () ->
+            Printf.sprintf "idle node %d has a non-empty queue" i);
+      let f = nfather w in
+      if f >= 0 && ndead (Array.unsafe_get st.packed f) then
+        set_err (fun () ->
+            Printf.sprintf "live node %d's father %d is dead" i f)
+    end
   done;
   let in_flight =
     List.fold_left (fun k m -> if mis_tok m then k + 1 else k) 0 st.flight
   in
+  List.iter
+    (fun m ->
+      let dead j = j >= 0 && j < n && ndead st.packed.(j) in
+      let v = if mis_tok m then mval m - 1 else mval m in
+      let out_of_range j = j < 0 || j >= n in
+      if out_of_range (msrc m) || out_of_range (mdst m) || v >= n
+         || v < if mis_tok m then -1 else 0
+      then
+        set_err (fun () ->
+            Printf.sprintf "message %d -> %d has an out-of-range node id"
+              (msrc m) (mdst m))
+      else if dead (msrc m) || dead (mdst m) || dead v then
+        set_err (fun () ->
+            Printf.sprintf "message %d -> %d references a dead node" (msrc m)
+              (mdst m)))
+    st.flight;
   if !in_cs > 1 then set_err (fun () -> "two nodes in CS");
   if !held + in_flight <> 1 then begin
     let held = !held in
@@ -454,22 +612,57 @@ let check_terminal st =
   let n = Array.length st.packed in
   for i = 0 to n - 1 do
     let w = st.packed.(i) in
-    if nwishes w > 0 then
-      errors :=
-        Printf.sprintf "node %d still has wishes (deadlock)" i :: !errors;
-    if nasking w then
-      errors := Printf.sprintf "node %d still asking (deadlock)" i :: !errors;
-    if nincs w then errors := Printf.sprintf "node %d stuck in CS" i :: !errors
+    if not (ndead w) then begin
+      if nwishes w > 0 then
+        errors :=
+          Printf.sprintf "node %d still has wishes (deadlock)" i :: !errors;
+      if nasking w then
+        errors := Printf.sprintf "node %d still asking (deadlock)" i :: !errors;
+      if nincs w then
+        errors := Printf.sprintf "node %d stuck in CS" i :: !errors
+    end
   done;
   if st.flight <> [] then errors := "messages still in flight" :: !errors;
-  let fathers =
-    Array.map
-      (fun w -> if nfather w < 0 then None else Some (nfather w))
-      st.packed
-  in
-  (match Opencube.check (Opencube.of_fathers fathers) with
-  | Ok () -> ()
-  | Error m -> errors := ("not an open-cube: " ^ m) :: !errors);
+  (if dead_count st = 0 then begin
+     let fathers =
+       Array.map
+         (fun w -> if nfather w < 0 then None else Some (nfather w))
+         st.packed
+     in
+     match Opencube.check (Opencube.of_fathers fathers) with
+     | Ok () -> ()
+     | Error m -> errors := ("not an open-cube: " ^ m) :: !errors
+   end
+   else begin
+     (* Crash faults excise nodes, so the survivors cannot form a full
+        2^p open cube; what Section 5's recovery guarantees — and what we
+        check — is that they re-form a rooted tree: exactly one live
+        root, every live father live (enforced by [check_invariants]),
+        and every live branch reaching the root acyclically. *)
+     let roots = ref 0 in
+     for i = 0 to n - 1 do
+       let w = st.packed.(i) in
+       if (not (ndead w)) && nfather w < 0 then incr roots
+     done;
+     if !roots <> 1 then
+       errors :=
+         Printf.sprintf "%d live roots after faults (want 1)" !roots :: !errors;
+     for i = 0 to n - 1 do
+       let w = st.packed.(i) in
+       if not (ndead w) then begin
+         let rec climb j steps =
+           if steps > n then
+             errors :=
+               Printf.sprintf "father cycle through node %d after faults" i
+               :: !errors
+           else
+             let f = nfather st.packed.(j) in
+             if f >= 0 then climb f (steps + 1)
+         in
+         climb i 0
+       end
+     done
+   end);
   for i = 0 to n - 1 do
     let w = st.packed.(i) in
     if ntoken w && nfather w >= 0 then
@@ -533,7 +726,7 @@ let put_node r pos w q =
   let ql = Fdeque.length q in
   let b = ensure r pos (46 + (9 * ql)) in
   let pos = put_int b pos (nfather w + 1) in
-  Bytes.unsafe_set b pos (Char.unsafe_chr ((w lsr 11) land 0x7));
+  Bytes.unsafe_set b pos (Char.unsafe_chr (flags_nibble w));
   let pos = put_int b (pos + 1) (nlender w) in
   let pos = put_int b pos (nmandator w + 1) in
   let pos = put_int b pos (nwishes w) in
@@ -592,7 +785,7 @@ let encode_len st =
       let w = Array.unsafe_get st.packed i in
       let p = !pos in
       Bytes.unsafe_set b p (Char.unsafe_chr (nfather w + 1));
-      Bytes.unsafe_set b (p + 1) (Char.unsafe_chr ((w lsr 11) land 0x7));
+      Bytes.unsafe_set b (p + 1) (Char.unsafe_chr (flags_nibble w));
       Bytes.unsafe_set b (p + 2) (Char.unsafe_chr (nlender w));
       Bytes.unsafe_set b (p + 3) (Char.unsafe_chr (nmandator w + 1));
       Bytes.unsafe_set b (p + 4) (Char.unsafe_chr (nwishes w));
@@ -656,7 +849,7 @@ let encode_delta ~parent ~parent_key st' =
       let p = !off in
       if w <> Array.unsafe_get parent.packed i then begin
         Bytes.unsafe_set b p (Char.unsafe_chr (nfather w + 1));
-        Bytes.unsafe_set b (p + 1) (Char.unsafe_chr ((w lsr 11) land 0x7));
+        Bytes.unsafe_set b (p + 1) (Char.unsafe_chr (flags_nibble w));
         Bytes.unsafe_set b (p + 2) (Char.unsafe_chr (nlender w));
         Bytes.unsafe_set b (p + 3) (Char.unsafe_chr (nmandator w + 1));
         Bytes.unsafe_set b (p + 4) (Char.unsafe_chr (nwishes w))
@@ -715,7 +908,8 @@ let decode s =
         ~token_here:(flags land 1 <> 0)
         ~asking:(flags land 2 <> 0)
         ~in_cs:(flags land 4 <> 0)
-        ~lender ~mandator ~wishes_left,
+        ~lender ~mandator ~wishes_left
+      lor (if flags land 8 <> 0 then bit_dead else 0),
       queue )
   in
   let n = get_int () in
@@ -741,15 +935,72 @@ let decode s =
   in
   { packed; queues; flight = msgs fl }
 
+(* --- node relabeling ----------------------------------------------------- *)
+
+(* [relabel perm st] renames every node id through the bijection [perm]
+   (image array): node [i]'s word moves to slot [perm.(i)] with its
+   father/lender/mandator fields, queue entries and flight end-points
+   renamed. The result is canonical (queues rebuilt, flight re-sorted)
+   whatever the input. This is the state half of symmetry reduction; it
+   is only semantics-preserving when [perm] is a [dist]-preserving
+   automorphism — {!Symmetry} owns that obligation. *)
+let relabel perm st =
+  let n = Array.length st.packed in
+  let packed = Array.make n 0 in
+  let queues = Array.make n Fdeque.empty in
+  for i = 0 to n - 1 do
+    let w = st.packed.(i) in
+    let i' = Array.unsafe_get perm i in
+    let f = nfather w in
+    let m = nmandator w in
+    packed.(i') <-
+      make_word
+        ~father:(if f < 0 then -1 else perm.(f))
+        ~token_here:(ntoken w) ~asking:(nasking w) ~in_cs:(nincs w)
+        ~lender:perm.(nlender w)
+        ~mandator:(if m < 0 then -1 else perm.(m))
+        ~wishes_left:(nwishes w)
+      lor (w land bit_dead);
+    let q = st.queues.(i) in
+    queues.(i') <-
+      (if Fdeque.is_empty q then Fdeque.empty
+       else
+         Fdeque.of_list
+           (List.rev (Fdeque.fold (fun acc j -> perm.(j) :: acc) [] q)))
+  done;
+  let flight =
+    List.sort Int.compare
+      (List.map
+         (fun m ->
+           let src = perm.(msrc m) and dst = perm.(mdst m) in
+           if mis_tok m then
+             let l = mval m - 1 in
+             mk_tok ~src ~dst (if l < 0 then -1 else perm.(l))
+           else mk_req ~src ~dst perm.(mval m))
+         st.flight)
+  in
+  { packed; queues; flight }
+
+let pp_transition ppf = function
+  | Wish i -> Format.fprintf ppf "wish %d" i
+  | Exit i -> Format.fprintf ppf "exit %d" i
+  | Crash i -> Format.fprintf ppf "crash %d" i
+  | Deliver { src; dst; payload = Req j } ->
+    Format.fprintf ppf "deliver %d->%d req(%d)" src dst j
+  | Deliver { src; dst; payload = Tok l } ->
+    Format.fprintf ppf "deliver %d->%d tok(%d)" src dst l
+
 let pp ppf st =
   for i = 0 to num_nodes st - 1 do
     let nd = node st i in
-    Format.fprintf ppf
-      "node %d: father=%d token=%b asking=%b in_cs=%b lender=%d mandator=%d \
-       queue=[%s] wishes=%d@."
-      i nd.father nd.token_here nd.asking nd.in_cs nd.lender nd.mandator
-      (String.concat ";" (List.map string_of_int (Fdeque.to_list nd.queue)))
-      nd.wishes_left
+    if nd.dead then Format.fprintf ppf "node %d: DEAD@." i
+    else
+      Format.fprintf ppf
+        "node %d: father=%d token=%b asking=%b in_cs=%b lender=%d mandator=%d \
+         queue=[%s] wishes=%d@."
+        i nd.father nd.token_here nd.asking nd.in_cs nd.lender nd.mandator
+        (String.concat ";" (List.map string_of_int (Fdeque.to_list nd.queue)))
+        nd.wishes_left
   done;
   List.iter
     (fun m ->

@@ -22,6 +22,7 @@ type node = {
   token_here : bool;
   asking : bool;
   in_cs : bool;
+  dead : bool;  (** fail-stop crashed (faults mode); all other fields reset *)
   lender : int;
   mandator : int;  (** [-1] = none *)
   queue : int Ocube_sim.Fdeque.t;  (** deferred request origins, FIFO *)
@@ -68,21 +69,68 @@ val int_of_msg : msg -> int
 val msg_of_int : int -> msg
 (** Inverse of {!int_of_msg}. *)
 
-(** A transition, for diagnostics. *)
+(** A transition, for diagnostics and counterexample traces. *)
 type transition =
   | Wish of int
   | Deliver of msg
   | Exit of int
+  | Crash of int  (** fail-stop crash of a node (faults mode) *)
 
-val transitions : state -> (transition * state) list
+(** Which dynamics to explore. [Faithful] is the paper's protocol;
+    [Always_grant] is a seeded bug (a node serves a request while a
+    mandate is pending, duplicating the token) used to regression-test
+    that the checker — reduced or not — still finds violations. The
+    buggy dynamics remain [dist]-equivariant, so symmetry reduction is
+    sound for both variants. *)
+type variant = Faithful | Always_grant
+
+val transitions :
+  ?max_faults:int -> ?variant:variant -> state -> (transition * state) list
 (** Every enabled transition with its successor state. The empty list
-    means the state is terminal. *)
+    means the state is terminal. With [max_faults > 0] (default [0]),
+    {!Crash} transitions are enabled while fewer than [max_faults] nodes
+    are dead: a quiescent, unreferenced, non-root node fail-stops and its
+    orphaned sons atomically reattach to its own father — the spec-level
+    abstraction of the paper's Section 5 recovery (see {!crashable}). *)
 
-val iter_successors : state -> (state -> unit) -> int
+val iter_successors :
+  ?max_faults:int -> ?variant:variant -> state -> (state -> unit) -> int
 (** [iter_successors st f] applies [f] to every successor of [st] (same
     states as {!transitions}, without materialising the labelled list)
     and returns how many there were — [0] means terminal. The explorer's
     hot path: successors are handed to [f] the moment they are built. *)
+
+val iter_transitions :
+  ?max_faults:int ->
+  ?variant:variant ->
+  state ->
+  wish:(int -> state -> unit) ->
+  exit:(int -> state -> unit) ->
+  deliver:(int -> state -> unit) ->
+  crash:(int -> state -> unit) ->
+  int
+(** {!iter_successors} with the transition label handed to the callback:
+    the explorer's trace-recording path. [deliver] receives the packed
+    message int (see {!int_of_msg}); the others receive the node id. *)
+
+val is_dead : state -> int -> bool
+
+val dead_count : state -> int
+
+val crashable : state -> int -> bool
+(** Whether a {!Crash} of this node is enabled (given fault budget):
+    alive, not root, holding nothing — no token, no CS, not asking,
+    empty queue — and unreferenced by any in-flight message, queue
+    entry, mandate or loan. Under these preconditions the crash's only
+    effect is structural (sons reattach to the grandfather), and no
+    reference to a dead node can ever re-form. *)
+
+val relabel : int array -> state -> state
+(** [relabel perm st] renames node [i] to [perm.(i)] everywhere — words,
+    fathers, lenders, mandators, queue entries, flight end-points — and
+    returns a canonical state. [perm] must be a bijection on
+    [0 .. num_nodes st - 1]; it preserves the protocol's semantics only
+    when it is a [dist]-preserving automorphism ({!Symmetry}'s job). *)
 
 val check_invariants : state -> (unit, string) result
 (** Safety invariants that must hold in {e every} reachable state:
@@ -121,3 +169,7 @@ val decode : string -> state
 (** Inverse of {!encode}: [decode (encode st) = st] for canonical [st]. *)
 
 val pp : Format.formatter -> state -> unit
+
+val pp_transition : Format.formatter -> transition -> unit
+(** One transition label, e.g. [wish 3], [deliver 0->2 req(3)],
+    [crash 5]. *)

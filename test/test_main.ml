@@ -14,6 +14,7 @@ let () =
       ("workload", Test_workload.suite);
       ("harness", Test_harness.suite);
       ("model", Test_model.suite);
+      ("model.symmetry", Test_symmetry.suite);
       ("direct-api", Test_direct_api.suite);
       ("fdeque", Test_fdeque.suite);
       ("par", Test_par.suite);

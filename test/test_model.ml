@@ -53,8 +53,9 @@ let test_invariant_checker_catches_corruption () =
 
 let explore p wishes =
   try Explore.run ~p ~wishes ()
-  with Explore.Violation (msg, st) ->
-    Alcotest.failf "violation: %s\n%s" msg (Format.asprintf "%a" Spec.pp st)
+  with Explore.Violation v ->
+    Alcotest.failf "violation: %s\n%s" v.Explore.message
+      (Format.asprintf "%a" Spec.pp v.Explore.state)
 
 let test_exhaustive_tiny () =
   let s = explore 1 1 in
@@ -87,13 +88,157 @@ let test_parallel_explore_parity () =
       let serial = explore p wishes in
       let par =
         try Explore.run ~jobs:4 ~p ~wishes ()
-        with Explore.Violation (msg, _) ->
-          Alcotest.failf "parallel violation: %s" msg
+        with Explore.Violation v ->
+          Alcotest.failf "parallel violation: %s" v.Explore.message
       in
       checkb
         (Printf.sprintf "stats match at p=%d w=%d" p wishes)
         true (serial = par))
     [ (1, 2); (2, 1); (2, 2) ]
+
+(* --- faults ---------------------------------------------------------------- *)
+
+let test_exhaustive_with_faults () =
+  let s =
+    try Explore.run ~max_faults:1 ~p:2 ~wishes:1 ()
+    with Explore.Violation v ->
+      Alcotest.failf "violation under faults: %s" v.Explore.message
+  in
+  checki "states (p=2,w=1,f=1)" 1804 s.Explore.states;
+  checki "transitions (p=2,w=1,f=1)" 4492 s.Explore.transitions;
+  checki "terminals (p=2,w=1,f=1)" 28 s.Explore.terminals;
+  (* crashes strictly enlarge the fault-free space *)
+  checkb "fault space contains fault-free space" true (s.Explore.states > 1064)
+
+(* --- symmetry reduction ----------------------------------------------------- *)
+
+let strip_spill (s : Explore.stats) =
+  { s with Explore.spilled_segments = 0; spilled_bytes = 0 }
+
+let catch_violation f =
+  match f () with
+  | (_ : Explore.stats) -> None
+  | exception Explore.Violation v -> Some v
+
+(* The quotient search must agree with itself at every jobs width, be
+   strictly smaller than the raw search, and cover it (orbit bound). *)
+let test_symmetry_clean_parity () =
+  let raw = explore 2 1 in
+  let sym1 =
+    try Explore.run ~symmetry:true ~jobs:1 ~p:2 ~wishes:1 ()
+    with Explore.Violation v -> Alcotest.failf "sym: %s" v.Explore.message
+  in
+  let sym4 =
+    try Explore.run ~symmetry:true ~jobs:4 ~p:2 ~wishes:1 ()
+    with Explore.Violation v -> Alcotest.failf "sym j4: %s" v.Explore.message
+  in
+  checkb "bit-identical at jobs 1 and 4" true (sym1 = sym4);
+  checki "quotient states (p=2,w=1)" 437 sym1.Explore.states;
+  checkb "quotient strictly smaller than raw" true
+    (sym1.Explore.states < raw.Explore.states);
+  checkb "orbit bound covers the raw count" true
+    (sym1.Explore.orbit_states >= raw.Explore.states);
+  (* faults keep the quotient sound too *)
+  let fsym =
+    try Explore.run ~max_faults:1 ~symmetry:true ~p:2 ~wishes:1 ()
+    with Explore.Violation v -> Alcotest.failf "sym+faults: %s" v.Explore.message
+  in
+  checki "quotient states (p=2,w=1,f=1)" 629 fsym.Explore.states
+
+(* The seeded always-grant bug (the model twin of the PR-2 fuzz
+   harness's seeded bug): the reduced search reaches a violation iff the
+   unreduced one does, at jobs 1 and 4, with the symmetry runs agreeing
+   on the de-canonicalized report. *)
+let test_symmetry_violation_parity () =
+  let bug jobs symmetry () =
+    Explore.run ~variant:Spec.Always_grant ~jobs ~symmetry ~p:2 ~wishes:2 ()
+  in
+  let raw = catch_violation (bug 1 false) in
+  let raw4 = catch_violation (bug 4 false) in
+  let sym1 = catch_violation (bug 1 true) in
+  let sym4 = catch_violation (bug 4 true) in
+  checkb "unreduced run finds the bug" true (raw <> None);
+  checkb "unreduced parallel run finds the bug" true (raw4 <> None);
+  match (sym1, sym4) with
+  | Some a, Some b ->
+    checkb "same message at jobs 1 and 4" true
+      (String.equal a.Explore.message b.Explore.message);
+    checkb "same trace at jobs 1 and 4" true (a.Explore.trace = b.Explore.trace);
+    checkb "same state at jobs 1 and 4" true
+      (String.equal
+         (Spec.encode a.Explore.state)
+         (Spec.encode b.Explore.state))
+  | _ -> Alcotest.fail "symmetry-reduced run missed the bug"
+
+(* Reported traces are real executions: replaying the labels from the
+   initial state lands exactly on the reported violating state — for the
+   fused serial engine and for the de-canonicalized symmetry engine. *)
+let test_violation_trace_replays () =
+  List.iter
+    (fun (name, symmetry) ->
+      match
+        catch_violation (fun () ->
+            Explore.run ~variant:Spec.Always_grant ~symmetry ~p:2 ~wishes:2 ())
+      with
+      | None -> Alcotest.failf "%s: expected a violation" name
+      | Some v ->
+        let final =
+          Explore.replay ~variant:Spec.Always_grant ~p:2 ~wishes:2
+            v.Explore.trace
+        in
+        checkb
+          (name ^ ": replay reaches the reported state")
+          true
+          (String.equal (Spec.encode final) (Spec.encode v.Explore.state));
+        checkb
+          (name ^ ": replayed state violates the invariants")
+          true
+          (Spec.check_invariants final <> Ok ()))
+    [ ("serial", false); ("symmetry", true) ]
+
+(* --- disk spill ------------------------------------------------------------- *)
+
+let temp_segments () =
+  let dir = Filename.get_temp_dir_name () in
+  Array.to_list (Sys.readdir dir)
+  |> List.filter (fun f ->
+         String.length f >= 14 && String.equal (String.sub f 0 14) "ocube-frontier")
+
+(* A tiny budget forces every level to spill; all counts stay
+   byte-identical to the in-memory runs and no temp files survive. *)
+let test_spill_byte_identical () =
+  let before = List.length (temp_segments ()) in
+  let base = explore 2 1 in
+  let sp =
+    try Explore.run ~mem_budget:64 ~p:2 ~wishes:1 ()
+    with Explore.Violation v -> Alcotest.failf "spill: %s" v.Explore.message
+  in
+  checkb "every level spilled" true (sp.Explore.spilled_segments > 100);
+  checkb "counts byte-identical to the in-memory run" true
+    (strip_spill sp = base);
+  let sym =
+    try Explore.run ~symmetry:true ~p:2 ~wishes:1 ()
+    with Explore.Violation v -> Alcotest.failf "sym: %s" v.Explore.message
+  in
+  let sym_sp =
+    try Explore.run ~symmetry:true ~jobs:4 ~mem_budget:1 ~p:2 ~wishes:1 ()
+    with Explore.Violation v -> Alcotest.failf "sym spill: %s" v.Explore.message
+  in
+  checkb "symmetry + spill + jobs identical to symmetry alone" true
+    (strip_spill sym_sp = sym);
+  checki "temp files cleaned up on normal exit" before
+    (List.length (temp_segments ()))
+
+let test_spill_cleanup_on_violation () =
+  let before = List.length (temp_segments ()) in
+  (match
+     catch_violation (fun () ->
+         Explore.run ~variant:Spec.Always_grant ~mem_budget:1 ~p:2 ~wishes:2 ())
+   with
+  | None -> Alcotest.fail "expected a violation"
+  | Some _ -> ());
+  checki "temp files cleaned up when a violation is raised" before
+    (List.length (temp_segments ()))
 
 (* Random canonical states for the encoding properties: a seeded random
    walk through the transition graph. *)
@@ -248,6 +393,18 @@ let suite =
     Alcotest.test_case "state cap enforced" `Quick test_state_cap;
     Alcotest.test_case "parallel explorer = serial counts" `Quick
       test_parallel_explore_parity;
+    Alcotest.test_case "exhaustive with crash faults (p=2)" `Quick
+      test_exhaustive_with_faults;
+    Alcotest.test_case "symmetry: clean parity + strict reduction" `Quick
+      test_symmetry_clean_parity;
+    Alcotest.test_case "symmetry: violation parity across jobs" `Quick
+      test_symmetry_violation_parity;
+    Alcotest.test_case "violation traces replay exactly" `Quick
+      test_violation_trace_replays;
+    Alcotest.test_case "spill: byte-identical counts + cleanup" `Quick
+      test_spill_byte_identical;
+    Alcotest.test_case "spill: cleanup on violation" `Quick
+      test_spill_cleanup_on_violation;
     Alcotest.test_case "spec = DES on serial schedules" `Quick
       test_spec_matches_des_serial;
   ]
