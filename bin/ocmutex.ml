@@ -16,6 +16,8 @@ module Exp_common = Ocube_harness.Exp_common
 module Export = Ocube_obs.Export
 module Span = Ocube_obs.Span
 module Trace = Ocube_sim.Trace
+module Engine = Ocube_sim.Engine
+module Exp_sweep = Ocube_harness.Exp_sweep
 
 (* --- shared arguments ---------------------------------------------------- *)
 
@@ -74,22 +76,37 @@ let topology_term =
   in
   Term.(const Opencube.set_default_mode $ arg)
 
-let kind_of_string = function
-  | "opencube" -> Ok (Exp_common.Opencube { census_rounds = 2; fault_tolerance = true })
-  | "opencube-paper" ->
-    Ok (Exp_common.Opencube { census_rounds = 0; fault_tolerance = true })
-  | "opencube-nofault" ->
-    Ok (Exp_common.Opencube { census_rounds = 2; fault_tolerance = false })
-  | "raymond" -> Ok (Exp_common.Raymond Ocube_topology.Static_tree.Binomial)
-  | "raymond-path" -> Ok (Exp_common.Raymond Ocube_topology.Static_tree.Path)
-  | "raymond-star" -> Ok (Exp_common.Raymond Ocube_topology.Static_tree.Star)
-  | "naimi-trehel" -> Ok Exp_common.Naimi_trehel
-  | "central" -> Ok Exp_common.Central
-  | "suzuki-kasami" -> Ok Exp_common.Suzuki_kasami
-  | "ricart-agrawala" -> Ok Exp_common.Ricart_agrawala
-  | "generic-raymond" -> Ok (Exp_common.Generic Generic_scheme.Raymond_rule)
-  | "generic-transit" -> Ok (Exp_common.Generic Generic_scheme.Always_transit)
-  | s -> Error (Printf.sprintf "unknown algorithm %S" s)
+let kind_of_string = Exp_common.kind_of_string
+
+(* Like [topology_term]: evaluates to (), setting the process-wide event
+   scheduler before the command body runs. *)
+let scheduler_term =
+  let doc =
+    "Event-queue discipline: $(b,wheel) (hierarchical timing wheel — O(1) \
+     schedule/fire, the fast default) or $(b,heap) (binary heap, kept as \
+     the determinism oracle). Both fire events in the identical \
+     (time, seq) order, so a seed reproduces the same run under either; \
+     see DESIGN.md section 13."
+  in
+  let sched_conv =
+    let parse s =
+      match Engine.sched_of_string s with
+      | Some m -> Ok m
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown scheduler %S (expected heap or wheel)" s))
+    in
+    let print ppf m = Format.pp_print_string ppf (Engine.sched_to_string m) in
+    Arg.conv (parse, print)
+  in
+  let arg =
+    Arg.(
+      value
+      & opt sched_conv Engine.Wheel
+      & info [ "scheduler" ] ~docv:"SCHED" ~doc)
+  in
+  Term.(const Engine.set_default_scheduler $ arg)
 
 let write_file path contents =
   let oc = open_out path in
@@ -280,10 +297,10 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
-      const (fun () -> run_simulate)
-      $ topology_term $ algo_arg $ nodes_arg $ seed_arg $ rate_arg
-      $ horizon_arg $ cs_arg $ failures_arg $ recover_arg $ patience_arg
-      $ verbose_arg $ metrics_arg $ trace_out_arg)
+      const (fun () () -> run_simulate)
+      $ topology_term $ scheduler_term $ algo_arg $ nodes_arg $ seed_arg
+      $ rate_arg $ horizon_arg $ cs_arg $ failures_arg $ recover_arg
+      $ patience_arg $ verbose_arg $ metrics_arg $ trace_out_arg)
 
 (* --- metrics ----------------------------------------------------------------- *)
 
@@ -345,9 +362,9 @@ let metrics_cmd =
   in
   Cmd.v (Cmd.info "metrics" ~doc)
     Term.(
-      const (fun () -> run_metrics)
-      $ topology_term $ algo_arg $ nodes_arg $ seed_arg $ rate_arg
-      $ horizon_arg $ cs_arg $ format_arg)
+      const (fun () () -> run_metrics)
+      $ topology_term $ scheduler_term $ algo_arg $ nodes_arg $ seed_arg
+      $ rate_arg $ horizon_arg $ cs_arg $ format_arg)
 
 (* --- tree ------------------------------------------------------------------- *)
 
@@ -674,9 +691,99 @@ let fuzz_cmd =
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
-      const (fun () -> run_fuzz)
-      $ topology_term $ seed_arg $ jobs_arg $ iters_arg $ time_arg $ algos_arg
-      $ max_p_arg $ no_faults_arg $ replay_arg $ progress_arg)
+      const (fun () () -> run_fuzz)
+      $ topology_term $ scheduler_term $ seed_arg $ jobs_arg $ iters_arg
+      $ time_arg $ algos_arg $ max_p_arg $ no_faults_arg $ replay_arg
+      $ progress_arg)
+
+(* --- sweep ------------------------------------------------------------------- *)
+
+let run_sweep seed jobs algos loads sizes horizon out_dir =
+  Ocube_par.Pool.set_default_jobs jobs;
+  let parse_all parse name xs =
+    List.fold_left
+      (fun acc x ->
+        match (acc, parse x) with
+        | Error e, _ -> Error e
+        | Ok l, Some v -> Ok (v :: l)
+        | Ok _, None -> Error (Printf.sprintf "unknown %s %S" name x))
+      (Ok []) xs
+    |> Result.map List.rev
+  in
+  let kinds =
+    match algos with
+    | [] -> Ok Exp_sweep.default_kinds
+    | xs ->
+      parse_all
+        (fun s -> Result.to_option (kind_of_string s))
+        "algorithm" xs
+  in
+  let loads =
+    match loads with
+    | [] -> Ok Exp_sweep.all_loads
+    | xs -> parse_all Exp_sweep.load_of_string "load" xs
+  in
+  match (kinds, loads) with
+  | Error msg, _ | _, Error msg ->
+    prerr_endline msg;
+    1
+  | Ok kinds, Ok loads ->
+    let sizes = match sizes with [] -> [ 16; 64 ] | s -> s in
+    let cells = Exp_sweep.grid ~kinds ~loads ~sizes in
+    let results = Exp_sweep.run ~seed ~horizon cells in
+    if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+    List.iter
+      (fun (stem, json) ->
+        write_file (Filename.concat out_dir (stem ^ ".json")) json)
+      results;
+    write_file
+      (Filename.concat out_dir "index.json")
+      (Exp_sweep.index_json results);
+    Printf.printf "sweep: %d cells (%d algos x %d loads x %d sizes) -> %s/\n"
+      (List.length results) (List.length kinds) (List.length loads)
+      (List.length sizes) out_dir;
+    0
+
+let sweep_cmd =
+  let algos_arg =
+    let doc =
+      "Algorithms to sweep (repeatable; default: the six comparison \
+       algorithms)."
+    in
+    Arg.(value & opt_all string [] & info [ "algo" ] ~docv:"ALGO" ~doc)
+  in
+  let loads_arg =
+    let doc =
+      "Load regimes (repeatable): light, moderate, heavy, bursty, zipf. \
+       Default: all five."
+    in
+    Arg.(value & opt_all string [] & info [ "load" ] ~docv:"LOAD" ~doc)
+  in
+  let sizes_arg =
+    let doc =
+      "System sizes (repeatable; powers of two; default: 16 and 64)."
+    in
+    Arg.(value & opt_all int [] & info [ "n"; "nodes" ] ~docv:"N" ~doc)
+  in
+  let horizon_arg =
+    let doc = "Arrival horizon in virtual time units." in
+    Arg.(value & opt float 200.0 & info [ "horizon" ] ~docv:"T" ~doc)
+  in
+  let out_arg =
+    let doc = "Output directory (one JSON per cell plus index.json)." in
+    Arg.(value & opt string "sweep-out" & info [ "o"; "out" ] ~docv:"DIR" ~doc)
+  in
+  let doc =
+    "Heavy-traffic saturation sweep: fan (algorithm x load x size) cells \
+     over the worker pool and emit per-cell JSON with p50/p95/p99 waiting \
+     time, the queueing-vs-transit split, and messages per request. Output \
+     is byte-identical at any --jobs width."
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const (fun () () -> run_sweep)
+      $ topology_term $ scheduler_term $ seed_arg $ jobs_arg $ algos_arg
+      $ loads_arg $ sizes_arg $ horizon_arg $ out_arg)
 
 (* --- lint ------------------------------------------------------------------- *)
 
@@ -732,5 +839,6 @@ let () =
        (Cmd.group ~default info
           [
             experiments_cmd; list_cmd; simulate_cmd; metrics_cmd; tree_cmd;
-            dot_cmd; verify_cmd; walkthrough_cmd; fuzz_cmd; lint_cmd;
+            dot_cmd; verify_cmd; walkthrough_cmd; fuzz_cmd; sweep_cmd;
+            lint_cmd;
           ]))

@@ -27,6 +27,22 @@ let algo_label = function
   | Generic Generic_scheme.Always_transit -> "generic/always-transit"
   | Generic (Generic_scheme.Custom _) -> "generic/custom"
 
+let kind_of_string = function
+  | "opencube" -> Ok (Opencube { census_rounds = 2; fault_tolerance = true })
+  | "opencube-paper" -> Ok (Opencube { census_rounds = 0; fault_tolerance = true })
+  | "opencube-nofault" ->
+    Ok (Opencube { census_rounds = 2; fault_tolerance = false })
+  | "raymond" -> Ok (Raymond Static_tree.Binomial)
+  | "raymond-path" -> Ok (Raymond Static_tree.Path)
+  | "raymond-star" -> Ok (Raymond Static_tree.Star)
+  | "naimi-trehel" -> Ok Naimi_trehel
+  | "central" -> Ok Central
+  | "suzuki-kasami" -> Ok Suzuki_kasami
+  | "ricart-agrawala" -> Ok Ricart_agrawala
+  | "generic-raymond" -> Ok (Generic Generic_scheme.Raymond_rule)
+  | "generic-transit" -> Ok (Generic Generic_scheme.Always_transit)
+  | s -> Error (Printf.sprintf "unknown algorithm %S" s)
+
 let log2i n =
   if n <= 0 || n land (n - 1) <> 0 then invalid_arg "log2i: not a power of two";
   let rec go acc m = if m = 1 then acc else go (acc + 1) (m lsr 1) in

@@ -17,6 +17,12 @@ type algo_kind =
 
 val algo_label : algo_kind -> string
 
+val kind_of_string : string -> (algo_kind, string) result
+(** Parse a CLI algorithm name ([opencube], [opencube-paper],
+    [opencube-nofault], [raymond], [raymond-path], [raymond-star],
+    [naimi-trehel], [central], [suzuki-kasami], [ricart-agrawala],
+    [generic-raymond], [generic-transit]); [Error] carries the message. *)
+
 val make :
   ?seed:int ->
   ?delay:Ocube_net.Network.delay_model ->

@@ -1,0 +1,55 @@
+(** Heavy-traffic saturation sweeps over (algorithm x load x size) cells
+    (ROADMAP item 2).
+
+    Each cell drives one simulation with an open-loop arrival source
+    ({!Ocube_workload.Source}) and reduces its request spans to a JSON
+    document: p50/p95/p99 waiting time, the queueing-vs-transit split,
+    messages per request, and throughput. Cells fan out over
+    {!Ocube_par.Pool}; per-cell seeds derive from the base seed and the
+    grid position, so the emitted JSON is byte-identical at any [--jobs]
+    width. File writing is left to the caller (the [ocmutex sweep]
+    subcommand) — this module only produces strings. *)
+
+type load =
+  | Light  (** aggregate Poisson at ~0.2x capacity *)
+  | Moderate  (** aggregate Poisson at ~0.6x capacity *)
+  | Heavy  (** aggregate Poisson at 1.2x capacity: oversaturated *)
+  | Bursty  (** Markov-modulated Poisson, calm 0.4x / bursts 1.6x *)
+  | Zipf  (** moderate load, Zipf(s=1.2) hotspot node skew *)
+
+val load_to_string : load -> string
+
+val load_of_string : string -> load option
+
+val all_loads : load list
+
+val default_kinds : Exp_common.algo_kind list
+(** The six algorithms of the comparison experiments. *)
+
+type cell = {
+  kind : Exp_common.algo_kind;
+  load : load;
+  n : int;
+}
+
+val grid :
+  kinds:Exp_common.algo_kind list ->
+  loads:load list ->
+  sizes:int list ->
+  cell list
+(** Cartesian product in (kind, load, size) order. Sizes must be powers
+    of two when [kinds] includes open-cube variants. *)
+
+val label : cell -> string
+(** Filesystem-safe cell name, e.g. ["open-cube_heavy_n64"]. *)
+
+val run : ?seed:int -> ?horizon:float -> cell list -> (string * string) list
+(** Run every cell over the default pool and return
+    [(label, json_document)] pairs in grid order. Arrivals stop at
+    [horizon] (default [200.] time units); each run then drains to
+    quiescence, so oversaturated cells measure their full backlog.
+    @raise Failure on a mutual-exclusion violation in any cell. *)
+
+val index_json : (string * string) list -> string
+(** Manifest document listing every cell's file name
+    ([<label>.json]), in sweep order. *)

@@ -289,6 +289,22 @@ let run_arrivals env arrivals =
         (Engine.schedule_at env.engine ~time (fun () -> submit env node)))
     arrivals
 
+(* Open-loop feed: keep exactly one future arrival armed. Pulling the
+   next arrival only when the current one fires bounds the workload's
+   event-queue footprint at one event regardless of stream length, and
+   source times are nondecreasing so [schedule_at] never sees the past. *)
+let run_source env source =
+  let rec arm () =
+    match source () with
+    | None -> ()
+    | Some (time, node) ->
+      ignore
+        (Engine.schedule_at env.engine ~time (fun () ->
+             submit env node;
+             arm ()))
+  in
+  arm ()
+
 let fail_node env node =
   (* The node dies: whatever it was doing evaporates with it. *)
   (match env.obs with

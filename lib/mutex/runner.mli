@@ -85,6 +85,12 @@ val submit : env -> node_id -> unit
 val run_arrivals : env -> Arrivals.t -> unit
 (** Schedule a whole arrival list. *)
 
+val run_source : env -> Ocube_workload.Source.t -> unit
+(** Feed an open-loop source: exactly one future arrival is armed at a
+    time (the next is pulled when the current fires), so arbitrarily long
+    streams cost O(1) queue space. Call before {!run} /
+    {!run_to_quiescence}; the run drains the source to its horizon. *)
+
 val schedule_faults : env -> Faults.t -> unit
 (** Schedule fail-stop events (and recoveries, which call the instance's
     [on_recovered]). *)

@@ -49,28 +49,58 @@ module Make (P : PAYLOAD) = struct
     mutable default_handler : (dst:int -> src:int -> P.t -> unit) option;
     mutable send_hook : (src:int -> dst:int -> P.t -> unit) option;
     categories : (string, int) Hashtbl.t;
+    (* In-flight message arena: the hot delivery path schedules a packed
+       engine event whose payload word indexes these parallel arrays — no
+       per-message closure, no per-message record. Slots recycle through
+       [m_free]; a freed slot retains its last [P.t] until reuse, which
+       bounds retention by the peak in-flight count. *)
+    deliver_cls : Engine.class_id;
+    mutable m_cap : int;
+    mutable m_src : int array;
+    mutable m_dst : int array;
+    mutable m_inc : int array;
+    mutable m_payload : P.t array;
+    mutable m_next : int array;
+    mutable m_free : int;
   }
 
   type timer = Engine.timer_id
 
-  let create ~engine ~rng ?trace ~n ~delay () =
-    if n < 1 then invalid_arg "Network.create: n must be >= 1";
-    validate_model delay;
-    {
-      engine;
-      rng;
-      trace;
-      nodes = Array.init n (fun _ -> { handler = None; failed = false; incarnation = 0 });
-      delay;
-      delta = delay_bound delay;
-      sent = 0;
-      delivered = 0;
-      dropped = 0;
-      drop_handler = None;
-      default_handler = None;
-      send_hook = None;
-      categories = Hashtbl.create 16;
-    }
+  let no_msg = -1
+
+  let grow_msgs t payload =
+    let ncap = if t.m_cap = 0 then 64 else 2 * t.m_cap in
+    let extend arr fill =
+      let narr = Array.make ncap fill in
+      Array.blit arr 0 narr 0 t.m_cap;
+      narr
+    in
+    t.m_src <- extend t.m_src 0;
+    t.m_dst <- extend t.m_dst 0;
+    t.m_inc <- extend t.m_inc 0;
+    (* [payload] — the message being sent — doubles as the fill value, so
+       no dummy [P.t] is ever required of the functor argument. *)
+    t.m_payload <- extend t.m_payload payload;
+    t.m_next <- extend t.m_next no_msg;
+    for s = ncap - 1 downto t.m_cap do
+      t.m_next.(s) <- t.m_free;
+      t.m_free <- s
+    done;
+    t.m_cap <- ncap
+
+  let msg_alloc t ~src ~dst ~inc payload =
+    if t.m_free = no_msg then grow_msgs t payload;
+    let s = t.m_free in
+    t.m_free <- t.m_next.(s);
+    t.m_src.(s) <- src;
+    t.m_dst.(s) <- dst;
+    t.m_inc.(s) <- inc;
+    t.m_payload.(s) <- payload;
+    s
+
+  let msg_free t s =
+    t.m_next.(s) <- t.m_free;
+    t.m_free <- s
 
   let engine t = t.engine
 
@@ -117,8 +147,84 @@ module Make (P : PAYLOAD) = struct
 
   let bump_category t payload =
     let c = P.category payload in
-    let cur = Option.value ~default:0 (Hashtbl.find_opt t.categories c) in
+    let cur = try Hashtbl.find t.categories c with Not_found -> 0 in
     Hashtbl.replace t.categories c (cur + 1)
+
+  (* Fire a packed delivery event: read the message slot into locals,
+     recycle it (nested sends reuse it immediately), then run exactly the
+     drop/deliver logic the old per-message closure captured. *)
+  let deliver t s =
+    let src = t.m_src.(s) in
+    let dst = t.m_dst.(s) in
+    let expected_incarnation = t.m_inc.(s) in
+    let payload = t.m_payload.(s) in
+    msg_free t s;
+    let dst_node = t.nodes.(dst) in
+    if dst_node.failed || dst_node.incarnation <> expected_incarnation then begin
+      t.dropped <- t.dropped + 1;
+      if tracing t then
+        record t ~node:dst ~tag:"drop" (fun () ->
+            Format.asprintf "from %d: %a (node down)" src P.pp payload);
+      match t.drop_handler with
+      | Some h -> h ~dst payload
+      | None -> ()
+    end
+    else begin
+      t.delivered <- t.delivered + 1;
+      if tracing t then
+        record t ~node:dst ~tag:"recv" (fun () ->
+            Format.asprintf "from %d: %a" src P.pp payload);
+      match dst_node.handler with
+      | Some h -> h ~src payload
+      | None -> (
+        match t.default_handler with
+        | Some h -> h ~dst ~src payload
+        | None ->
+          failwith
+            (Printf.sprintf "Network: node %d has no handler installed" dst))
+    end
+
+  let create ~engine ~rng ?trace ~n ~delay () =
+    if n < 1 then invalid_arg "Network.create: n must be >= 1";
+    validate_model delay;
+    (* The delivery class must be registered before [t] exists; the cell
+       ties the knot. No delivery can fire before [create] returns. *)
+    let cell = ref None in
+    let deliver_cls =
+      Engine.register_class engine (fun s _ ->
+          match !cell with
+          | Some f -> f s
+          | None -> assert false)
+    in
+    let t =
+      {
+        engine;
+        rng;
+        trace;
+        nodes =
+          Array.init n (fun _ ->
+              { handler = None; failed = false; incarnation = 0 });
+        delay;
+        delta = delay_bound delay;
+        sent = 0;
+        delivered = 0;
+        dropped = 0;
+        drop_handler = None;
+        default_handler = None;
+        send_hook = None;
+        categories = Hashtbl.create 16;
+        deliver_cls;
+        m_cap = 0;
+        m_src = [||];
+        m_dst = [||];
+        m_inc = [||];
+        m_payload = [||];
+        m_next = [||];
+        m_free = no_msg;
+      }
+    in
+    cell := Some (deliver t);
+    t
 
   let send t ~src ~dst payload =
     check_node t src;
@@ -132,36 +238,10 @@ module Make (P : PAYLOAD) = struct
     if tracing t then
       record t ~node:src ~tag:"send" (fun () ->
           Format.asprintf "-> %d: %a" dst P.pp payload);
-    let dst_node = t.nodes.(dst) in
-    let expected_incarnation = dst_node.incarnation in
+    let inc = t.nodes.(dst).incarnation in
     let delay = sample_delay t in
-    ignore
-      (Engine.schedule t.engine ~delay (fun () ->
-           if dst_node.failed || dst_node.incarnation <> expected_incarnation
-           then begin
-             t.dropped <- t.dropped + 1;
-             if tracing t then
-               record t ~node:dst ~tag:"drop" (fun () ->
-                   Format.asprintf "from %d: %a (node down)" src P.pp payload);
-             match t.drop_handler with
-             | Some h -> h ~dst payload
-             | None -> ()
-           end
-           else begin
-             t.delivered <- t.delivered + 1;
-             if tracing t then
-               record t ~node:dst ~tag:"recv" (fun () ->
-                   Format.asprintf "from %d: %a" src P.pp payload);
-             match dst_node.handler with
-             | Some h -> h ~src payload
-             | None -> (
-               match t.default_handler with
-               | Some h -> h ~dst ~src payload
-               | None ->
-                 failwith
-                   (Printf.sprintf "Network: node %d has no handler installed"
-                      dst))
-           end))
+    let s = msg_alloc t ~src ~dst ~inc payload in
+    ignore (Engine.schedule_packed t.engine ~delay ~cls:t.deliver_cls ~a:s ~b:0)
 
   let set_timer t ~node ~delay f =
     check_node t node;

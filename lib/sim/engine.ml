@@ -1,28 +1,65 @@
+(* Discrete-event engine over packed arena slots.
+
+   Events live in an {!Arena} — parallel flat arrays, no per-event heap
+   record, no captured closure on the packed path — and are ordered by
+   the global [(time, seq)] key. Two interchangeable queue disciplines
+   sit behind the same interface:
+
+   - [Wheel] (default): hashed hierarchical timing wheel, O(1)
+     schedule/fire for the bounded-delay events that dominate
+     simulation, overflow heap for the far future.
+   - [Heap]: the classic binary heap, kept as the determinism oracle.
+
+   Both pull slots from the same arena, so sequence numbers — and hence
+   the fire order — are identical by construction; fuzz-campaign
+   checksums verify the parity end to end.
+
+   Dispatch is class-based: class 0 calls the slot's stored thunk (the
+   general [schedule] path), classes registered with [register_class]
+   receive the slot's two int payload words — the network's hot
+   delivery path schedules those without allocating a closure. *)
+
 type timer_id = int
 
-type event = {
-  time : float;
-  seq : int;
-  id : timer_id;
-  action : unit -> unit;
-}
+type class_id = int
 
-module Event_heap = Heap.Make (struct
-  type t = event
+type sched =
+  | Heap
+  | Wheel
 
-  let compare a b =
-    let c = Float.compare a.time b.time in
-    if c <> 0 then c else Int.compare a.seq b.seq
-end)
+let default_sched = ref Wheel
+
+let set_default_scheduler s = default_sched := s
+
+let default_scheduler () = !default_sched
+
+let sched_to_string = function
+  | Heap -> "heap"
+  | Wheel -> "wheel"
+
+let sched_of_string = function
+  | "heap" -> Some Heap
+  | "wheel" -> Some Wheel
+  | _ -> None
+
+type queue =
+  | Qheap of Arena.Slot_heap.heap
+  | Qwheel of Wheel.t
 
 type hook_id = int
 
 type t = {
-  mutable clock : float;
-  mutable next_seq : int;
-  mutable next_id : int;
-  queue : Event_heap.t;
-  cancelled : (timer_id, unit) Hashtbl.t;
+  (* One-element floatarray, not a mutable float field: stores into a
+     float field of a mixed record box a fresh float every time, and the
+     clock is written on every fired event. *)
+  clock : floatarray;
+  arena : Arena.t;
+  queue : queue;
+  sched : sched;
+  (* Class 0 is the closure class; the array slot for it is never
+     called. Registered handlers receive the event's payload words. *)
+  mutable classes : (int -> int -> unit) array;
+  mutable n_classes : int;
   (* Registration-ordered: observers (metrics, oracles) must fire in a
      deterministic order. The list is tiny (0-2 hooks), so the per-step
      cost is one match on the common empty case. *)
@@ -31,17 +68,46 @@ type t = {
   mutable primary_hook : hook_id option;
 }
 
-let create () =
+let closure_class : class_id = 0
+
+let unreachable_class (_ : int) (_ : int) = ()
+
+let create ?sched ?(tick = 0.25) () =
+  let sched =
+    match sched with
+    | Some s -> s
+    | None -> !default_sched
+  in
+  let arena = Arena.create () in
+  let queue =
+    match sched with
+    | Heap -> Qheap (Arena.Slot_heap.create arena)
+    | Wheel -> Qwheel (Wheel.create ~arena ~tick)
+  in
   {
-    clock = 0.0;
-    next_seq = 0;
-    next_id = 0;
-    queue = Event_heap.create ();
-    cancelled = Hashtbl.create 64;
+    clock = Float.Array.make 1 0.0;
+    arena;
+    queue;
+    sched;
+    classes = Array.make 4 unreachable_class;
+    n_classes = 1;
     hooks = [];
     next_hook = 0;
     primary_hook = None;
   }
+
+let scheduler t = t.sched
+
+let register_class t handler =
+  let id = t.n_classes in
+  if id = Array.length t.classes then begin
+    let n = Array.make (2 * id) unreachable_class in
+    Array.blit t.classes 0 n 0 id;
+    t.classes <- n
+  end;
+  t.classes.(id) <- handler;
+  t.n_classes <- id + 1;
+  id
 
 let add_step_hook t hook =
   let id = t.next_hook in
@@ -70,78 +136,101 @@ let run_hook t =
   | [] -> ()
   | hooks -> List.iter (fun (_, hook) -> hook ()) hooks
 
-let now t = t.clock
+let now t = Float.Array.get t.clock 0
+
+let enqueue t s =
+  match t.queue with
+  | Qheap h -> Arena.Slot_heap.push h s
+  | Qwheel w -> Wheel.insert w s
 
 let schedule_at t ~time action =
-  if not (Float.is_finite time) then invalid_arg "Engine.schedule_at: non-finite time";
-  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
-  let id = t.next_id in
-  t.next_id <- id + 1;
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
-  Event_heap.push t.queue { time; seq; id; action };
-  id
+  if not (Float.is_finite time) then
+    invalid_arg "Engine.schedule_at: non-finite time";
+  if time < now t then invalid_arg "Engine.schedule_at: time in the past";
+  let s = Arena.alloc t.arena ~kind:closure_class ~a:0 ~b:0 action in
+  Arena.set_time t.arena s time;
+  enqueue t s;
+  Arena.id_of t.arena s
 
 let schedule t ~delay action =
   if not (Float.is_finite delay) || delay < 0.0 then
     invalid_arg "Engine.schedule: negative or non-finite delay";
-  schedule_at t ~time:(t.clock +. delay) action
+  schedule_at t ~time:(now t +. delay) action
 
-let cancel t id = Hashtbl.replace t.cancelled id ()
+let schedule_packed t ~delay ~cls ~a ~b =
+  if not (Float.is_finite delay) || delay < 0.0 then
+    invalid_arg "Engine.schedule: negative or non-finite delay";
+  if cls <= 0 || cls >= t.n_classes then
+    invalid_arg "Engine.schedule_packed: unregistered class";
+  let s = Arena.alloc t.arena ~kind:cls ~a ~b Arena.dummy_thunk in
+  (* Store through the backing array: the sum stays in a register and
+     the packed path allocates nothing (see {!Arena.times}). *)
+  Float.Array.set (Arena.times t.arena) s (Float.Array.get t.clock 0 +. delay);
+  enqueue t s;
+  Arena.id_of t.arena s
 
-let pending t = Event_heap.length t.queue
+let cancel t id = ignore (Arena.cancel t.arena id)
 
-(* Pop events, skipping cancelled ones. *)
-let rec next_live t =
-  match Event_heap.pop t.queue with
-  | None -> None
-  | Some ev ->
-    if Hashtbl.mem t.cancelled ev.id then begin
-      Hashtbl.remove t.cancelled ev.id;
-      next_live t
-    end
-    else Some ev
+let pending t = Arena.live t.arena
+
+let quiescent t = Arena.live t.arena = 0
+
+(* Pop the next live slot, reclaiming tombstones as they surface. The
+   wheel does its own tombstone filtering internally. *)
+let next_live t =
+  match t.queue with
+  | Qwheel w -> Wheel.pop w
+  | Qheap h ->
+    let rec go () =
+      let s = Arena.Slot_heap.pop h in
+      if s <> Arena.no_slot && Arena.is_tombstone t.arena s then begin
+        Arena.release t.arena s;
+        go ()
+      end
+      else s
+    in
+    go ()
+
+(* Advance the clock and dispatch a popped slot. The slot is released
+   before the handler runs: the handler may schedule new events (which
+   recycle it immediately — the arena stays as small as the peak live
+   count) and a [cancel] of the fired id inside the handler is a
+   harmless stale-id no-op. *)
+let fire t s =
+  Float.Array.set t.clock 0 (Float.Array.get (Arena.times t.arena) s);
+  let kind = Arena.kind t.arena s in
+  let a = Arena.payload_a t.arena s in
+  let b = Arena.payload_b t.arena s in
+  let f = Arena.thunk t.arena s in
+  Arena.release t.arena s;
+  if Int.equal kind closure_class then f () else t.classes.(kind) a b
 
 let step t =
-  match next_live t with
-  | None -> false
-  | Some ev ->
-    t.clock <- ev.time;
-    ev.action ();
+  let s = next_live t in
+  if s = Arena.no_slot then false
+  else begin
+    fire t s;
     run_hook t;
     true
+  end
 
 let run ?(until = infinity) ?(max_steps = max_int) t =
   let steps = ref 0 in
   let continue = ref true in
   while !continue && !steps < max_steps do
-    match next_live t with
-    | None -> continue := false
-    | Some ev ->
-      if ev.time > until then begin
-        (* Put it back: the horizon was reached. *)
-        Event_heap.push t.queue ev;
-        t.clock <- until;
-        continue := false
-      end
-      else begin
-        t.clock <- ev.time;
-        ev.action ();
-        run_hook t;
-        incr steps
-      end
+    let s = next_live t in
+    if s = Arena.no_slot then continue := false
+    else if Float.Array.get (Arena.times t.arena) s > until then begin
+      (* Put it back: the horizon was reached. [Wheel.insert] re-buckets
+         by the event's time, so a far-future event does not pollute the
+         wheel's current tick. *)
+      enqueue t s;
+      Float.Array.set t.clock 0 until;
+      continue := false
+    end
+    else begin
+      fire t s;
+      run_hook t;
+      incr steps
+    end
   done
-
-let quiescent t =
-  let rec check () =
-    match Event_heap.peek t.queue with
-    | None -> true
-    | Some ev ->
-      if Hashtbl.mem t.cancelled ev.id then begin
-        ignore (Event_heap.pop t.queue);
-        Hashtbl.remove t.cancelled ev.id;
-        check ()
-      end
-      else false
-  in
-  check ()

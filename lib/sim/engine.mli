@@ -1,20 +1,52 @@
 (** Discrete-event simulation engine.
 
-    Maintains a virtual clock and a priority queue of pending events. Events
+    Maintains a virtual clock and a queue of pending events. Events
     scheduled for the same instant fire in scheduling order (a strictly
     increasing sequence number breaks ties), which makes whole-system runs
     deterministic for a given seed.
 
+    Two queue disciplines implement that contract ({!sched}): a hashed
+    hierarchical timing wheel (the default — O(1) schedule/fire for the
+    bounded-delay events that dominate simulation, an overflow heap for
+    the far future) and a binary heap kept as the determinism oracle.
+    Both store events as packed records in a freelist arena and fire in
+    the identical global [(time, seq)] order, so a seed reproduces the
+    same run under either scheduler.
+
     The engine knows nothing about networks or protocols; higher layers
     ({!Ocube_net.Network}, the mutual-exclusion runner) build on [schedule]
-    and [cancel]. *)
+    and [cancel]. The hot paths can avoid closures entirely: register a
+    dispatch class once and schedule packed events carrying two int
+    payload words ({!register_class}, {!schedule_packed}). *)
 
 type t
 
 type timer_id
 (** Handle for a scheduled event, used to cancel it. *)
 
-val create : unit -> t
+(** {1 Scheduler selection} *)
+
+type sched =
+  | Heap  (** Binary heap over the arena: the determinism oracle. *)
+  | Wheel  (** Hierarchical timing wheel: the fast default. *)
+
+val set_default_scheduler : sched -> unit
+(** Set the discipline used by subsequent {!create} calls that don't pass
+    [?sched] explicitly — how the [--scheduler] CLI flag takes effect. *)
+
+val default_scheduler : unit -> sched
+
+val sched_of_string : string -> sched option
+(** ["heap"] / ["wheel"]. *)
+
+val sched_to_string : sched -> string
+
+val create : ?sched:sched -> ?tick:float -> unit -> t
+(** [sched] defaults to {!default_scheduler}. [tick] (default [0.25]) is
+    the wheel's bucket granularity in virtual-time units; it affects
+    performance only, never event order. *)
+
+val scheduler : t -> sched
 
 val now : t -> float
 (** Current virtual time. Starts at [0.]. *)
@@ -26,13 +58,35 @@ val schedule : t -> delay:float -> (unit -> unit) -> timer_id
 val schedule_at : t -> time:float -> (unit -> unit) -> timer_id
 (** Absolute-time variant. [time] must be [>= now t]. *)
 
+(** {1 Closure-free scheduling}
+
+    The dominant event populations (message deliveries, protocol timers)
+    are homogeneous: same handler, different small arguments. Registering
+    the handler once and scheduling [(class, a, b)] triples keeps the hot
+    path allocation-free — no thunk, no captured environment. *)
+
+type class_id
+
+val register_class : t -> (int -> int -> unit) -> class_id
+(** Register a packed-event handler; it receives the two payload words of
+    each fired event of this class. Registration order is part of the
+    deterministic setup, so register classes at construction time. *)
+
+val schedule_packed :
+  t -> delay:float -> cls:class_id -> a:int -> b:int -> timer_id
+(** Like {!schedule}, but fires [handler a b] for the registered class
+    instead of a closure. Same validation and ordering as {!schedule}. *)
+
+(** {1 Running} *)
+
 val cancel : t -> timer_id -> unit
-(** Cancel a pending event. Cancelling an already-fired or already-cancelled
-    event is a no-op. *)
+(** Cancel a pending event in O(1). Cancelling an already-fired or
+    already-cancelled event is a no-op (generation-stamped ids make stale
+    handles harmless). *)
 
 val pending : t -> int
-(** Number of events still queued (cancelled events may be counted until
-    they are swept). *)
+(** Exact number of live pending events: scheduled, not yet fired, not
+    cancelled. Cancelled events leave the count immediately. *)
 
 val step : t -> bool
 (** Execute the earliest pending event. Returns [false] when the queue is

@@ -1,0 +1,222 @@
+(* Hashed hierarchical timing wheel over arena slots.
+
+   Three levels of 256 buckets hash an event's absolute tick index
+   [ab = floor(time / tick)] by its distance [d = ab - cur] from the
+   wheel's current tick:
+
+     d = 0                the near-heap (the tick being drained)
+     d in [1, 2^8)        level 0, bucket [ab land 255]
+     d in [2^8, 2^16)     level 1, bucket [(ab lsr 8) land 255]
+     d in [2^16, 2^24)    level 2, bucket [(ab lsr 16) land 255]
+     d >= 2^24            the far-future overflow heap
+
+   Buckets are intrusive singly-linked lists through the arena's [next]
+   words, so schedule and fire are O(1) and allocation-free. Every event
+   in a level-0 bucket shares one tick index; when [cur] reaches it the
+   whole bucket moves into the near-heap, a tiny binary heap ordered by
+   the arena's exact [(time, seq)] key. Firing therefore follows the
+   global [(time, seq)] order bit-for-bit — the wheel is order-identical
+   to the binary-heap scheduler, which stays available as the
+   determinism oracle.
+
+   Higher-level buckets cascade exactly as in the classic kernel timer
+   wheel: when [cur] crosses a multiple of 2^8 the matching level-1
+   bucket is redistributed (its events now have d < 2^8), multiples of
+   2^16 redistribute level 2, and multiples of 2^24 pull the overflow
+   heap up to the next 2^24-tick horizon. Advancing skips empty regions
+   without scanning: if a level is empty the cursor jumps straight to
+   the next cascade boundary of the level above, and if all wheels are
+   empty it jumps to the overflow head's tick.
+
+   Two safety valves keep the structure correct at the float fringes:
+   an event whose tick index would not fit sane int arithmetic parks the
+   wheel in degenerate heap mode ([cur = max_cur], everything lands in
+   the near-heap), and an event scheduled into an already-passed tick
+   (possible only after a horizon push-back) clamps to the current tick,
+   where the near-heap's exact key keeps it correctly ordered. *)
+
+let w_bits = 8
+
+let w = 1 lsl w_bits
+
+let w_mask = w - 1
+
+let levels = 3
+
+let span0 = w
+
+let span1 = w * w
+
+let span2 = w * w * w
+
+(* Ticks beyond this park the wheel in degenerate heap mode; boundary
+   arithmetic stays far from int overflow. *)
+let max_cur = 1 lsl 60
+
+type t = {
+  arena : Arena.t;
+  tick_inv : float;
+  near : Arena.Slot_heap.heap;
+  overflow : Arena.Slot_heap.heap;
+  buckets : int array;  (* levels * w heads; Arena.no_slot = empty *)
+  level_live : int array;
+  mutable cur : int;  (* absolute index of the tick being drained *)
+  mutable horizon : int;  (* overflow pulled up to this tick *)
+}
+
+let create ~arena ~tick =
+  if not (Float.is_finite tick) || tick <= 0.0 then
+    invalid_arg "Wheel.create: tick must be positive and finite";
+  {
+    arena;
+    tick_inv = 1.0 /. tick;
+    near = Arena.Slot_heap.create arena;
+    overflow = Arena.Slot_heap.create arena;
+    buckets = Array.make (levels * w) Arena.no_slot;
+    level_live = Array.make levels 0;
+    cur = 0;
+    horizon = span2;
+  }
+
+let abucket t time =
+  let f = time *. t.tick_inv in
+  if f >= float_of_int max_cur then max_int else int_of_float f
+
+let link t lvl idx s =
+  let i = (lvl lsl w_bits) lor idx in
+  Arena.set_next t.arena s t.buckets.(i);
+  t.buckets.(i) <- s;
+  t.level_live.(lvl) <- t.level_live.(lvl) + 1
+
+let insert t s =
+  (* Read through the backing array ({!Arena.times}): no float is boxed
+     here even with cross-module inlining off. *)
+  let f = Float.Array.get (Arena.times t.arena) s *. t.tick_inv in
+  let ab = if f >= float_of_int max_cur then max_int else int_of_float f in
+  let ab = if ab < t.cur then t.cur else ab in
+  let d = ab - t.cur in
+  if d = 0 then Arena.Slot_heap.push t.near s
+  else if d < span0 then link t 0 (ab land w_mask) s
+  else if d < span1 then link t 1 ((ab lsr w_bits) land w_mask) s
+  else if d < span2 then link t 2 ((ab lsr (2 * w_bits)) land w_mask) s
+  else Arena.Slot_heap.push t.overflow s
+
+(* Drop cancelled events from the overflow top; peek the live head. *)
+let rec overflow_head t =
+  let s = Arena.Slot_heap.peek t.overflow in
+  if s <> Arena.no_slot && Arena.is_tombstone t.arena s then begin
+    ignore (Arena.Slot_heap.pop t.overflow);
+    Arena.release t.arena s;
+    overflow_head t
+  end
+  else s
+
+(* Pull overflow events whose tick is now within the wheel horizon. *)
+let rec pull t =
+  let s = overflow_head t in
+  if
+    s <> Arena.no_slot
+    && abucket t (Float.Array.get (Arena.times t.arena) s) < t.horizon
+  then begin
+    ignore (Arena.Slot_heap.pop t.overflow);
+    insert t s;
+    pull t
+  end
+
+(* Redistribute one higher-level bucket: its events now sit less than a
+   level-span away from [cur] and fall through to lower levels (or the
+   near-heap). Cancelled events are reclaimed instead of reinserted. *)
+let cascade t lvl idx =
+  let i = (lvl lsl w_bits) lor idx in
+  let s = ref t.buckets.(i) in
+  t.buckets.(i) <- Arena.no_slot;
+  while !s <> Arena.no_slot do
+    let cur = !s in
+    s := Arena.next t.arena cur;
+    t.level_live.(lvl) <- t.level_live.(lvl) - 1;
+    if Arena.is_tombstone t.arena cur then Arena.release t.arena cur
+    else insert t cur
+  done
+
+(* The level-0 bucket at [cur] holds exactly the events of tick [cur]:
+   move them into the near-heap, which orders them by (time, seq). *)
+let move_current t =
+  let i = t.cur land w_mask in
+  let s = ref t.buckets.(i) in
+  t.buckets.(i) <- Arena.no_slot;
+  while !s <> Arena.no_slot do
+    let cur = !s in
+    s := Arena.next t.arena cur;
+    t.level_live.(0) <- t.level_live.(0) - 1;
+    if Arena.is_tombstone t.arena cur then Arena.release t.arena cur
+    else Arena.Slot_heap.push t.near cur
+  done
+
+(* All wheels empty: jump to the overflow head's tick. Ticks beyond
+   [max_cur] conflate in [abucket]; parking [cur] at [max_cur] routes
+   every subsequent insert into the near-heap, whose exact (time, seq)
+   key keeps the order right — the wheel degenerates into a plain heap
+   instead of mis-bucketing astronomical times. *)
+let jump t =
+  let h = overflow_head t in
+  if h <> Arena.no_slot then begin
+    let ab0 = abucket t (Float.Array.get (Arena.times t.arena) h) in
+    if ab0 >= max_cur then begin
+      t.cur <- max_cur;
+      let rec drain () =
+        let s = overflow_head t in
+        if s <> Arena.no_slot then begin
+          ignore (Arena.Slot_heap.pop t.overflow);
+          Arena.Slot_heap.push t.near s;
+          drain ()
+        end
+      in
+      drain ()
+    end
+    else begin
+      if ab0 > t.cur then t.cur <- ab0;
+      t.horizon <- ((t.cur lsr (3 * w_bits)) + 1) lsl (3 * w_bits);
+      pull t
+    end
+  end
+
+(* Advance the cursor one step towards the next event; [false] when the
+   whole wheel is empty. Empty levels are skipped by jumping straight to
+   the next cascade boundary of the level above — every such jump still
+   lands exactly on all intermediate cascade boundaries, so no
+   redistribution is missed. *)
+let advance t =
+  if t.level_live.(0) + t.level_live.(1) + t.level_live.(2) > 0 then begin
+    let next =
+      if t.level_live.(0) > 0 then t.cur + 1
+      else if t.level_live.(1) > 0 then ((t.cur lsr w_bits) + 1) lsl w_bits
+      else ((t.cur lsr (2 * w_bits)) + 1) lsl (2 * w_bits)
+    in
+    t.cur <- next;
+    if next land (span2 - 1) = 0 then begin
+      t.horizon <- next + span2;
+      pull t
+    end;
+    if next land (span1 - 1) = 0 && t.level_live.(2) > 0 then
+      cascade t 2 ((next lsr (2 * w_bits)) land w_mask);
+    if next land (span0 - 1) = 0 && t.level_live.(1) > 0 then
+      cascade t 1 ((next lsr w_bits) land w_mask);
+    move_current t;
+    true
+  end
+  else if overflow_head t <> Arena.no_slot then begin
+    jump t;
+    true
+  end
+  else false
+
+let rec pop t =
+  let s = Arena.Slot_heap.pop t.near in
+  if s <> Arena.no_slot then
+    if Arena.is_tombstone t.arena s then begin
+      Arena.release t.arena s;
+      pop t
+    end
+    else s
+  else if advance t then pop t
+  else Arena.no_slot

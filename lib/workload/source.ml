@@ -1,0 +1,122 @@
+(* Open-loop arrival sources.
+
+   A source is a pull-based generator of time-ordered [(time, node)]
+   arrivals: the runner arms exactly one future arrival at a time
+   ({!Ocube_mutex.Runner.run_source}), so a heavy-traffic sweep over a
+   million-request schedule never materialises a list. Each generator is
+   deterministic in its {!Ocube_sim.Rng.t} and emits strictly
+   nondecreasing times below its horizon. *)
+
+module Rng = Ocube_sim.Rng
+
+type t = unit -> (float * int) option
+
+let check_common ~n ~rate ~horizon name =
+  if n < 1 then invalid_arg (name ^ ": n must be >= 1");
+  if rate <= 0.0 || not (Float.is_finite rate) then
+    invalid_arg (name ^ ": rate must be positive and finite");
+  if horizon <= 0.0 then invalid_arg (name ^ ": horizon must be positive")
+
+(* Aggregate Poisson: system-wide exponential gaps at [rate], each
+   arrival assigned to a uniform node. Equivalent in law to [n]
+   independent per-node processes of rate [rate /. n] (superposition),
+   but sampled in arrival order with O(1) state. *)
+let poisson ~rng ~n ~rate ~horizon =
+  check_common ~n ~rate ~horizon "Source.poisson";
+  let mean = 1.0 /. rate in
+  let now = ref 0.0 in
+  fun () ->
+    let t = !now +. Rng.exponential rng ~mean in
+    if t >= horizon then None
+    else begin
+      now := t;
+      Some (t, Rng.int rng n)
+    end
+
+(* Two-phase Markov-modulated Poisson process: the arrival rate
+   alternates between [rate] (calm) and [rate *. burst] (bursty), with
+   exponential phase durations. Sampling exploits memorylessness: draw a
+   gap at the current phase's rate; if it crosses the phase boundary,
+   move to the boundary, flip phases and redraw — the overshoot carries
+   no information, so restarting the clock at the boundary is exact. *)
+let bursty ~rng ~n ~rate ~burst ~on_mean ~off_mean ~horizon =
+  check_common ~n ~rate ~horizon "Source.bursty";
+  if burst < 1.0 || not (Float.is_finite burst) then
+    invalid_arg "Source.bursty: burst factor must be >= 1";
+  if on_mean <= 0.0 || off_mean <= 0.0 then
+    invalid_arg "Source.bursty: phase means must be positive";
+  let now = ref 0.0 in
+  let in_burst = ref false in
+  let phase_end = ref (Rng.exponential rng ~mean:off_mean) in
+  let rec next () =
+    let r = if !in_burst then rate *. burst else rate in
+    let t = !now +. Rng.exponential rng ~mean:(1.0 /. r) in
+    if t < !phase_end then
+      if t >= horizon then None
+      else begin
+        now := t;
+        Some (t, Rng.int rng n)
+      end
+    else begin
+      now := !phase_end;
+      in_burst := not !in_burst;
+      let mean = if !in_burst then on_mean else off_mean in
+      phase_end := !now +. Rng.exponential rng ~mean;
+      if !now >= horizon then None else next ()
+    end
+  in
+  next
+
+(* Zipf-skewed hotspot: aggregate Poisson arrival times, node picked
+   with probability proportional to [1 /. (i + 1) ** s] by inverse-CDF
+   binary search over the cumulative weights. [s = 0.] degenerates to
+   uniform; larger [s] concentrates the load on low-numbered nodes. *)
+let zipf ~rng ~n ~rate ~s ~horizon =
+  check_common ~n ~rate ~horizon "Source.zipf";
+  if s < 0.0 || not (Float.is_finite s) then
+    invalid_arg "Source.zipf: exponent must be >= 0";
+  let cum = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) s);
+    cum.(i) <- !acc
+  done;
+  let total = !acc in
+  let pick u =
+    (* Smallest index with [cum.(i) > u]. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cum.(mid) > u then hi := mid else lo := mid + 1
+    done;
+    !lo
+  in
+  let mean = 1.0 /. rate in
+  let now = ref 0.0 in
+  fun () ->
+    let t = !now +. Rng.exponential rng ~mean in
+    if t >= horizon then None
+    else begin
+      now := t;
+      Some (t, pick (Rng.float rng total))
+    end
+
+let of_list arrivals =
+  let rest = ref arrivals in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | a :: tl ->
+      rest := tl;
+      Some a
+
+let to_list src =
+  let acc = ref [] in
+  let rec go () =
+    match src () with
+    | None -> List.rev !acc
+    | Some a ->
+      acc := a :: !acc;
+      go ()
+  in
+  go ()

@@ -1,0 +1,46 @@
+(** Open-loop arrival sources: pull-based traffic generators.
+
+    Where {!Arrivals} materialises a whole [(time, node)] schedule as a
+    list, a source yields one arrival per pull — the runner keeps exactly
+    one future arrival armed in the event queue
+    ({!Ocube_mutex.Runner.run_source}), so heavy-traffic sweeps scale to
+    millions of requests in O(1) workload memory. All generators are
+    deterministic in the supplied {!Ocube_sim.Rng.t} and produce strictly
+    nondecreasing times in [0, horizon). *)
+
+type t = unit -> (float * int) option
+(** Pull the next arrival; [None] once the horizon is reached. Times are
+    nondecreasing across pulls. *)
+
+val poisson : rng:Ocube_sim.Rng.t -> n:int -> rate:float -> horizon:float -> t
+(** Aggregate Poisson arrivals at system-wide [rate] (arrivals per
+    time-unit), each assigned to a uniformly random node — the
+    superposition of [n] per-node processes of rate [rate /. n]. *)
+
+val bursty :
+  rng:Ocube_sim.Rng.t ->
+  n:int ->
+  rate:float ->
+  burst:float ->
+  on_mean:float ->
+  off_mean:float ->
+  horizon:float ->
+  t
+(** Two-phase Markov-modulated Poisson process: calm phases at [rate]
+    (mean duration [off_mean]) alternate with bursts at [rate *. burst]
+    (mean duration [on_mean]); nodes uniform. [burst] must be [>= 1]. *)
+
+val zipf :
+  rng:Ocube_sim.Rng.t -> n:int -> rate:float -> s:float -> horizon:float -> t
+(** Zipf-skewed hotspot: aggregate Poisson times at [rate]; arrival [i]
+    lands on node [k] with probability proportional to
+    [1 / (k + 1) ** s]. [s = 0.] is uniform; [s ~ 1] concentrates most of
+    the load on a few low-numbered nodes (the adaptivity regime of the
+    paper's introduction). *)
+
+val of_list : Arrivals.t -> t
+(** Replay a materialised schedule (must be time-sorted). *)
+
+val to_list : t -> Arrivals.t
+(** Drain a source into a schedule — test/debug helper; forces the whole
+    stream into memory. *)

@@ -119,6 +119,57 @@ let test_algo_label_unique () =
   checki "labels distinct" (List.length labels)
     (List.length (List.sort_uniq compare labels))
 
+(* --- sweep ----------------------------------------------------------------- *)
+
+let small_sweep_cells =
+  Exp_sweep.grid
+    ~kinds:
+      Exp_common.
+        [ Opencube { census_rounds = 0; fault_tolerance = false }; Central ]
+    ~loads:[ Exp_sweep.Heavy; Exp_sweep.Zipf ]
+    ~sizes:[ 8 ]
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else String.equal (String.sub haystack i nn) needle || go (i + 1)
+  in
+  go 0
+
+let test_sweep_runs_and_reports () =
+  let results = Exp_sweep.run ~seed:5 ~horizon:40.0 small_sweep_cells in
+  checki "one result per cell" (List.length small_sweep_cells)
+    (List.length results);
+  List.iter
+    (fun (label, json) ->
+      checkb (label ^ " has percentiles") true (contains json "\"wait_p99\"");
+      checkb (label ^ " is violation-free") true
+        (contains json "\"violations\": 0"))
+    results
+
+(* The sweep's --jobs contract: byte-identical JSON at any pool width. *)
+let test_sweep_jobs_parity () =
+  let saved = Ocube_par.Pool.default_jobs () in
+  let run jobs =
+    Ocube_par.Pool.set_default_jobs jobs;
+    Exp_sweep.run ~seed:11 ~horizon:30.0 small_sweep_cells
+  in
+  Fun.protect
+    ~finally:(fun () -> Ocube_par.Pool.set_default_jobs saved)
+    (fun () ->
+      let serial = run 1 and parallel = run 4 in
+      List.iter2
+        (fun (l1, j1) (l2, j2) ->
+          Alcotest.(check string) "label" l1 l2;
+          Alcotest.(check string) ("cell " ^ l1) j1 j2)
+        serial parallel)
+
+let test_sweep_index_json () =
+  let idx = Exp_sweep.index_json [ ("a", "{}"); ("b", "{}") ] in
+  checkb "lists both cells" true
+    (contains idx "\"a.json\"" && contains idx "\"b.json\"")
+
 let suite =
   [
     Alcotest.test_case "alpha recurrence" `Quick test_alpha_recurrence;
@@ -137,4 +188,9 @@ let suite =
       test_cheap_experiments_run;
     Alcotest.test_case "algorithm labels are distinct" `Quick
       test_algo_label_unique;
+    Alcotest.test_case "sweep cells run and report" `Quick
+      test_sweep_runs_and_reports;
+    Alcotest.test_case "sweep JSON identical at any --jobs" `Quick
+      test_sweep_jobs_parity;
+    Alcotest.test_case "sweep index manifest" `Quick test_sweep_index_json;
   ]

@@ -246,6 +246,68 @@ let test_runner_attach_twice_rejected () =
           invariant_check = (fun () -> Ok ());
         })
 
+(* --- open-loop sources ----------------------------------------------------- *)
+
+module Source = Ocube_workload.Source
+
+let drain src =
+  let rec go acc =
+    match src () with
+    | Some a -> go (a :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let check_source name mk =
+  (* same seed, same stream *)
+  let a = drain (mk (Rng.create 77)) in
+  let b = drain (mk (Rng.create 77)) in
+  checkb (name ^ " deterministic") true (a = b);
+  checkb (name ^ " nonempty") true (a <> []);
+  checkb (name ^ " monotone") true (is_sorted a);
+  List.iter
+    (fun (t, node) ->
+      checkb (name ^ " time in horizon") true (t >= 0.0 && t < 300.0);
+      checkb (name ^ " node in range") true (node >= 0 && node < 16))
+    a;
+  (* a drained source stays drained *)
+  let s = mk (Rng.create 3) in
+  ignore (drain s);
+  checkb (name ^ " stays exhausted") true (s () = None)
+
+let test_source_contracts () =
+  check_source "poisson" (fun rng ->
+      Source.poisson ~rng ~n:16 ~rate:0.5 ~horizon:300.0);
+  check_source "bursty" (fun rng ->
+      Source.bursty ~rng ~n:16 ~rate:0.3 ~burst:4.0 ~on_mean:10.0
+        ~off_mean:30.0 ~horizon:300.0);
+  check_source "zipf" (fun rng ->
+      Source.zipf ~rng ~n:16 ~rate:0.5 ~s:1.2 ~horizon:300.0)
+
+let test_source_poisson_rate () =
+  let rng = Rng.create 12 in
+  let arrivals =
+    drain (Source.poisson ~rng ~n:8 ~rate:2.0 ~horizon:1000.0)
+  in
+  let count = float_of_int (List.length arrivals) in
+  (* aggregate rate 2.0 over 1000 time units: ~2000 arrivals *)
+  checkb "rate roughly right" true (count > 1600.0 && count < 2400.0)
+
+let test_source_zipf_skew () =
+  let rng = Rng.create 4 in
+  let arrivals =
+    drain (Source.zipf ~rng ~n:16 ~rate:2.0 ~s:1.4 ~horizon:500.0)
+  in
+  let hits = Array.make 16 0 in
+  List.iter (fun (_, node) -> hits.(node) <- hits.(node) + 1) arrivals;
+  checkb "node 0 is the hotspot" true
+    (Array.for_all (fun c -> c <= hits.(0)) hits);
+  checkb "tail nodes still get traffic" true (hits.(15) > 0)
+
+let test_source_of_list_roundtrip () =
+  let l = [ (0.5, 1); (0.5, 2); (3.25, 0) ] in
+  checkb "roundtrip" true (Source.to_list (Source.of_list l) = l)
+
 let suite =
   [
     Alcotest.test_case "poisson sorted and bounded" `Quick
@@ -275,4 +337,10 @@ let suite =
       test_runner_attach_twice_rejected;
     Alcotest.test_case "whole-system determinism" `Quick
       test_full_run_determinism;
+    Alcotest.test_case "open-loop source contracts" `Quick
+      test_source_contracts;
+    Alcotest.test_case "open-loop poisson rate" `Quick test_source_poisson_rate;
+    Alcotest.test_case "zipf hotspot skew" `Quick test_source_zipf_skew;
+    Alcotest.test_case "source of_list roundtrip" `Quick
+      test_source_of_list_roundtrip;
   ]
