@@ -1,14 +1,18 @@
 (* ocube-lint driver: walks the .cmt typed ASTs dune produced under the
    given root and reports [file:line rule-id message] diagnostics.
 
-   Exit codes: 0 clean, 1 findings, 2 environment/usage error. *)
+   Exit codes: 0 clean, 1 findings (or stale/unjustified allowlist
+   entries under --check-allowlist), 2 environment/usage error. *)
 
-let usage = "oclint [--root DIR] [--allowlist FILE] [--fixture] [DIR ...]"
+let usage =
+  "oclint [--root DIR] [--allowlist FILE] [--check-allowlist] [--fixture] \
+   [DIR ...]"
 
 let () =
   let root = ref "." in
   let allowlist_file = ref None in
   let fixture = ref false in
+  let check_allowlist = ref false in
   let dirs = ref [] in
   let spec =
     [
@@ -18,16 +22,22 @@ let () =
       ( "--allowlist",
         Arg.String (fun f -> allowlist_file := Some f),
         "FILE checked-in file-granular exemptions" );
+      ( "--check-allowlist",
+        Arg.Set check_allowlist,
+        " flag allowlist entries that suppress nothing or lack a \
+         justification" );
       ( "--fixture",
         Arg.Set fixture,
         " lift repo path scoping (fixture corpora: every rule applies)" );
     ]
   in
   Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
-  let dirs = match List.rev !dirs with [] -> [ "lib"; "bin" ] | ds -> ds in
+  let dirs =
+    match List.rev !dirs with [] -> [ "lib"; "bin"; "test" ] | ds -> ds
+  in
   let text, code =
     Ocube_lint.Driver.main ~root:!root ?allowlist_file:!allowlist_file
-      ~fixture:!fixture ~dirs ()
+      ~fixture:!fixture ~check_allowlist:!check_allowlist ~dirs ()
   in
   print_string text;
   exit code

@@ -787,13 +787,15 @@ let sweep_cmd =
 
 (* --- lint ------------------------------------------------------------------- *)
 
-let run_lint root allowlist no_allowlist dirs =
+let run_lint root allowlist no_allowlist check_allowlist dirs =
   let allowlist_file =
     if no_allowlist || not (Sys.file_exists allowlist) then None
     else Some allowlist
   in
-  let dirs = match dirs with [] -> [ "lib"; "bin" ] | ds -> ds in
-  let text, code = Ocube_lint.Driver.main ~root ?allowlist_file ~dirs () in
+  let dirs = match dirs with [] -> [ "lib"; "bin"; "test" ] | ds -> ds in
+  let text, code =
+    Ocube_lint.Driver.main ~root ?allowlist_file ~check_allowlist ~dirs ()
+  in
   print_string text;
   code
 
@@ -813,17 +815,26 @@ let lint_cmd =
     let doc = "Ignore the allowlist and report every finding." in
     Arg.(value & flag & info [ "no-allowlist" ] ~doc)
   in
+  let check_allowlist_arg =
+    let doc =
+      "Also flag allowlist entries that suppress nothing or lack a \
+       justification."
+    in
+    Arg.(value & flag & info [ "check-allowlist" ] ~doc)
+  in
   let dirs_arg =
-    let doc = "Subtrees to scan (default: lib bin)." in
+    let doc = "Subtrees to scan (default: lib bin test)." in
     Arg.(value & pos_all string [] & info [] ~docv:"DIR" ~doc)
   in
   let doc =
-    "Run the ocube-lint typed-AST checks (determinism, handler totality, \
-     abstraction hygiene) over the compiled tree."
+    "Run the ocube-lint typed-AST checks (intraprocedural rules plus the \
+     call-graph passes: determinism taint, domain races, zero-alloc \
+     proofs) over the compiled tree."
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
-      const run_lint $ root_arg $ allowlist_arg $ no_allowlist_arg $ dirs_arg)
+      const run_lint $ root_arg $ allowlist_arg $ no_allowlist_arg
+      $ check_allowlist_arg $ dirs_arg)
 
 (* --- main ------------------------------------------------------------------- *)
 

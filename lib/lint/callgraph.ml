@@ -1,0 +1,670 @@
+(* Cross-module call-graph extraction from typed ASTs.
+
+   One [extract] per compiled module: every top-level value binding
+   (including bindings nested in sub-modules and functor bodies) becomes
+   a [def] carrying the facts the interprocedural rules need — outgoing
+   calls, ambient time/randomness seeds, allocating constructs, writes
+   to module-global mutable state, and [Pool.*] fan-out sites with their
+   closure capture analysis. Name resolution (aliases, scope chains) is
+   performed later by {!Interproc} over the whole program.
+
+   Conservative approximations, by design:
+   - calls through function values (locals, computed heads, method
+     dispatch) produce an allocation-style fact instead of an edge, so
+     the zero-alloc proof refuses them unless audited with
+     [@ocube.alloc_ok]; taint and race analysis do not see through them;
+   - an application headed by a raiser ([raise]/[failwith]/...) is an
+     error path and is skipped entirely, like upstream [@zero_alloc];
+   - module aliases and functor applications resolve to the head module
+     path; functor-argument substitution is not modelled, so calls via a
+     functor parameter stay external (assumed allocating, untainted);
+   - exotic constructs (objects, first-class modules) fall through a
+     catch-all and are invisible to the analysis. *)
+
+type call = {
+  callee : string;  (* normalised name as written, pre-resolution *)
+  local : bool;  (* a bare [Pident] reference, same-unit scope chain *)
+  call_line : int;
+  call_allows : string list;  (* active [@ocube.lint.allow] ids *)
+  call_alloc_ok : bool;  (* inside an [@ocube.alloc_ok] region *)
+}
+
+type alloc = {
+  alloc_line : int;
+  alloc_desc : string;
+  alloc_excused : bool;  (* inside an [@ocube.alloc_ok] region *)
+  alloc_allows : string list;
+}
+
+type write = {
+  write_line : int;
+  write_desc : string;
+  write_striped : bool;  (* written index mentions the stripe binder *)
+  write_allows : string list;
+}
+
+type global_write = {
+  gw_line : int;
+  gw_desc : string;
+  gw_allows : string list;
+}
+
+type pool_site = {
+  pool_fn : string;
+  pool_line : int;
+  pool_allows : string list;
+  site_writes : write list;  (* captured-location writes in closures *)
+  site_calls : call list;  (* calls made from the closure arguments *)
+}
+
+type def = {
+  name : string;  (* fully scope-qualified: "Arena.Slot_heap.push" *)
+  source : string;
+  def_line : int;
+  scope : string list;  (* enclosing module chain, outermost first *)
+  def_allows : string list;
+  zero_alloc : bool;  (* carries [@ocube.zero_alloc] *)
+  alloc_ok : bool;  (* carries [@ocube.alloc_ok] *)
+  mutable is_fun : bool;
+      (* at least one syntactic parameter: the body runs per call.
+         Value bindings run once at module init, so their facts must
+         not propagate to callers. *)
+  mutable calls : call list;
+  mutable det_seeds : (int * string) list;  (* direct ambient sources *)
+  mutable allocs : alloc list;
+  mutable global_writes : global_write list;
+  mutable pool_sites : pool_site list;
+}
+
+type extract = {
+  x_source : string;
+  x_defs : def list;
+  x_aliases : (string * string) list;
+      (* "Types.Net" -> "Network.Make": module aliases and functor
+         applications, scope-qualified name to normalised target *)
+  x_file_allows : string list;
+}
+
+let render_chain names = String.concat " -> " names
+
+let line (loc : Location.t) = max 1 loc.loc_start.pos_lnum
+
+(* ------------------------------------------------------------------ *)
+(* Patterns                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec pat_vars : type k. k Typedtree.general_pattern -> string list -> string list =
+ fun p acc ->
+  match p.pat_desc with
+  | Typedtree.Tpat_var (id, _) -> Ident.name id :: acc
+  | Typedtree.Tpat_alias (q, id, _) -> pat_vars q (Ident.name id :: acc)
+  | Typedtree.Tpat_tuple ps ->
+    List.fold_left (fun a q -> pat_vars q a) acc ps
+  | Typedtree.Tpat_array ps ->
+    List.fold_left (fun a q -> pat_vars q a) acc ps
+  | Typedtree.Tpat_construct (_, _, ps, _) ->
+    List.fold_left (fun a q -> pat_vars q a) acc ps
+  | Typedtree.Tpat_variant (_, Some q, _) -> pat_vars q acc
+  | Typedtree.Tpat_record (fs, _) ->
+    List.fold_left (fun a (_, _, q) -> pat_vars q a) acc fs
+  | Typedtree.Tpat_lazy q -> pat_vars q acc
+  | Typedtree.Tpat_or (a, b, _) -> pat_vars b (pat_vars a acc)
+  | Typedtree.Tpat_value v ->
+    pat_vars (v :> Typedtree.value Typedtree.general_pattern) acc
+  | Typedtree.Tpat_exception q -> pat_vars q acc
+  | _ -> acc
+
+(* ------------------------------------------------------------------ *)
+(* Walker environment                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type pool_acc = { mutable pw : write list; mutable pcalls : call list }
+
+type race = {
+  inner : string list;  (* names bound since the pool-closure entry *)
+  stripe : string list;  (* binders of the closure's first parameter *)
+  acc : pool_acc;
+}
+
+type renv = {
+  bound : string list;  (* lexically bound value names (not module-level) *)
+  allows : string list;
+  ok : bool;  (* inside an [@ocube.alloc_ok] region *)
+  race : race option;
+  cur : def;
+}
+
+let bind env names =
+  if names = [] then env
+  else
+    let env = { env with bound = names @ env.bound } in
+    match env.race with
+    | None -> env
+    | Some r -> { env with race = Some { r with inner = names @ r.inner } }
+
+let merge_attrs env (attrs : Typedtree.attributes) =
+  let allows = Cmt_walk.allows_of_attrs attrs in
+  let ok = Cmt_walk.has_attr Rules.alloc_ok_attr attrs in
+  if allows = [] && not ok then env
+  else { env with allows = allows @ env.allows; ok = env.ok || ok }
+
+let is_arrow ty =
+  match Types.get_desc ty with Types.Tarrow _ -> true | _ -> false
+
+let is_float_ty ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) ->
+    String.equal (Cmt_walk.normalise_name (Path.name p)) "float"
+  | _ -> false
+
+let flat_float_record (lbl : Types.label_description) =
+  match lbl.lbl_repres with Types.Record_float -> true | _ -> false
+
+(* Does the expression mention any of [names] as a free ident? Used as
+   the striping-evidence occurs check on written indices. *)
+let mentions names (e : Typedtree.expression) =
+  let found = ref false in
+  let super = Tast_iterator.default_iterator in
+  let expr it (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Typedtree.Texp_ident (Path.Pident id, _, _)
+      when List.mem (Ident.name id) names ->
+      found := true
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.expr it e;
+  !found
+
+let getters =
+  [
+    "Array.get"; "Array.unsafe_get"; "Bytes.get"; "Bytes.unsafe_get";
+    "Float.Array.get"; "Float.Array.unsafe_get"; "Bigarray.Array1.get";
+    "Bigarray.Array1.unsafe_get"; "!";
+  ]
+
+let nolabel_args args =
+  List.filter_map
+    (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+    args
+
+(* Root identifier of a write target: peel field projections and indexed
+   reads ([t.buckets.(i)] roots at [t]). *)
+let rec target_root (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_ident (Path.Pident id, _, _) -> `Name (Ident.name id)
+  | Typedtree.Texp_ident (p, _, _) ->
+    `Global (Cmt_walk.normalise_name (Path.name p))
+  | Typedtree.Texp_field (e', _, _) -> target_root e'
+  | Typedtree.Texp_apply (f, args) -> (
+    match f.exp_desc with
+    | Typedtree.Texp_ident (p, _, _)
+      when Cmt_walk.matches_suffix ~candidates:getters
+             (Cmt_walk.normalise_name (Path.name p)) -> (
+      match nolabel_args args with
+      | a :: _ -> target_root a
+      | [] -> `Unknown)
+    | _ -> `Unknown)
+  | _ -> `Unknown
+
+(* The index of an indexed read used as a write target: for
+   [nodes.(i).f <- v], striping evidence lives on [i]. *)
+let getter_index (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_apply (f, args) -> (
+    match f.exp_desc with
+    | Typedtree.Texp_ident (p, _, _)
+      when Cmt_walk.matches_suffix ~candidates:getters
+             (Cmt_walk.normalise_name (Path.name p)) -> (
+      match nolabel_args args with _ :: idx :: _ -> Some idx | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Fact recording                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_fact env (loc : Location.t) desc =
+  env.cur.allocs <-
+    {
+      alloc_line = line loc;
+      alloc_desc = desc;
+      alloc_excused = env.ok;
+      alloc_allows = env.allows;
+    }
+    :: env.cur.allocs
+
+let record_call env ~local callee (loc : Location.t) =
+  let c =
+    {
+      callee;
+      local;
+      call_line = line loc;
+      call_allows = env.allows;
+      call_alloc_ok = env.ok;
+    }
+  in
+  env.cur.calls <- c :: env.cur.calls;
+  match env.race with
+  | Some r -> r.acc.pcalls <- c :: r.acc.pcalls
+  | None -> ()
+
+let note_use env path (loc : Location.t) =
+  let raw = Path.name path in
+  if Cmt_walk.banned_by Rules.determinism_banned raw then
+    env.cur.det_seeds <-
+      (line loc, Cmt_walk.normalise_name raw) :: env.cur.det_seeds;
+  match path with
+  | Path.Pident id ->
+    let n = Ident.name id in
+    if not (List.mem n env.bound) then record_call env ~local:true n loc
+  | _ -> record_call env ~local:false (Cmt_walk.normalise_name raw) loc
+
+let record_captured_write env (r : race) ~striped (loc : Location.t) desc =
+  r.acc.pw <-
+    {
+      write_line = line loc;
+      write_desc = desc;
+      write_striped = striped;
+      write_allows = env.allows;
+    }
+    :: r.acc.pw
+
+let record_global_write env (loc : Location.t) desc =
+  env.cur.global_writes <-
+    { gw_line = line loc; gw_desc = desc; gw_allows = env.allows }
+    :: env.cur.global_writes
+
+(* A mutable write. [root] classifies the written location; inside a
+   pool closure any location rooted outside the closure is captured. *)
+let note_write env (loc : Location.t) ~what ~root ~striped =
+  match env.race with
+  | Some r -> (
+    match root with
+    | `Name n when List.mem n r.inner -> ()  (* closure-local state *)
+    | `Name n ->
+      record_captured_write env r ~striped loc
+        (Printf.sprintf "%s on captured '%s'" what n)
+    | `Global g ->
+      record_captured_write env r ~striped loc
+        (Printf.sprintf "%s on module-global '%s'" what g)
+    | `Unknown ->
+      record_captured_write env r ~striped loc
+        (Printf.sprintf "%s on a location of unknown origin" what))
+  | None -> (
+    match root with
+    | `Name n when not (List.mem n env.bound) ->
+      record_global_write env loc
+        (Printf.sprintf "%s on module-level '%s'" what n)
+    | `Global g ->
+      record_global_write env loc (Printf.sprintf "%s on '%s'" what g)
+    | `Name _ | `Unknown -> ())
+
+let write_fn raw =
+  List.find_opt
+    (fun (w, _) -> Cmt_walk.banned_by [ w ] raw)
+    Rules.write_functions
+
+(* ------------------------------------------------------------------ *)
+(* Expression walk                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec walk env (e : Typedtree.expression) =
+  let env = merge_attrs env e.exp_attributes in
+  match e.exp_desc with
+  | Typedtree.Texp_ident (path, _, _) -> note_use env path e.exp_loc
+  | Typedtree.Texp_apply (f, args) -> apply env e f args
+  | Typedtree.Texp_function { cases; _ } ->
+    alloc_fact env e.exp_loc "closure allocation";
+    walk_cases env cases
+  | Typedtree.Texp_let (rf, vbs, body) ->
+    let names =
+      List.concat_map
+        (fun (vb : Typedtree.value_binding) -> pat_vars vb.vb_pat [])
+        vbs
+    in
+    let rhs_env = if rf = Asttypes.Recursive then bind env names else env in
+    List.iter
+      (fun (vb : Typedtree.value_binding) ->
+        walk (merge_attrs rhs_env vb.vb_attributes) vb.vb_expr)
+      vbs;
+    walk (bind env names) body
+  | Typedtree.Texp_match (scrut, cases, _) ->
+    walk env scrut;
+    walk_cases env cases
+  | Typedtree.Texp_try (body, cases) ->
+    walk env body;
+    walk_cases env cases
+  | Typedtree.Texp_tuple es ->
+    alloc_fact env e.exp_loc "tuple allocation";
+    List.iter (walk env) es
+  | Typedtree.Texp_construct (_, cstr, es) ->
+    (match (cstr.cstr_tag, es) with
+    | Types.Cstr_unboxed, _ | _, [] -> ()
+    | _ ->
+      alloc_fact env e.exp_loc
+        (Printf.sprintf "constructor %s allocation" cstr.cstr_name));
+    List.iter (walk env) es
+  | Typedtree.Texp_variant (_, eo) ->
+    (match eo with
+    | Some _ -> alloc_fact env e.exp_loc "polymorphic variant allocation"
+    | None -> ());
+    Option.iter (walk env) eo
+  | Typedtree.Texp_record { fields; representation; extended_expression } ->
+    (match representation with
+    | Types.Record_unboxed _ -> ()
+    | _ -> alloc_fact env e.exp_loc "record allocation");
+    Array.iter
+      (fun (_, fdef) ->
+        match fdef with
+        | Typedtree.Kept _ -> ()
+        | Typedtree.Overridden (_, e') -> walk env e')
+      fields;
+    Option.iter (walk env) extended_expression
+  | Typedtree.Texp_field (e', _, lbl) ->
+    if is_float_ty lbl.lbl_arg && flat_float_record lbl then
+      alloc_fact env e.exp_loc "boxed float read from a float record";
+    walk env e'
+  | Typedtree.Texp_setfield (obj, _, lbl, v) ->
+    let striped =
+      match (env.race, getter_index obj) with
+      | Some r, Some idx -> mentions r.stripe idx
+      | _ -> false
+    in
+    note_write env e.exp_loc
+      ~what:(Printf.sprintf "field write '%s <-'" lbl.lbl_name)
+      ~root:(target_root obj) ~striped;
+    if is_float_ty lbl.lbl_arg && not (flat_float_record lbl) then
+      alloc_fact env e.exp_loc "boxed float store into a mutable field";
+    walk env obj;
+    walk env v
+  | Typedtree.Texp_array es ->
+    if es <> [] then alloc_fact env e.exp_loc "array allocation";
+    List.iter (walk env) es
+  | Typedtree.Texp_ifthenelse (c, t, eo) ->
+    walk env c;
+    walk env t;
+    Option.iter (walk env) eo
+  | Typedtree.Texp_sequence (a, b) ->
+    walk env a;
+    walk env b
+  | Typedtree.Texp_while (c, b) ->
+    walk env c;
+    walk env b
+  | Typedtree.Texp_for (id, _, lo, hi, _, body) ->
+    walk env lo;
+    walk env hi;
+    walk (bind env [ Ident.name id ]) body
+  | Typedtree.Texp_assert (e', _) -> walk env e'
+  | Typedtree.Texp_lazy e' ->
+    alloc_fact env e.exp_loc "lazy block allocation";
+    walk env e'
+  | Typedtree.Texp_letop { let_; ands; body; _ } ->
+    alloc_fact env e.exp_loc "binding-operator closure allocation";
+    record_call env ~local:false
+      (Cmt_walk.normalise_name (Path.name let_.bop_op_path))
+      e.exp_loc;
+    walk env let_.bop_exp;
+    List.iter (fun (a : Typedtree.binding_op) -> walk env a.bop_exp) ands;
+    let env' = bind env (pat_vars body.c_lhs []) in
+    Option.iter (walk env') body.c_guard;
+    walk env' body.c_rhs
+  | Typedtree.Texp_open (_, body) -> walk env body
+  | Typedtree.Texp_letmodule (_, _, _, _, body) ->
+    alloc_fact env e.exp_loc "local module allocation";
+    walk env body
+  | Typedtree.Texp_letexception (_, body) -> walk env body
+  | _ -> ()
+
+and walk_cases : type k. renv -> k Typedtree.case list -> unit =
+ fun env cases ->
+  List.iter
+    (fun (c : k Typedtree.case) ->
+      let env = bind env (pat_vars c.Typedtree.c_lhs []) in
+      Option.iter (walk env) c.Typedtree.c_guard;
+      walk env c.Typedtree.c_rhs)
+    cases
+
+and apply env (e : Typedtree.expression) (f : Typedtree.expression) args =
+  match f.exp_desc with
+  | Typedtree.Texp_ident (path, _, _) ->
+    let raw = Path.name path in
+    if Cmt_walk.banned_by Rules.raisers raw then
+      (* never-returning: an error path the analyses skip entirely *)
+      ()
+    else begin
+      let n = Cmt_walk.normalise_name raw in
+      let is_local_var =
+        match path with
+        | Path.Pident id -> List.mem (Ident.name id) env.bound
+        | _ -> false
+      in
+      if is_local_var then
+        alloc_fact env f.exp_loc
+          (Printf.sprintf "call through local function value '%s'" n)
+      else note_use env path f.exp_loc;
+      (match write_fn raw with
+      | Some (what, kind) ->
+        let nas = nolabel_args args in
+        let target, idx =
+          match (kind, nas) with
+          | `Opaque_snd, _ :: t :: _ -> (Some t, None)
+          | `Opaque_snd, _ -> (None, None)
+          | `Indexed, t :: i :: _ -> (Some t, Some i)
+          | (`Indexed | `Opaque), t :: _ -> (Some t, None)
+          | (`Indexed | `Opaque), [] -> (None, None)
+        in
+        (match target with
+        | None -> ()
+        | Some t ->
+          let striped =
+            match (env.race, idx) with
+            | Some r, Some i -> mentions r.stripe i
+            | _ -> false
+          in
+          note_write env f.exp_loc
+            ~what:(Printf.sprintf "write '%s'" what)
+            ~root:(target_root t) ~striped)
+      | None -> ());
+      if
+        (not is_local_var)
+        && Cmt_walk.matches_suffix ~candidates:Rules.pool_functions n
+      then pool_site env n args f.exp_loc
+      else List.iter (fun (_, a) -> Option.iter (walk env) a) args;
+      if List.exists (fun (_, a) -> a = None) args || is_arrow e.exp_type
+      then alloc_fact env e.exp_loc "partial application (closure)"
+    end
+  | _ ->
+    alloc_fact env f.exp_loc "call through a computed function";
+    walk env f;
+    List.iter (fun (_, a) -> Option.iter (walk env) a) args
+
+(* A [Pool.*] application: closure arguments are analysed with capture
+   tracking; function arguments passed by name are recorded as closure
+   calls so the race fixpoint can chase them. *)
+and pool_site env pname args (loc : Location.t) =
+  let acc = { pw = []; pcalls = [] } in
+  List.iter
+    (fun (_, a) ->
+      match a with
+      | None -> ()
+      | Some (arg : Typedtree.expression) -> (
+        match arg.exp_desc with
+        | Typedtree.Texp_function { cases; _ } ->
+          alloc_fact env arg.exp_loc "closure allocation";
+          let stripe =
+            List.concat_map
+              (fun (c : Typedtree.value Typedtree.case) ->
+                pat_vars c.Typedtree.c_lhs [])
+              cases
+          in
+          let env' =
+            { env with race = Some { inner = stripe; stripe; acc } }
+          in
+          let env' = { env' with bound = stripe @ env'.bound } in
+          List.iter
+            (fun (c : Typedtree.value Typedtree.case) ->
+              Option.iter (walk env') c.Typedtree.c_guard;
+              walk env' c.Typedtree.c_rhs)
+            cases
+        | Typedtree.Texp_ident _ when is_arrow arg.exp_type ->
+          walk
+            { env with race = Some { inner = []; stripe = []; acc } }
+            arg
+        | _ -> walk env arg))
+    args;
+  env.cur.pool_sites <-
+    {
+      pool_fn = pname;
+      pool_line = line loc;
+      pool_allows = env.allows;
+      site_writes = acc.pw;
+      site_calls = acc.pcalls;
+    }
+    :: env.cur.pool_sites
+
+(* ------------------------------------------------------------------ *)
+(* Structure collection                                                *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  mutable defs : def list;
+  mutable aliases : (string * string) list;
+  mutable file_allows : string list;
+  st_source : string;
+}
+
+let qualify scope n = String.concat "." (scope @ [ n ])
+
+let binding_name (vb : Typedtree.value_binding) =
+  let rec go (p : Typedtree.pattern) =
+    match p.pat_desc with
+    | Typedtree.Tpat_var (id, _) -> Some (Ident.name id)
+    | Typedtree.Tpat_alias (q, _, _) -> go q
+    | _ -> None
+  in
+  go vb.vb_pat
+
+(* Strip the leading chain of single-case lambdas: those are the def's
+   parameters (compiled n-ary, no closure allocated per call). A
+   multi-arm [function] is the last parameter; its arm bodies are still
+   definition-level code. Anything deeper — a lambda behind a [let], a
+   per-arm lambda — is a closure allocated when the def runs. *)
+let rec unwrap_params env (e : Typedtree.expression) =
+  let env = merge_attrs env e.exp_attributes in
+  match e.exp_desc with
+  | Typedtree.Texp_function { cases = [ c ]; _ } ->
+    env.cur.is_fun <- true;
+    let env = bind env (pat_vars c.Typedtree.c_lhs []) in
+    Option.iter (walk env) c.Typedtree.c_guard;
+    unwrap_params env c.Typedtree.c_rhs
+  | Typedtree.Texp_function { cases; _ } ->
+    env.cur.is_fun <- true;
+    walk_cases env cases
+  | _ -> walk env e
+
+let fresh_def st ~scope ~name ~line:def_line ~attrs =
+  let d =
+    {
+      name = qualify scope name;
+      source = st.st_source;
+      def_line;
+      scope;
+      def_allows = Cmt_walk.allows_of_attrs attrs;
+      zero_alloc = Cmt_walk.has_attr Rules.zero_alloc_attr attrs;
+      alloc_ok = Cmt_walk.has_attr Rules.alloc_ok_attr attrs;
+      is_fun = false;
+      calls = [];
+      det_seeds = [];
+      allocs = [];
+      global_writes = [];
+      pool_sites = [];
+    }
+  in
+  st.defs <- d :: st.defs;
+  d
+
+let initial_env d =
+  { bound = []; allows = d.def_allows; ok = d.alloc_ok; race = None; cur = d }
+
+let rec collect st scope (str : Typedtree.structure) =
+  List.iter
+    (fun (si : Typedtree.structure_item) ->
+      match si.str_desc with
+      | Typedtree.Tstr_value (_, vbs) ->
+        List.iter (collect_vb st scope) vbs
+      | Typedtree.Tstr_module mb -> collect_module st scope mb
+      | Typedtree.Tstr_recmodule mbs ->
+        List.iter (collect_module st scope) mbs
+      | Typedtree.Tstr_attribute a -> (
+        match Cmt_walk.allows_of_attrs [ a ] with
+        | [] -> ()
+        | ids -> st.file_allows <- ids @ st.file_allows)
+      | Typedtree.Tstr_eval (e, attrs) ->
+        let d =
+          fresh_def st ~scope
+            ~name:(Printf.sprintf "(init@%d)" (line e.exp_loc))
+            ~line:(line e.exp_loc) ~attrs
+        in
+        walk (initial_env d) e
+      | _ -> ())
+    str.str_items
+
+and collect_vb st scope (vb : Typedtree.value_binding) =
+  let name =
+    match binding_name vb with
+    | Some n -> n
+    | None -> Printf.sprintf "(bind@%d)" (line vb.vb_loc)
+  in
+  let d =
+    fresh_def st ~scope ~name ~line:(line vb.vb_loc)
+      ~attrs:vb.vb_attributes
+  in
+  unwrap_params (initial_env d) vb.vb_expr
+
+and collect_module st scope (mb : Typedtree.module_binding) =
+  match mb.mb_name.txt with
+  | None -> ()
+  | Some n -> collect_modexpr st (scope @ [ n ]) mb.mb_expr
+
+and collect_modexpr st scope (me : Typedtree.module_expr) =
+  match me.mod_desc with
+  | Typedtree.Tmod_structure s -> collect st scope s
+  | Typedtree.Tmod_functor (_, body) -> collect_modexpr st scope body
+  | Typedtree.Tmod_constraint (me', _, _, _) -> collect_modexpr st scope me'
+  | Typedtree.Tmod_ident (p, _) ->
+    st.aliases <-
+      (String.concat "." scope, Cmt_walk.normalise_name (Path.name p))
+      :: st.aliases
+  | Typedtree.Tmod_apply (f, _, _) -> (
+    match functor_head f with
+    | Some raw ->
+      st.aliases <-
+        (String.concat "." scope, Cmt_walk.normalise_name raw)
+        :: st.aliases
+    | None -> ())
+  | _ -> ()
+
+and functor_head (me : Typedtree.module_expr) =
+  match me.mod_desc with
+  | Typedtree.Tmod_ident (p, _) -> Some (Path.name p)
+  | Typedtree.Tmod_apply (f, _, _) -> functor_head f
+  | Typedtree.Tmod_constraint (me', _, _, _) -> functor_head me'
+  | _ -> None
+
+let module_of_source source =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename source))
+
+let extract ~source (str : Typedtree.structure) =
+  let st =
+    { defs = []; aliases = []; file_allows = []; st_source = source }
+  in
+  collect st [ module_of_source source ] str;
+  {
+    x_source = source;
+    x_defs = List.rev st.defs;
+    x_aliases = List.rev st.aliases;
+    x_file_allows = st.file_allows;
+  }

@@ -1,0 +1,84 @@
+(** Per-module call-graph extraction for the interprocedural rules.
+
+    {!extract} walks one compiled module's typedtree and produces a
+    [def] for every top-level value binding (including bindings inside
+    sub-modules and functor bodies), carrying the raw facts the
+    {!Interproc} fixpoints consume: outgoing calls, direct ambient
+    time/randomness uses, allocating constructs, writes to
+    module-global mutable state, and [Pool.*] fan-out sites with their
+    closure capture analysis. Names are pre-resolution — qualified by
+    the lexical module chain on the definition side and recorded as
+    written (normalised) on the use side; {!Interproc} joins them
+    through scope chains and the module-alias table.
+
+    Conservatism: calls through function values (locals, computed
+    heads) become allocation facts rather than edges; raiser-headed
+    applications are skipped as error paths; functor-parameter calls
+    stay external; objects and first-class modules are invisible. *)
+
+type call = {
+  callee : string;  (** normalised name as written, pre-resolution *)
+  local : bool;  (** bare [Pident] reference (same-unit scope chain) *)
+  call_line : int;
+  call_allows : string list;  (** active [[@ocube.lint.allow]] ids *)
+  call_alloc_ok : bool;  (** inside an [[@ocube.alloc_ok]] region *)
+}
+
+type alloc = {
+  alloc_line : int;
+  alloc_desc : string;
+  alloc_excused : bool;  (** inside an [[@ocube.alloc_ok]] region *)
+  alloc_allows : string list;
+}
+
+type write = {
+  write_line : int;
+  write_desc : string;
+  write_striped : bool;
+      (** the written index mentions the stripe binder *)
+  write_allows : string list;
+}
+
+type global_write = { gw_line : int; gw_desc : string; gw_allows : string list }
+
+type pool_site = {
+  pool_fn : string;
+  pool_line : int;
+  pool_allows : string list;
+  site_writes : write list;
+      (** writes to captured locations inside closure arguments *)
+  site_calls : call list;  (** calls made from the closure arguments *)
+}
+
+type def = {
+  name : string;  (** fully scope-qualified, e.g. ["Arena.Slot_heap.push"] *)
+  source : string;
+  def_line : int;
+  scope : string list;  (** enclosing module chain, outermost first *)
+  def_allows : string list;
+  zero_alloc : bool;  (** carries [[@ocube.zero_alloc]] *)
+  alloc_ok : bool;  (** carries [[@ocube.alloc_ok]] *)
+  mutable is_fun : bool;
+      (** has at least one parameter: the body runs per call. Value
+          bindings run once at module init and must not propagate their
+          facts to referencing defs. *)
+  mutable calls : call list;
+  mutable det_seeds : (int * string) list;
+  mutable allocs : alloc list;
+  mutable global_writes : global_write list;
+  mutable pool_sites : pool_site list;
+}
+
+type extract = {
+  x_source : string;
+  x_defs : def list;
+  x_aliases : (string * string) list;
+      (** scope-qualified alias name to normalised target module path,
+          e.g. [("Types.Net", "Network.Make")] *)
+  x_file_allows : string list;
+}
+
+val render_chain : string list -> string
+(** Join a call chain for diagnostics: [["A"; "B"]] is ["A -> B"]. *)
+
+val extract : source:string -> Typedtree.structure -> extract

@@ -92,6 +92,11 @@ let split_rule_ids s =
          let w = String.trim w in
          if w = "" then None else Some w)
 
+let has_attr name (attrs : Typedtree.attributes) =
+  List.exists
+    (fun (a : Parsetree.attribute) -> String.equal a.attr_name.txt name)
+    attrs
+
 let allows_of_attrs (attrs : Typedtree.attributes) =
   List.concat_map
     (fun (a : Parsetree.attribute) ->
@@ -136,10 +141,13 @@ let rule_active ctx rule =
   else
     let in_lib = starts_with ~prefix:"lib/" ctx.source in
     let in_bin = starts_with ~prefix:"bin/" ctx.source in
+    let in_test = starts_with ~prefix:"test/" ctx.source in
     match rule with
-    | Rules.Determinism ->
-      (in_lib && not (String.equal ctx.source Rules.rng_module)) || in_bin
+    | Rules.Determinism | Rules.Determinism_taint ->
+      (in_lib && not (String.equal ctx.source Rules.rng_module))
+      || in_bin || in_test
     | Rules.No_poly_compare -> in_lib || in_bin
+    | Rules.Domain_race | Rules.Zero_alloc -> in_lib || in_bin || in_test
     | Rules.No_marshal | Rules.Handler_totality | Rules.Io_hygiene
     | Rules.Mli_coverage ->
       in_lib

@@ -10,6 +10,25 @@
     commas; ["*"] or an empty payload allows everything), or when the file
     carries a floating [[@@@ocube.lint.allow "..."]]. *)
 
+val normalise_name : string -> string
+(** Strip the [Stdlib.] prefix and dune's wrapped-library name mangling
+    (["Ocube_sim__Arena.alloc"] -> ["Arena.alloc"]) from a {!Path.name}. *)
+
+val matches_suffix : candidates:string list -> string -> bool
+(** Does the normalised name equal, or end with [.c] for, one of the
+    candidates? *)
+
+val banned_by : string list -> string -> bool
+(** Does the raw (unnormalised) path match one of the ban entries, under
+    the matching rules documented in {!Rules.determinism_banned}? *)
+
+val allows_of_attrs : Typedtree.attributes -> string list
+(** Rule ids allowed by any [[@ocube.lint.allow "..."]] attribute in the
+    list (["*"] for an empty or non-string payload). *)
+
+val has_attr : string -> Typedtree.attributes -> bool
+(** Is an attribute with this exact name present? *)
+
 val check_structure :
   source:string ->
   fixture:bool ->

@@ -31,6 +31,10 @@ let find_cmts ~root ~dirs =
    sources; they carry no user code and no interface. *)
 let generated_source src = ends_with ~suffix:"-gen" src
 
+(* The seeded-violation corpus: walked only by the fixture golden test,
+   never by the repo self-lint. *)
+let fixture_source src = starts_with ~prefix:"test/lint/fixtures" src
+
 let source_of_cmt (cmt : Cmt_format.cmt_infos) =
   match cmt.cmt_sourcefile with
   | Some src when ends_with ~suffix:".ml" src -> Some src
@@ -50,7 +54,34 @@ let mli_coverage_check ~fixture ~cmt_path ~source =
              "module has no .mli interface; every library module declares \
               its surface")
 
-let run ?(allowlist = Allowlist.empty) ?(fixture = false) ~root ~dirs () =
+type report = {
+  findings : Diag.t list;  (* allowlist-filtered, sorted, deduplicated *)
+  suppressed : int;  (* findings removed by the allowlist *)
+  stale : Allowlist.entry list;  (* entries that suppressed nothing *)
+  unjustified : Allowlist.entry list;  (* entries with no note *)
+}
+
+(* Which allowlist entries earn their keep, against the pre-filter
+   diagnostics. Pure, so the policy is unit-testable without a compiled
+   tree. *)
+let allowlist_report allowlist diags =
+  let entries = Allowlist.entries allowlist in
+  let stale =
+    List.filter
+      (fun (e : Allowlist.entry) ->
+        not
+          (List.exists
+             (fun (d : Diag.t) ->
+               (e.rule = "*" || e.rule = d.rule) && e.path = d.file)
+             diags))
+      entries
+  in
+  let unjustified =
+    List.filter (fun (e : Allowlist.entry) -> String.trim e.note = "") entries
+  in
+  (stale, unjustified)
+
+let analyse ?(allowlist = Allowlist.empty) ?(fixture = false) ~root ~dirs () =
   let cmts = find_cmts ~root ~dirs in
   if cmts = [] then
     Error
@@ -60,6 +91,7 @@ let run ?(allowlist = Allowlist.empty) ?(fixture = false) ~root ~dirs () =
   else begin
     let seen = Hashtbl.create 64 in
     let diags = ref [] in
+    let extracts = ref [] in
     let problem = ref None in
     List.iter
       (fun cmt_path ->
@@ -74,6 +106,7 @@ let run ?(allowlist = Allowlist.empty) ?(fixture = false) ~root ~dirs () =
           match source_of_cmt cmt with
           | None -> ()
           | Some source when generated_source source -> ()
+          | Some source when (not fixture) && fixture_source source -> ()
           | Some source ->
             if not (Hashtbl.mem seen source) then begin
               Hashtbl.add seen source ();
@@ -83,25 +116,57 @@ let run ?(allowlist = Allowlist.empty) ?(fixture = false) ~root ~dirs () =
               match cmt.cmt_annots with
               | Cmt_format.Implementation str ->
                 diags :=
-                  Cmt_walk.check_structure ~source ~fixture str @ !diags
+                  Cmt_walk.check_structure ~source ~fixture str @ !diags;
+                extracts := Callgraph.extract ~source str :: !extracts
               | _ -> ()
             end))
       cmts;
     match !problem with
     | Some msg -> Error msg
     | None ->
-      let kept =
-        List.filter
+      let interproc = Interproc.run (List.rev !extracts) ~fixture in
+      let all = Diag.sort_uniq (interproc @ !diags) in
+      let kept, dropped =
+        List.partition
           (fun (d : Diag.t) ->
             not (Allowlist.permits allowlist ~rule:d.rule ~file:d.file))
-          !diags
+          all
       in
-      Ok (Diag.sort_uniq kept)
+      let stale, unjustified = allowlist_report allowlist all in
+      Ok
+        {
+          findings = kept;
+          suppressed = List.length dropped;
+          stale;
+          unjustified;
+        }
   end
 
-let render diags = String.concat "" (List.map (fun d -> Diag.to_string d ^ "\n") diags)
+let run ?allowlist ?fixture ~root ~dirs () =
+  match analyse ?allowlist ?fixture ~root ~dirs () with
+  | Error _ as e -> e
+  | Ok r -> Ok r.findings
 
-let main ?(root = ".") ?allowlist_file ?(fixture = false) ~dirs () =
+let render diags =
+  String.concat "" (List.map (fun d -> Diag.to_string d ^ "\n") diags)
+
+let render_allowlist_report (r : report) =
+  String.concat ""
+    (List.map
+       (fun (e : Allowlist.entry) ->
+         Printf.sprintf "allowlist: stale entry '%s %s' suppresses nothing\n"
+           e.rule e.path)
+       r.stale
+    @ List.map
+        (fun (e : Allowlist.entry) ->
+          Printf.sprintf
+            "allowlist: entry '%s %s' has no justification; say why it is \
+             exempt\n"
+            e.rule e.path)
+        r.unjustified)
+
+let main ?(root = ".") ?allowlist_file ?(fixture = false)
+    ?(check_allowlist = false) ~dirs () =
   let allowlist =
     match allowlist_file with
     | None -> Ok Allowlist.empty
@@ -110,7 +175,15 @@ let main ?(root = ".") ?allowlist_file ?(fixture = false) ~dirs () =
   match allowlist with
   | Error msg -> (Printf.sprintf "oclint: %s\n" msg, 2)
   | Ok allowlist -> (
-    match run ~allowlist ~fixture ~root ~dirs () with
+    match analyse ~allowlist ~fixture ~root ~dirs () with
     | Error msg -> (Printf.sprintf "oclint: %s\n" msg, 2)
-    | Ok [] -> ("", 0)
-    | Ok diags -> (render diags, 1))
+    | Ok r ->
+      let text = render r.findings in
+      let text =
+        if check_allowlist then text ^ render_allowlist_report r else text
+      in
+      let failed =
+        r.findings <> []
+        || (check_allowlist && (r.stale <> [] || r.unjustified <> []))
+      in
+      (text, if failed then 1 else 0))

@@ -1,0 +1,441 @@
+(* Whole-program fixpoints over the extracted call graph: name
+   resolution (scope chains + module aliases), then three reverse-BFS
+   reachability passes — determinism taint, shared-writer detection for
+   pool closures, and the zero-alloc proof. Every traversal iterates
+   name-sorted lists, never raw hashtable order, so diagnostics and the
+   chains they print are stable regardless of .cmt enumeration order. *)
+
+let starts_with ~prefix s =
+  let lp = String.length prefix in
+  String.length s >= lp && String.sub s 0 lp = prefix
+
+let rec take n l =
+  if n <= 0 then [] else match l with [] -> [] | x :: tl -> x :: take (n - 1) tl
+
+let rec drop n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+type graph = {
+  defs : (string, Callgraph.def) Hashtbl.t;
+  aliases : (string, string) Hashtbl.t;
+  file_allows : (string, string list) Hashtbl.t;
+  all : Callgraph.def list;  (* sorted by (name, source, line) *)
+}
+
+let build (xs : Callgraph.extract list) =
+  let defs = Hashtbl.create 512 in
+  let aliases = Hashtbl.create 64 in
+  let file_allows = Hashtbl.create 64 in
+  List.iter
+    (fun (x : Callgraph.extract) ->
+      Hashtbl.replace file_allows x.x_source x.x_file_allows;
+      List.iter
+        (fun (d : Callgraph.def) ->
+          (* shadowed rebindings: keep the first, matching the name a
+             cross-module reference means *)
+          if not (Hashtbl.mem defs d.name) then Hashtbl.add defs d.name d)
+        x.x_defs;
+      List.iter
+        (fun (a, t) ->
+          if not (Hashtbl.mem aliases a) then Hashtbl.add aliases a t)
+        x.x_aliases)
+    xs;
+  let all =
+    List.sort
+      (fun (a : Callgraph.def) b ->
+        compare (a.name, a.source, a.def_line) (b.name, b.source, b.def_line))
+      (List.concat_map (fun (x : Callgraph.extract) -> x.x_defs) xs)
+  in
+  { defs; aliases; file_allows; all }
+
+(* Rewrite the longest aliased prefix, repeatedly with bounded fuel
+   ("Types.Net.send" -> "Network.Make.send"). *)
+let expand g name =
+  let rec go n fuel =
+    if fuel = 0 then n
+    else
+      let parts = String.split_on_char '.' n in
+      let rec try_prefix k =
+        if k <= 0 then None
+        else
+          let pfx = String.concat "." (take k parts) in
+          match Hashtbl.find_opt g.aliases pfx with
+          | Some t when not (String.equal t pfx) ->
+            Some (String.concat "." (t :: drop k parts))
+          | _ -> try_prefix (k - 1)
+      in
+      match try_prefix (List.length parts - 1) with
+      | Some n' -> go n' (fuel - 1)
+      | None -> n
+  in
+  go name 8
+
+(* Resolve a recorded call to a project def: try the caller's scope
+   chain longest-first, then the name as written, then (for qualified
+   names) suffixes obtained by dropping leading components — the
+   cross-library wrapper case ("Ocube_sim.Engine.now" -> "Engine.now").
+   Every candidate is alias-expanded first. No hit means the callee is
+   external. *)
+let resolve g (d : Callgraph.def) (c : Callgraph.call) =
+  let rec scope_prefixes sc =
+    match sc with [] -> [] | _ -> sc :: scope_prefixes (take (List.length sc - 1) sc)
+  in
+  let suffixes =
+    if c.Callgraph.local then []
+    else
+      let rec go parts acc =
+        match parts with
+        | _ :: (_ :: _ as rest) -> go rest (String.concat "." rest :: acc)
+        | _ -> List.rev acc
+      in
+      go (String.split_on_char '.' c.Callgraph.callee) []
+  in
+  let candidates =
+    List.map
+      (fun sc -> String.concat "." (sc @ [ c.Callgraph.callee ]))
+      (scope_prefixes d.Callgraph.scope)
+    @ (c.Callgraph.callee :: suffixes)
+  in
+  let rec first = function
+    | [] -> None
+    | cand :: tl -> (
+      match Hashtbl.find_opt g.defs (expand g cand) with
+      | Some e -> Some e
+      | None -> first tl)
+  in
+  first candidates
+
+let allows_hit ids rule = List.mem "*" ids || List.mem rule ids
+
+let excused g (d : Callgraph.def) site_allows rule =
+  allows_hit site_allows rule
+  || allows_hit
+       (Option.value ~default:[]
+          (Hashtbl.find_opt g.file_allows d.Callgraph.source))
+       rule
+
+let calls_of (d : Callgraph.def) =
+  List.sort
+    (fun (a : Callgraph.call) b ->
+      compare (a.call_line, a.callee) (b.call_line, b.callee))
+    d.calls
+
+(* Is an external callee known allocation-free? Operator-shaped names
+   are word operations unless listed in [Rules.alloc_operators]. *)
+let external_safe name =
+  if Cmt_walk.matches_suffix ~candidates:Rules.alloc_operators name then false
+  else
+    let op_shaped =
+      String.length name > 0
+      &&
+      let c = name.[0] in
+      not ((c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || c = '_')
+    in
+    op_shaped || Cmt_walk.matches_suffix ~candidates:Rules.nonalloc_externals name
+
+(* ------------------------------------------------------------------ *)
+(* Generic reverse-reachability fixpoint                               *)
+(* ------------------------------------------------------------------ *)
+
+type witness = {
+  chain : string list;  (* this def first, original witness def last *)
+  w_desc : string;
+  w_src : string;
+  w_line : int;
+}
+
+(* [edge_ok d c e] decides whether the property flows from callee [e]
+   back to caller [d] across call site [c]. Frontiers and predecessor
+   lists are processed in sorted order, so the recorded chain for every
+   def is the deterministic shortest one. *)
+let fixpoint g ~seeds ~edge_ok =
+  let tbl : (string, witness) Hashtbl.t = Hashtbl.create 64 in
+  let rev : (string, (Callgraph.def * Callgraph.call) list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  List.iter
+    (fun (d : Callgraph.def) ->
+      List.iter
+        (fun (c : Callgraph.call) ->
+          match resolve g d c with
+          | Some e ->
+            let l =
+              Option.value ~default:[] (Hashtbl.find_opt rev e.Callgraph.name)
+            in
+            Hashtbl.replace rev e.Callgraph.name ((d, c) :: l)
+          | None -> ())
+        (calls_of d))
+    g.all;
+  List.iter
+    (fun ((d : Callgraph.def), w) ->
+      if not (Hashtbl.mem tbl d.name) then Hashtbl.add tbl d.name w)
+    seeds;
+  let frontier =
+    ref
+      (List.sort_uniq compare
+         (List.map (fun ((d : Callgraph.def), _) -> d.name) seeds))
+  in
+  while !frontier <> [] do
+    let next = ref [] in
+    List.iter
+      (fun name ->
+        let w = Hashtbl.find tbl name in
+        let e = Hashtbl.find_opt g.defs name in
+        let preds =
+          List.sort
+            (fun ((a : Callgraph.def), (ca : Callgraph.call)) (b, cb) ->
+              compare
+                (a.name, ca.call_line)
+                (b.Callgraph.name, cb.Callgraph.call_line))
+            (Option.value ~default:[] (Hashtbl.find_opt rev name))
+        in
+        List.iter
+          (fun ((d : Callgraph.def), (c : Callgraph.call)) ->
+            if (not (Hashtbl.mem tbl d.name)) && edge_ok d c e then begin
+              Hashtbl.add tbl d.name { w with chain = d.name :: w.chain };
+              next := d.name :: !next
+            end)
+          preds)
+      !frontier;
+    frontier := List.sort_uniq compare !next
+  done;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* Rule scoping (mirrors Cmt_walk.rule_active for the new rules)       *)
+(* ------------------------------------------------------------------ *)
+
+let scope_ok ~fixture rule source =
+  if fixture then true
+  else
+    let lib = starts_with ~prefix:"lib/" source in
+    let bin = starts_with ~prefix:"bin/" source in
+    let test = starts_with ~prefix:"test/" source in
+    match rule with
+    | `Taint ->
+      (lib && not (String.equal source Rules.rng_module)) || bin || test
+    | `Race | `Zero -> lib || bin || test
+
+(* ------------------------------------------------------------------ *)
+(* determinism-taint                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let taint_rule = Rules.id_to_string Rules.Determinism_taint
+
+let taint_diags g ~fixture =
+  let seeds =
+    List.filter_map
+      (fun (d : Callgraph.def) ->
+        match List.sort compare d.det_seeds with
+        | (l, prim) :: _ ->
+          Some
+            ( d,
+              {
+                chain = [ d.name; prim ];
+                w_desc = prim;
+                w_src = d.source;
+                w_line = l;
+              } )
+        | [] -> None)
+      g.all
+  in
+  (* taint is a semantic property: it propagates through every edge and
+     every def; suppression applies only where a call site is reported *)
+  let tainted = fixpoint g ~seeds ~edge_ok:(fun _ _ _ -> true) in
+  List.concat_map
+    (fun (d : Callgraph.def) ->
+      if not (scope_ok ~fixture `Taint d.source) then []
+      else
+        List.filter_map
+          (fun (c : Callgraph.call) ->
+            match resolve g d c with
+            | Some e when Hashtbl.mem tainted e.name ->
+              if excused g d c.call_allows taint_rule then None
+              else
+                let w = Hashtbl.find tainted e.name in
+                Some
+                  (Diag.make ~file:d.source ~line:c.call_line ~rule:taint_rule
+                     ~message:
+                       (Printf.sprintf
+                          "call into %s reaches ambient time/randomness (%s); \
+                           thread randomness through Ocube_sim.Rng"
+                          e.name
+                          (Callgraph.render_chain w.chain)))
+            | _ -> None)
+          (calls_of d))
+    g.all
+
+(* ------------------------------------------------------------------ *)
+(* domain-race                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let race_rule = Rules.id_to_string Rules.Domain_race
+
+let race_diags g ~fixture =
+  let seeds =
+    List.filter_map
+      (fun (d : Callgraph.def) ->
+        if not d.is_fun then None
+        else
+          let gws =
+            List.filter
+              (fun (w : Callgraph.global_write) ->
+                not (excused g d w.gw_allows race_rule))
+              d.global_writes
+          in
+          match
+            List.sort
+              (fun (a : Callgraph.global_write) b ->
+                compare (a.gw_line, a.gw_desc) (b.gw_line, b.gw_desc))
+              gws
+          with
+          | w :: _ ->
+            Some
+              ( d,
+                {
+                  chain = [ d.name ];
+                  w_desc = w.gw_desc;
+                  w_src = d.source;
+                  w_line = w.gw_line;
+                } )
+          | [] -> None)
+      g.all
+  in
+  let writers =
+    fixpoint g ~seeds ~edge_ok:(fun d c e ->
+        (match e with Some (e : Callgraph.def) -> e.is_fun | None -> false)
+        && not (excused g d c.Callgraph.call_allows race_rule))
+  in
+  List.concat_map
+    (fun (d : Callgraph.def) ->
+      if not (scope_ok ~fixture `Race d.source) then []
+      else
+        List.concat_map
+          (fun (s : Callgraph.pool_site) ->
+            if excused g d s.pool_allows race_rule then []
+            else
+              let write_diags =
+                List.filter_map
+                  (fun (w : Callgraph.write) ->
+                    if w.write_striped || excused g d w.write_allows race_rule
+                    then None
+                    else
+                      Some
+                        (Diag.make ~file:d.source ~line:w.write_line
+                           ~rule:race_rule
+                           ~message:
+                             (Printf.sprintf
+                                "%s inside a closure passed to %s; derive the \
+                                 written index from the stripe parameter or \
+                                 keep the state domain-local"
+                                w.write_desc s.pool_fn)))
+                  (List.sort
+                     (fun (a : Callgraph.write) b ->
+                       compare (a.write_line, a.write_desc)
+                         (b.write_line, b.write_desc))
+                     s.site_writes)
+              in
+              let call_diags =
+                List.filter_map
+                  (fun (c : Callgraph.call) ->
+                    match resolve g d c with
+                    | Some e when Hashtbl.mem writers e.name ->
+                      if excused g d c.call_allows race_rule then None
+                      else
+                        let w = Hashtbl.find writers e.name in
+                        Some
+                          (Diag.make ~file:d.source ~line:c.call_line
+                             ~rule:race_rule
+                             ~message:
+                               (Printf.sprintf
+                                  "closure passed to %s reaches shared-state \
+                                   writer %s (%s at %s:%d, via %s)"
+                                  s.pool_fn e.name w.w_desc w.w_src w.w_line
+                                  (Callgraph.render_chain w.chain)))
+                    | _ -> None)
+                  (List.sort
+                     (fun (a : Callgraph.call) b ->
+                       compare (a.call_line, a.callee) (b.call_line, b.callee))
+                     s.site_calls)
+              in
+              write_diags @ call_diags)
+          (List.sort
+             (fun (a : Callgraph.pool_site) b ->
+               compare (a.pool_line, a.pool_fn) (b.pool_line, b.pool_fn))
+             d.pool_sites))
+    g.all
+
+(* ------------------------------------------------------------------ *)
+(* zero-alloc                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let zero_rule = Rules.id_to_string Rules.Zero_alloc
+
+let zero_diags g ~fixture =
+  let seeds =
+    List.filter_map
+      (fun (d : Callgraph.def) ->
+        if d.alloc_ok then None
+        else
+          let direct =
+            List.filter_map
+              (fun (a : Callgraph.alloc) ->
+                if a.alloc_excused || allows_hit a.alloc_allows zero_rule then
+                  None
+                else Some (a.alloc_line, a.alloc_desc))
+              d.allocs
+            @ List.filter_map
+                (fun (c : Callgraph.call) ->
+                  if c.call_alloc_ok || allows_hit c.call_allows zero_rule then
+                    None
+                  else
+                    match resolve g d c with
+                    | Some _ -> None
+                    | None ->
+                      if external_safe c.callee then None
+                      else
+                        Some
+                          ( c.call_line,
+                            Printf.sprintf
+                              "call to %s, not proven allocation-free"
+                              c.callee ))
+                d.calls
+          in
+          match List.sort compare direct with
+          | (l, desc) :: _ ->
+            Some
+              ( d,
+                { chain = [ d.name ]; w_desc = desc; w_src = d.source;
+                  w_line = l } )
+          | [] -> None)
+      g.all
+  in
+  let witnesses =
+    fixpoint g ~seeds ~edge_ok:(fun d c e ->
+        (match e with Some (e : Callgraph.def) -> e.is_fun | None -> false)
+        && (not d.Callgraph.alloc_ok)
+        && (not c.Callgraph.call_alloc_ok)
+        && not (excused g d c.Callgraph.call_allows zero_rule))
+  in
+  List.filter_map
+    (fun (d : Callgraph.def) ->
+      if not (d.zero_alloc && d.is_fun && scope_ok ~fixture `Zero d.source)
+      then None
+      else if excused g d d.def_allows zero_rule then None
+      else
+        match Hashtbl.find_opt witnesses d.name with
+        | None -> None
+        | Some w ->
+          Some
+            (Diag.make ~file:d.source ~line:d.def_line ~rule:zero_rule
+               ~message:
+                 (Printf.sprintf
+                    "[@ocube.zero_alloc] %s may allocate: %s (%s:%d, via %s); \
+                     remove the allocation or audit it with [@ocube.alloc_ok]"
+                    d.name w.w_desc w.w_src w.w_line
+                    (Callgraph.render_chain w.chain))))
+    g.all
+
+let run (xs : Callgraph.extract list) ~fixture =
+  let g = build xs in
+  taint_diags g ~fixture @ race_diags g ~fixture @ zero_diags g ~fixture

@@ -1,0 +1,33 @@
+(** Whole-program fixpoint passes over the extracted call graph.
+
+    Three rules run as reverse-reachability BFS fixpoints:
+
+    - [determinism-taint]: a def whose body reads an ambient
+      time/randomness source taints every def it is reachable from;
+      each call site whose callee resolves to a tainted def is reported
+      with the deterministic shortest chain down to the primitive.
+    - [domain-race]: defs that write module-global mutable state seed a
+      writer set; every [Pool.*] closure argument is checked for
+      unstriped writes to captured locations and for calls reaching a
+      writer.
+    - [zero-alloc]: defs carrying [[@ocube.zero_alloc]] are reported if
+      any allocating construct (or external call not known
+      allocation-free) is reachable through unaudited call edges;
+      [[@ocube.alloc_ok]] at def, expression or call-region granularity
+      cuts the edge.
+
+    All traversal orders are name-sorted, so the diagnostics (and the
+    chains embedded in their messages) are independent of [.cmt]
+    enumeration order. *)
+
+type graph
+
+val build : Callgraph.extract list -> graph
+
+val resolve : graph -> Callgraph.def -> Callgraph.call -> Callgraph.def option
+(** Resolve a recorded call through the caller's scope chain and the
+    module-alias table; [None] means the callee is external. *)
+
+val run : Callgraph.extract list -> fixture:bool -> Diag.t list
+(** All three passes; results are unsorted and not yet allowlist
+    filtered. [fixture] lifts the repo path scoping. *)

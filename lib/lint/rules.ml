@@ -5,6 +5,9 @@ type id =
   | Handler_totality
   | Io_hygiene
   | Mli_coverage
+  | Determinism_taint
+  | Domain_race
+  | Zero_alloc
 
 let id_to_string = function
   | Determinism -> "determinism"
@@ -13,6 +16,9 @@ let id_to_string = function
   | Handler_totality -> "handler-totality"
   | Io_hygiene -> "io-hygiene"
   | Mli_coverage -> "mli-coverage"
+  | Determinism_taint -> "determinism-taint"
+  | Domain_race -> "domain-race"
+  | Zero_alloc -> "zero-alloc"
 
 let all =
   [
@@ -22,6 +28,12 @@ let all =
     (Handler_totality, "protocol-message matches name every constructor");
     (Io_hygiene, "no direct printing or exit in library code");
     (Mli_coverage, "every library module has an interface file");
+    (Determinism_taint, "no call whose callee transitively reaches ambient \
+                         time/randomness");
+    (Domain_race, "no shared unstriped mutable write reachable from a \
+                   Pool closure");
+    (Zero_alloc, "[@ocube.zero_alloc] functions provably reach no \
+                  allocating construct");
   ]
 
 let is_rule_id s =
@@ -119,3 +131,96 @@ let safe_named_types =
 let protocol_types = [ "Message.t" ]
 
 let rng_module = "lib/sim/rng.ml"
+
+(* ------------------------------------------------------------------ *)
+(* Interprocedural rule configuration (callgraph-based passes)         *)
+(* ------------------------------------------------------------------ *)
+
+(* Fan-out entry points of [lib/par]: every closure handed to one of
+   these runs concurrently on pool domains, so its captured mutable
+   state is subject to the domain-race rule. Matched as normalised path
+   suffixes ("Pool.map_array" matches "Ocube_par.Pool.map_array"). *)
+let pool_functions =
+  [ "Pool.map_array"; "Pool.map_list"; "Pool.map_reduce"; "Pool.parallel_for" ]
+
+(* Functions that never return: an application whose head is one of
+   these is an error path, and the zero-alloc proof — which covers paths
+   that return normally, like the upstream [@zero_alloc] check — skips
+   the whole application, argument computation included. *)
+let raisers = [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
+
+(* Externals known not to allocate on the OCaml heap. Everything not
+   listed here (and not an operator handled below) is conservatively
+   assumed to allocate when reached from a [@ocube.zero_alloc]
+   function. Float-returning entries rely on cross-module inlining to
+   stay unboxed; the runtime [Gc.minor_words] tests remain the oracle
+   for boxing. *)
+let nonalloc_externals =
+  [
+    (* int/bool word operators written as identifiers *)
+    "land"; "lor"; "lxor"; "lnot"; "lsl"; "lsr"; "asr"; "mod"; "abs";
+    "succ"; "pred"; "not"; "min"; "max"; "ignore"; "fst"; "snd";
+    "incr"; "decr"; "compare"; "max_int"; "min_int";
+    "float_of_int"; "int_of_float"; "truncate"; "int_of_char";
+    "char_of_int";
+    (* flat containers: reads/writes of immediates, in-place blits *)
+    "Array.get"; "Array.set"; "Array.unsafe_get"; "Array.unsafe_set";
+    "Array.length"; "Array.blit"; "Array.fill";
+    "Bytes.get"; "Bytes.set"; "Bytes.unsafe_get"; "Bytes.unsafe_set";
+    "Bytes.length"; "Bytes.blit"; "Bytes.blit_string"; "Bytes.fill";
+    "Bytes.unsafe_blit"; "Bytes.unsafe_fill";
+    "String.length"; "String.get"; "String.unsafe_get";
+    "Float.Array.get"; "Float.Array.set"; "Float.Array.unsafe_get";
+    "Float.Array.unsafe_set"; "Float.Array.length"; "Float.Array.blit";
+    "Float.Array.fill";
+    "Bigarray.Array1.get"; "Bigarray.Array1.set";
+    "Bigarray.Array1.unsafe_get"; "Bigarray.Array1.unsafe_set";
+    "Bigarray.Array1.dim";
+    (* scalar helpers *)
+    "Char.code"; "Char.unsafe_chr";
+    "Int.equal"; "Int.compare"; "Int.min"; "Int.max"; "Int.abs";
+    "Bool.equal"; "Bool.not";
+    "Float.equal"; "Float.compare"; "Float.min"; "Float.max";
+    "Float.abs"; "Float.of_int"; "Float.to_int"; "Float.is_finite";
+    "Float.is_nan";
+    "Hashtbl.length"; "List.length"; "Queue.length"; "Queue.is_empty";
+    "Option.is_none"; "Option.is_some";
+  ]
+
+(* Operators that allocate: string/format concatenation, list append,
+   boxed reference creation. Any other operator-shaped external ([+],
+   [land], [:=], [!], comparisons, float arithmetic) is allocation-free
+   at the word level. *)
+let alloc_operators = [ "^"; "@"; "^^"; "ref" ]
+
+(* Write entry points for the domain-race capture analysis. [`Indexed]
+   writes carry the written index as their second positional argument,
+   so stripe evidence can be checked against it; [`Opaque] writes have
+   no per-element index and captured uses are always flagged;
+   [`Opaque_snd] writes take the written container as their second
+   argument (Queue.push/add and Stack.push take the element first). *)
+let write_functions =
+  [
+    (":=", `Opaque); ("incr", `Opaque); ("decr", `Opaque);
+    ("Array.set", `Indexed); ("Array.unsafe_set", `Indexed);
+    ("Array.fill", `Opaque); ("Array.blit", `Opaque);
+    ("Bytes.set", `Indexed); ("Bytes.unsafe_set", `Indexed);
+    ("Bytes.fill", `Opaque); ("Bytes.blit", `Opaque);
+    ("Float.Array.set", `Indexed); ("Float.Array.unsafe_set", `Indexed);
+    ("Bigarray.Array1.set", `Indexed);
+    ("Bigarray.Array1.unsafe_set", `Indexed);
+    ("Hashtbl.add", `Opaque); ("Hashtbl.replace", `Opaque);
+    ("Hashtbl.remove", `Opaque); ("Hashtbl.reset", `Opaque);
+    ("Hashtbl.clear", `Opaque);
+    ("Buffer.add_string", `Opaque); ("Buffer.add_char", `Opaque);
+    ("Buffer.add_bytes", `Opaque); ("Buffer.clear", `Opaque);
+    ("Buffer.reset", `Opaque);
+    ("Queue.add", `Opaque_snd); ("Queue.push", `Opaque_snd);
+    ("Queue.clear", `Opaque); ("Queue.transfer", `Opaque_snd);
+    ("Stack.push", `Opaque_snd);
+  ]
+
+(* Attribute names for the zero-alloc proof. *)
+let zero_alloc_attr = "ocube.zero_alloc"
+
+let alloc_ok_attr = "ocube.alloc_ok"

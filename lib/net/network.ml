@@ -68,7 +68,8 @@ module Make (P : PAYLOAD) = struct
 
   let no_msg = -1
 
-  let grow_msgs t payload =
+  let[@ocube.alloc_ok (* amortised doubling of the in-flight arena *)] grow_msgs
+      t payload =
     let ncap = if t.m_cap = 0 then 64 else 2 * t.m_cap in
     let extend arr fill =
       let narr = Array.make ncap fill in
@@ -88,7 +89,7 @@ module Make (P : PAYLOAD) = struct
     done;
     t.m_cap <- ncap
 
-  let msg_alloc t ~src ~dst ~inc payload =
+  let[@ocube.zero_alloc] msg_alloc t ~src ~dst ~inc payload =
     if t.m_free = no_msg then grow_msgs t payload;
     let s = t.m_free in
     t.m_free <- t.m_next.(s);
@@ -98,7 +99,7 @@ module Make (P : PAYLOAD) = struct
     t.m_payload.(s) <- payload;
     s
 
-  let msg_free t s =
+  let[@ocube.zero_alloc] msg_free t s =
     t.m_next.(s) <- t.m_free;
     t.m_free <- s
 
@@ -153,7 +154,7 @@ module Make (P : PAYLOAD) = struct
   (* Fire a packed delivery event: read the message slot into locals,
      recycle it (nested sends reuse it immediately), then run exactly the
      drop/deliver logic the old per-message closure captured. *)
-  let deliver t s =
+  let[@ocube.zero_alloc] deliver t s =
     let src = t.m_src.(s) in
     let dst = t.m_dst.(s) in
     let expected_incarnation = t.m_inc.(s) in
@@ -162,26 +163,32 @@ module Make (P : PAYLOAD) = struct
     let dst_node = t.nodes.(dst) in
     if dst_node.failed || dst_node.incarnation <> expected_incarnation then begin
       t.dropped <- t.dropped + 1;
-      if tracing t then
-        record t ~node:dst ~tag:"drop" (fun () ->
-            Format.asprintf "from %d: %a (node down)" src P.pp payload);
-      match t.drop_handler with
-      | Some h -> h ~dst payload
-      | None -> ()
+      (if tracing t then
+         record t ~node:dst ~tag:"drop" (fun () ->
+             Format.asprintf "from %d: %a (node down)" src P.pp payload))
+      [@ocube.alloc_ok (* closure only built with tracing on *)];
+      (match t.drop_handler with
+       | Some h -> h ~dst payload
+       | None -> ())
+      [@ocube.alloc_ok (* observer dispatch; absent on the measured path *)]
     end
     else begin
       t.delivered <- t.delivered + 1;
-      if tracing t then
-        record t ~node:dst ~tag:"recv" (fun () ->
-            Format.asprintf "from %d: %a" src P.pp payload);
-      match dst_node.handler with
-      | Some h -> h ~src payload
-      | None -> (
-        match t.default_handler with
-        | Some h -> h ~dst ~src payload
-        | None ->
-          failwith
-            (Printf.sprintf "Network: node %d has no handler installed" dst))
+      (if tracing t then
+         record t ~node:dst ~tag:"recv" (fun () ->
+             Format.asprintf "from %d: %a" src P.pp payload))
+      [@ocube.alloc_ok (* closure only built with tracing on *)];
+      (match dst_node.handler with
+       | Some h -> h ~src payload
+       | None -> (
+         match t.default_handler with
+         | Some h -> h ~dst ~src payload
+         | None ->
+           failwith
+             (Printf.sprintf "Network: node %d has no handler installed" dst)))
+      [@ocube.alloc_ok
+        (* dispatch into the protocol handler: what the handler allocates
+           is accounted where the handler is defined *)]
     end
 
   let create ~engine ~rng ?trace ~n ~delay () =
@@ -226,20 +233,29 @@ module Make (P : PAYLOAD) = struct
     cell := Some (deliver t);
     t
 
-  let send t ~src ~dst payload =
+  let[@ocube.zero_alloc] send t ~src ~dst payload =
     check_node t src;
     check_node t dst;
     if t.nodes.(src).failed then
       invalid_arg
         (Printf.sprintf "Network.send: node %d is failed and cannot send" src);
     t.sent <- t.sent + 1;
-    bump_category t payload;
-    (match t.send_hook with None -> () | Some h -> h ~src ~dst payload);
-    if tracing t then
-      record t ~node:src ~tag:"send" (fun () ->
-          Format.asprintf "-> %d: %a" dst P.pp payload);
+    (bump_category t payload)
+    [@ocube.alloc_ok
+      (* per-category hashtable bump; inside the 64-words/send budget *)];
+    (match t.send_hook with None -> () | Some h -> h ~src ~dst payload)
+    [@ocube.alloc_ok (* observer dispatch; absent on the measured path *)];
+    (if tracing t then
+       record t ~node:src ~tag:"send" (fun () ->
+           Format.asprintf "-> %d: %a" dst P.pp payload))
+    [@ocube.alloc_ok (* closure only built with tracing on *)];
     let inc = t.nodes.(dst).incarnation in
-    let delay = sample_delay t in
+    let delay =
+      (sample_delay t)
+      [@ocube.alloc_ok
+        (* float sampling can box at the Rng call boundary; inside the
+           64-words/send budget *)]
+    in
     let s = msg_alloc t ~src ~dst ~inc payload in
     ignore (Engine.schedule_packed t.engine ~delay ~cls:t.deliver_cls ~a:s ~b:0)
 

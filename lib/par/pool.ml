@@ -183,10 +183,14 @@ let set_default_jobs j =
 
 let default_jobs () = !default_width
 
+(* The memo write happens only on the first main-domain call: every
+   fan-out evaluates its pool argument before workers spawn, so
+   worker-side re-entry (nested [default ()] under [map_*]) only reads
+   the already-populated memo. *)
 let default () =
   match !default_pool with
   | Some p -> p
   | None ->
     let p = create ~jobs:!default_width in
-    default_pool := Some p;
+    (default_pool := Some p) [@ocube.lint.allow "domain-race"];
     p

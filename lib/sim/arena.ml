@@ -66,7 +66,8 @@ let create () =
 
 let live t = t.live
 
-let grow t =
+let[@ocube.alloc_ok (* amortised doubling: the schedule path pays it
+                       O(log n) times total, never per event *)] grow t =
   let ncap = if t.cap = 0 then 64 else 2 * t.cap in
   let ntime = Float.Array.create ncap in
   Float.Array.blit t.time 0 ntime 0 t.cap;
@@ -94,7 +95,7 @@ let grow t =
    at this (non-inlined) call boundary on every event. Callers store the
    fire time through [set_time], which is small enough to inline, so the
    whole schedule path stays allocation-free. *)
-let alloc t ~kind ~a ~b thunk =
+let[@ocube.zero_alloc] alloc t ~kind ~a ~b thunk =
   if t.free_head = no_slot then grow t;
   let s = t.free_head in
   t.free_head <- t.next.(s);
@@ -108,28 +109,29 @@ let alloc t ~kind ~a ~b thunk =
   t.live <- t.live + 1;
   s
 
-let id_of t s = ((t.gen.(s) land gen_mask) lsl slot_bits) lor s
+let[@ocube.zero_alloc] id_of t s =
+  ((t.gen.(s) land gen_mask) lsl slot_bits) lor s
 
-let slot_of_id id = id land slot_mask
+let[@ocube.zero_alloc] slot_of_id id = id land slot_mask
 
 (* True iff [s1] fires strictly before [s2]: earlier time, or same time
    and scheduled earlier. *)
-let before t s1 s2 =
+let[@ocube.zero_alloc] before t s1 s2 =
   let t1 = Float.Array.get t.time s1 and t2 = Float.Array.get t.time s2 in
   if t1 < t2 then true else if t1 > t2 then false else t.seq.(s1) < t.seq.(s2)
 
 let time t s = Float.Array.get t.time s
 
-let set_time t s v = Float.Array.set t.time s v
+let[@ocube.zero_alloc] set_time t s v = Float.Array.set t.time s v
 
 (* Boxing escape hatch: callers in other modules read/write fire times
    through this array so no float value crosses a (non-inlined) module
    boundary. Replaced wholesale by [grow] — never cache across alloc. *)
 let times t = t.time
 
-let seq t s = t.seq.(s)
+let[@ocube.zero_alloc] seq t s = t.seq.(s)
 
-let kind t s = t.kind.(s)
+let[@ocube.zero_alloc] kind t s = t.kind.(s)
 
 let payload_a t s = t.a.(s)
 
@@ -140,16 +142,17 @@ let thunk t s = t.thunk.(s)
 let is_tombstone t s = t.kind.(s) = kind_tombstone
 
 (* Intrusive link words: the wheel threads its bucket lists here. *)
-let next t s = t.next.(s)
+let[@ocube.zero_alloc] next t s = t.next.(s)
 
-let set_next t s v = t.next.(s) <- v
+let[@ocube.zero_alloc] set_next t s v = t.next.(s) <- v
 
-let bump_gen t s = t.gen.(s) <- (t.gen.(s) + 1) land gen_mask
+let[@ocube.zero_alloc] bump_gen t s =
+  t.gen.(s) <- (t.gen.(s) + 1) land gen_mask
 
 (* Return a surfaced slot (fired, or a surfaced tombstone) to the
    freelist. The generation of a live slot was already bumped by
    [cancel]; bump here for the fired case so the old timer id dies. *)
-let release t s =
+let[@ocube.zero_alloc] release t s =
   if t.kind.(s) >= 0 then begin
     t.live <- t.live - 1;
     bump_gen t s
@@ -163,7 +166,7 @@ let release t s =
    place — the slot is still linked inside some queue and is reclaimed
    when it surfaces. Returns [false] for stale ids (already fired,
    already cancelled, or recycled). *)
-let cancel t id =
+let[@ocube.zero_alloc] cancel t id =
   let s = id land slot_mask in
   if s >= t.cap then false
   else if t.kind.(s) < 0 then false
@@ -194,7 +197,7 @@ module Slot_heap = struct
 
   let is_empty h = h.size = 0
 
-  let rec sift_up h i =
+  let[@ocube.zero_alloc] rec sift_up h i =
     if i > 0 then begin
       let parent = (i - 1) / 2 in
       if before h.arena h.data.(i) h.data.(parent) then begin
@@ -205,35 +208,37 @@ module Slot_heap = struct
       end
     end
 
-  let rec sift_down h i =
+  let[@ocube.zero_alloc] rec sift_down h i =
     let l = (2 * i) + 1 and r = (2 * i) + 2 in
-    let smallest = ref i in
-    if l < h.size && before h.arena h.data.(l) h.data.(!smallest) then
-      smallest := l;
-    if r < h.size && before h.arena h.data.(r) h.data.(!smallest) then
-      smallest := r;
-    if !smallest <> i then begin
+    let smallest =
+      if l < h.size && before h.arena h.data.(l) h.data.(i) then l else i
+    in
+    let smallest =
+      if r < h.size && before h.arena h.data.(r) h.data.(smallest) then r
+      else smallest
+    in
+    if smallest <> i then begin
       let tmp = h.data.(i) in
-      h.data.(i) <- h.data.(!smallest);
-      h.data.(!smallest) <- tmp;
-      sift_down h !smallest
+      h.data.(i) <- h.data.(smallest);
+      h.data.(smallest) <- tmp;
+      sift_down h smallest
     end
 
-  let push h s =
+  let[@ocube.zero_alloc] push h s =
     let cap = Array.length h.data in
-    if h.size = cap then begin
-      let ncap = if cap = 0 then 32 else 2 * cap in
-      let nd = Array.make ncap no_slot in
-      Array.blit h.data 0 nd 0 h.size;
-      h.data <- nd
-    end;
+    if h.size = cap then
+      (let ncap = if cap = 0 then 32 else 2 * cap in
+       let nd = Array.make ncap no_slot in
+       Array.blit h.data 0 nd 0 h.size;
+       h.data <- nd)
+      [@ocube.alloc_ok (* amortised doubling *)];
     h.data.(h.size) <- s;
     h.size <- h.size + 1;
     sift_up h (h.size - 1)
 
-  let peek h = if h.size = 0 then no_slot else h.data.(0)
+  let[@ocube.zero_alloc] peek h = if h.size = 0 then no_slot else h.data.(0)
 
-  let pop h =
+  let[@ocube.zero_alloc] pop h =
     if h.size = 0 then no_slot
     else begin
       let top = h.data.(0) in

@@ -138,7 +138,7 @@ let run_hook t =
 
 let now t = Float.Array.get t.clock 0
 
-let enqueue t s =
+let[@ocube.zero_alloc] enqueue t s =
   match t.queue with
   | Qheap h -> Arena.Slot_heap.push h s
   | Qwheel w -> Wheel.insert w s
@@ -157,7 +157,7 @@ let schedule t ~delay action =
     invalid_arg "Engine.schedule: negative or non-finite delay";
   schedule_at t ~time:(now t +. delay) action
 
-let schedule_packed t ~delay ~cls ~a ~b =
+let[@ocube.zero_alloc] schedule_packed t ~delay ~cls ~a ~b =
   if not (Float.is_finite delay) || delay < 0.0 then
     invalid_arg "Engine.schedule: negative or non-finite delay";
   if cls <= 0 || cls >= t.n_classes then
@@ -169,7 +169,7 @@ let schedule_packed t ~delay ~cls ~a ~b =
   enqueue t s;
   Arena.id_of t.arena s
 
-let cancel t id = ignore (Arena.cancel t.arena id)
+let[@ocube.zero_alloc] cancel t id = ignore (Arena.cancel t.arena id)
 
 let pending t = Arena.live t.arena
 
@@ -177,33 +177,40 @@ let quiescent t = Arena.live t.arena = 0
 
 (* Pop the next live slot, reclaiming tombstones as they surface. The
    wheel does its own tombstone filtering internally. *)
-let next_live t =
+let[@ocube.zero_alloc] rec heap_pop_live t h =
+  let s = Arena.Slot_heap.pop h in
+  if s <> Arena.no_slot && Arena.is_tombstone t.arena s then begin
+    Arena.release t.arena s;
+    heap_pop_live t h
+  end
+  else s
+
+let[@ocube.zero_alloc] next_live t =
   match t.queue with
   | Qwheel w -> Wheel.pop w
-  | Qheap h ->
-    let rec go () =
-      let s = Arena.Slot_heap.pop h in
-      if s <> Arena.no_slot && Arena.is_tombstone t.arena s then begin
-        Arena.release t.arena s;
-        go ()
-      end
-      else s
-    in
-    go ()
+  | Qheap h -> heap_pop_live t h
 
 (* Advance the clock and dispatch a popped slot. The slot is released
    before the handler runs: the handler may schedule new events (which
    recycle it immediately — the arena stays as small as the peak live
    count) and a [cancel] of the fired id inside the handler is a
    harmless stale-id no-op. *)
-let fire t s =
+let[@ocube.zero_alloc] fire t s =
   Float.Array.set t.clock 0 (Float.Array.get (Arena.times t.arena) s);
   let kind = Arena.kind t.arena s in
   let a = Arena.payload_a t.arena s in
   let b = Arena.payload_b t.arena s in
-  let f = Arena.thunk t.arena s in
+  let f =
+    (Arena.thunk t.arena s)
+    [@ocube.alloc_ok
+      (* flat array read; the arrow in the result type is the stored
+         thunk itself, not an un-applied parameter *)]
+  in
   Arena.release t.arena s;
-  if Int.equal kind closure_class then f () else t.classes.(kind) a b
+  (if Int.equal kind closure_class then f () else t.classes.(kind) a b)
+  [@ocube.alloc_ok
+    (* dynamic dispatch into the event's own handler: the packed-path
+       class handlers are proven zero-alloc where they are defined *)]
 
 let step t =
   let s = next_live t in

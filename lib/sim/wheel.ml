@@ -82,13 +82,13 @@ let abucket t time =
   let f = time *. t.tick_inv in
   if f >= float_of_int max_cur then max_int else int_of_float f
 
-let link t lvl idx s =
+let[@ocube.zero_alloc] link t lvl idx s =
   let i = (lvl lsl w_bits) lor idx in
   Arena.set_next t.arena s t.buckets.(i);
   t.buckets.(i) <- s;
   t.level_live.(lvl) <- t.level_live.(lvl) + 1
 
-let insert t s =
+let[@ocube.zero_alloc] insert t s =
   (* Read through the backing array ({!Arena.times}): no float is boxed
      here even with cross-module inlining off. *)
   let f = Float.Array.get (Arena.times t.arena) s *. t.tick_inv in
@@ -102,7 +102,7 @@ let insert t s =
   else Arena.Slot_heap.push t.overflow s
 
 (* Drop cancelled events from the overflow top; peek the live head. *)
-let rec overflow_head t =
+let[@ocube.zero_alloc] rec overflow_head t =
   let s = Arena.Slot_heap.peek t.overflow in
   if s <> Arena.no_slot && Arena.is_tombstone t.arena s then begin
     ignore (Arena.Slot_heap.pop t.overflow);
@@ -112,7 +112,7 @@ let rec overflow_head t =
   else s
 
 (* Pull overflow events whose tick is now within the wheel horizon. *)
-let rec pull t =
+let[@ocube.zero_alloc] rec pull t =
   let s = overflow_head t in
   if
     s <> Arena.no_slot
@@ -126,52 +126,58 @@ let rec pull t =
 (* Redistribute one higher-level bucket: its events now sit less than a
    level-span away from [cur] and fall through to lower levels (or the
    near-heap). Cancelled events are reclaimed instead of reinserted. *)
-let cascade t lvl idx =
-  let i = (lvl lsl w_bits) lor idx in
-  let s = ref t.buckets.(i) in
-  t.buckets.(i) <- Arena.no_slot;
-  while !s <> Arena.no_slot do
-    let cur = !s in
-    s := Arena.next t.arena cur;
+let[@ocube.zero_alloc] rec requeue_bucket t lvl s =
+  if s <> Arena.no_slot then begin
+    let nxt = Arena.next t.arena s in
     t.level_live.(lvl) <- t.level_live.(lvl) - 1;
-    if Arena.is_tombstone t.arena cur then Arena.release t.arena cur
-    else insert t cur
-  done
+    if Arena.is_tombstone t.arena s then Arena.release t.arena s
+    else insert t s;
+    requeue_bucket t lvl nxt
+  end
+
+let[@ocube.zero_alloc] cascade t lvl idx =
+  let i = (lvl lsl w_bits) lor idx in
+  let head = t.buckets.(i) in
+  t.buckets.(i) <- Arena.no_slot;
+  requeue_bucket t lvl head
 
 (* The level-0 bucket at [cur] holds exactly the events of tick [cur]:
    move them into the near-heap, which orders them by (time, seq). *)
-let move_current t =
-  let i = t.cur land w_mask in
-  let s = ref t.buckets.(i) in
-  t.buckets.(i) <- Arena.no_slot;
-  while !s <> Arena.no_slot do
-    let cur = !s in
-    s := Arena.next t.arena cur;
+let[@ocube.zero_alloc] rec near_bucket t s =
+  if s <> Arena.no_slot then begin
+    let nxt = Arena.next t.arena s in
     t.level_live.(0) <- t.level_live.(0) - 1;
-    if Arena.is_tombstone t.arena cur then Arena.release t.arena cur
-    else Arena.Slot_heap.push t.near cur
-  done
+    if Arena.is_tombstone t.arena s then Arena.release t.arena s
+    else Arena.Slot_heap.push t.near s;
+    near_bucket t nxt
+  end
+
+let[@ocube.zero_alloc] move_current t =
+  let i = t.cur land w_mask in
+  let head = t.buckets.(i) in
+  t.buckets.(i) <- Arena.no_slot;
+  near_bucket t head
 
 (* All wheels empty: jump to the overflow head's tick. Ticks beyond
    [max_cur] conflate in [abucket]; parking [cur] at [max_cur] routes
    every subsequent insert into the near-heap, whose exact (time, seq)
    key keeps the order right — the wheel degenerates into a plain heap
    instead of mis-bucketing astronomical times. *)
-let jump t =
+let[@ocube.zero_alloc] rec drain_overflow t =
+  let s = overflow_head t in
+  if s <> Arena.no_slot then begin
+    ignore (Arena.Slot_heap.pop t.overflow);
+    Arena.Slot_heap.push t.near s;
+    drain_overflow t
+  end
+
+let[@ocube.zero_alloc] jump t =
   let h = overflow_head t in
   if h <> Arena.no_slot then begin
     let ab0 = abucket t (Float.Array.get (Arena.times t.arena) h) in
     if ab0 >= max_cur then begin
       t.cur <- max_cur;
-      let rec drain () =
-        let s = overflow_head t in
-        if s <> Arena.no_slot then begin
-          ignore (Arena.Slot_heap.pop t.overflow);
-          Arena.Slot_heap.push t.near s;
-          drain ()
-        end
-      in
-      drain ()
+      drain_overflow t
     end
     else begin
       if ab0 > t.cur then t.cur <- ab0;
@@ -185,7 +191,7 @@ let jump t =
    the next cascade boundary of the level above — every such jump still
    lands exactly on all intermediate cascade boundaries, so no
    redistribution is missed. *)
-let advance t =
+let[@ocube.zero_alloc] advance t =
   if t.level_live.(0) + t.level_live.(1) + t.level_live.(2) > 0 then begin
     let next =
       if t.level_live.(0) > 0 then t.cur + 1
@@ -210,7 +216,7 @@ let advance t =
   end
   else false
 
-let rec pop t =
+let[@ocube.zero_alloc] rec pop t =
   let s = Arena.Slot_heap.pop t.near in
   if s <> Arena.no_slot then
     if Arena.is_tombstone t.arena s then begin

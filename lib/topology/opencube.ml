@@ -91,15 +91,16 @@ let log2 n =
    Branch-free — smear the top bit down, then SWAR-popcount the mask.
    The 64-bit popcount constants do not fit OCaml's 63-bit ints, so the
    count runs on two 32-bit halves; node ids are < 2^25 anyway. *)
-let popcount32 v =
+let[@ocube.zero_alloc] popcount32 v =
   let v = v - ((v lsr 1) land 0x55555555) in
   let v = (v land 0x33333333) + ((v lsr 2) land 0x33333333) in
   let v = (v + (v lsr 4)) land 0x0F0F0F0F in
   ((v * 0x01010101) lsr 24) land 0x3F
 
-let popcount v = popcount32 (v land 0xFFFFFFFF) + popcount32 ((v lsr 32) land 0x7FFFFFFF)
+let[@ocube.zero_alloc] popcount v =
+  popcount32 (v land 0xFFFFFFFF) + popcount32 ((v lsr 32) land 0x7FFFFFFF)
 
-let dist i j =
+let[@ocube.zero_alloc] dist i j =
   let x = i lxor j in
   let x = x lor (x lsr 1) in
   let x = x lor (x lsr 2) in
@@ -244,7 +245,7 @@ let p_group ~d i =
 
 (* Raw father as an int, -1 for none: the representation-agnostic accessor
    everything generic below is written against. *)
-let father_raw t i =
+let[@ocube.zero_alloc] father_raw t i =
   match t with
   | E t -> ( match t.fathers.(i) with None -> -1 | Some f -> f)
   | I t -> t.ifathers.{i}
@@ -286,7 +287,7 @@ let root t =
     r
   end
 
-let power t i =
+let[@ocube.zero_alloc] power t i =
   check_node t i;
   match father_raw t i with -1 -> pmax t | f -> dist i f - 1
 
@@ -298,18 +299,18 @@ let power t i =
    states terminate in at most [d] steps with a node whose father is [i];
    anything else means the state is not a legal open cube and the caller
    must fall back to the scan. *)
-let implicit_son_at (it : implicit_t) i d =
+let[@ocube.zero_alloc] rec son_climb (it : implicit_t) i d blk j steps =
+  if steps > d then -1
+  else
+    let f = it.ifathers.{j} in
+    if f = i then j
+    else if f >= 0 && f lsr (d - 1) = blk then son_climb it i d blk f (steps + 1)
+    else -1
+
+let[@ocube.zero_alloc] implicit_son_at (it : implicit_t) i d =
   let m = i lxor (1 lsl (d - 1)) in
   let blk = m lsr (d - 1) in
-  let rec up j steps =
-    if steps > d then -1
-    else
-      let f = it.ifathers.{j} in
-      if f = i then j
-      else if f >= 0 && f lsr (d - 1) = blk then up f (steps + 1)
-      else -1
-  in
-  up m 0
+  son_climb it i d blk m 0
 
 (* O(N) fallback with exactly the explicit semantics, used while the
    implicit tree is untrusted (recovery transients, unchecked adoptions). *)
@@ -375,7 +376,7 @@ let last_son t i =
       done;
       if !best < 0 then None else Some !best
 
-let is_last_son t ~son ~father:fa =
+let[@ocube.zero_alloc] is_last_son t ~son ~father:fa =
   check_node t son;
   check_node t fa;
   father_raw t son = fa && son <> fa && dist fa son = power t fa

@@ -1,0 +1,15 @@
+(* Seeded domain-race violations: a captured shared ref written inside a
+   pool closure with no striping evidence, and a closure that reaches a
+   module-global writer through a call. *)
+
+let total = ref 0
+
+let bump () = total := !total + 1
+
+let sum_hits pool n =
+  let hits = ref 0 in
+  Ocube_par.Pool.parallel_for pool ~n (fun _i -> hits := !hits + 1);
+  !hits
+
+let run_bumps pool n =
+  Ocube_par.Pool.parallel_for pool ~n (fun _i -> bump ())

@@ -1,0 +1,7 @@
+val total : int ref
+
+val bump : unit -> unit
+
+val sum_hits : Ocube_par.Pool.t -> int -> int
+
+val run_bumps : Ocube_par.Pool.t -> int -> unit

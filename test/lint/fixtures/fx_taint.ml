@@ -1,0 +1,9 @@
+(* Seeded determinism-taint violations: the ambient clock read is buried
+   two calls deep, so only the interprocedural fixpoint can see that
+   [caller] is tainted. *)
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+let helper () = now_ms () +. 1.0
+
+let caller () = helper () > 0.0

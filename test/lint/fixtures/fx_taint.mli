@@ -1,0 +1,5 @@
+val now_ms : unit -> float
+
+val helper : unit -> float
+
+val caller : unit -> bool

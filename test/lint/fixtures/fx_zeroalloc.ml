@@ -1,0 +1,9 @@
+(* Seeded zero-alloc violation: the allocating construct sits two calls
+   below the annotated function, so only the reachability fixpoint can
+   refute the proof. *)
+
+let build n = Array.make n 0
+
+let helper n = build n
+
+let[@ocube.zero_alloc] packed n = Array.length (helper n)

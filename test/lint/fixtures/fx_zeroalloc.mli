@@ -1,0 +1,5 @@
+val build : int -> int array
+
+val helper : int -> int array
+
+val packed : int -> int

@@ -7,6 +7,7 @@
 module Diag = Ocube_lint.Diag
 module Allowlist = Ocube_lint.Allowlist
 module Driver = Ocube_lint.Driver
+module Callgraph = Ocube_lint.Callgraph
 
 let lowercase = "abcdefghijklmnopqrstuvwxyz"
 
@@ -58,6 +59,64 @@ let reporter_roundtrip =
       let parsed = List.filter_map Diag.of_string lines in
       List.length parsed = List.length ds
       && List.for_all2 Diag.equal ds parsed)
+
+(* A call-graph segment: a module-qualified name like [Engine.fire]. The
+   interprocedural diagnostics embed whole chains of these in their
+   message; the rendered arrow form must survive the diagnostic text
+   contract and split back into the original segments. *)
+let gen_segment =
+  QCheck.Gen.map2
+    (fun m f -> String.capitalize_ascii m ^ "." ^ f)
+    (string_of ~min_len:1 QCheck.Gen.(int_range 1 8))
+    (string_of ~extra:"_" ~min_len:1 QCheck.Gen.(int_range 1 10))
+
+let gen_chain = QCheck.Gen.(list_size (int_range 1 6) gen_segment)
+
+(* Inverse of [Callgraph.render_chain]: split on the literal arrow. *)
+let split_chain s =
+  let arrow = " -> " in
+  let alen = String.length arrow in
+  let slen = String.length s in
+  let rec next_arrow i =
+    if i + alen > slen then None
+    else if String.sub s i alen = arrow then Some i
+    else next_arrow (i + 1)
+  in
+  let rec go acc start =
+    match next_arrow start with
+    | Some i -> go (String.sub s start (i - start) :: acc) (i + alen)
+    | None -> List.rev (String.sub s start (slen - start) :: acc)
+  in
+  go [] 0
+
+let chain_roundtrip =
+  QCheck.Test.make ~name:"call chain renders and splits back" ~count:300
+    QCheck.(make ~print:Callgraph.render_chain gen_chain)
+    (fun chain -> split_chain (Callgraph.render_chain chain) = chain)
+
+(* The chain travels inside a diagnostic message (the taint format); the
+   whole line must round-trip through the Diag text contract with the
+   chain intact. *)
+let chain_diag_roundtrip =
+  QCheck.Test.make ~name:"chain diagnostic round-trips through Diag"
+    ~count:300
+    QCheck.(
+      make
+        ~print:(fun (f, l, c) ->
+          Printf.sprintf "%s:%d %s" f l (Callgraph.render_chain c))
+        (Gen.triple gen_file (Gen.int_range 1 9999) gen_chain))
+    (fun (file, line, chain) ->
+      let message =
+        Printf.sprintf
+          "call into %s reaches ambient time/randomness (%s); thread \
+           randomness through Ocube_sim.Rng"
+          (List.hd chain)
+          (Callgraph.render_chain chain)
+      in
+      let d = Diag.make ~file ~line ~rule:"determinism-taint" ~message in
+      match Diag.of_string (Diag.to_string d) with
+      | None -> false
+      | Some d' -> Diag.equal d d')
 
 (* A note: free-form justification, but the textual form trims each line,
    so leading/trailing whitespace cannot survive (and does not need to). *)
@@ -156,12 +215,64 @@ let malformed_unit () =
     [ ""; "no-colon determinism msg"; "a.ml:x determinism msg";
       "a.ml:0 determinism msg"; ":3 rule msg"; "a.ml:3" ]
 
+(* --check-allowlist policy: an entry is stale when it suppresses no
+   diagnostic of this run, unjustified when its note is empty. Both are
+   judged against the pre-filter diagnostics, so an entry that suppresses
+   something is never stale even though the finding no longer surfaces. *)
+let allowlist_report_unit () =
+  let t =
+    match
+      Allowlist.of_string
+        "determinism bin/ocmutex.ml wall clock for --time\n\
+         zero-alloc lib/sim/engine.ml\n\
+         domain-race lib/par/pool.ml memo write is main-domain only\n"
+    with
+    | Ok t -> t
+    | Error m -> Alcotest.fail m
+  in
+  let diags =
+    [
+      Diag.make ~file:"bin/ocmutex.ml" ~line:3 ~rule:"determinism"
+        ~message:"m";
+      Diag.make ~file:"lib/sim/engine.ml" ~line:7 ~rule:"zero-alloc"
+        ~message:"m";
+    ]
+  in
+  let stale, unjustified = Driver.allowlist_report t diags in
+  Alcotest.(check (list string))
+    "stale: the pool entry suppressed nothing"
+    [ "domain-race lib/par/pool.ml" ]
+    (List.map (fun (e : Allowlist.entry) -> e.rule ^ " " ^ e.path) stale);
+  Alcotest.(check (list string))
+    "unjustified: the engine entry has no note"
+    [ "zero-alloc lib/sim/engine.ml" ]
+    (List.map (fun (e : Allowlist.entry) -> e.rule ^ " " ^ e.path) unjustified);
+  (* Every entry earning its keep with a note: both lists empty. *)
+  let stale, unjustified =
+    Driver.allowlist_report t
+      (diags
+      @ [
+          Diag.make ~file:"lib/par/pool.ml" ~line:9 ~rule:"domain-race"
+            ~message:"m";
+        ])
+  in
+  Alcotest.(check int) "nothing stale" 0 (List.length stale);
+  Alcotest.(check (list string))
+    "unjustified is independent of matching"
+    [ "zero-alloc lib/sim/engine.ml" ]
+    (List.map (fun (e : Allowlist.entry) -> e.rule ^ " " ^ e.path) unjustified)
+
 let suite =
   List.map
     (fun t -> QCheck_alcotest.to_alcotest ~long:false t)
-    [ diag_roundtrip; reporter_roundtrip; allowlist_roundtrip ]
+    [
+      diag_roundtrip; reporter_roundtrip; chain_roundtrip;
+      chain_diag_roundtrip; allowlist_roundtrip;
+    ]
   @ [
       Alcotest.test_case "allowlist permits semantics" `Quick permits_unit;
+      Alcotest.test_case "allowlist staleness report" `Quick
+        allowlist_report_unit;
       Alcotest.test_case "diag sort_uniq order" `Quick sort_uniq_unit;
       Alcotest.test_case "diag rejects malformed lines" `Quick malformed_unit;
     ]
