@@ -572,6 +572,19 @@ let run_replay script =
   | Error m ->
     Printf.eprintf "bad scenario script: %s\n" m;
     1
+  (* process replays fork real processes under wall-clock timing: the
+     oracle verdict is reproducible, the digest is not bit-stable *)
+  | Ok ({ Scenario.runtime = Scenario.Proc; _ } as s) -> (
+    match Fuzz.run s with
+    | Ok d ->
+      Format.printf "scenario : %a@." Scenario.pp s;
+      Format.printf "digest   : %a@." Fuzz.pp_digest d;
+      print_endline "verdict  : all invariants hold (process runtime)";
+      0
+    | Error m ->
+      Format.printf "scenario : %a@." Scenario.pp s;
+      Printf.printf "verdict  : INVARIANT VIOLATED - %s\n" m;
+      2)
   | Ok s -> (
     match (Fuzz.run s, Fuzz.run s) with
     | Ok d1, Ok d2 ->
@@ -591,10 +604,14 @@ let run_replay script =
       Printf.printf "verdict  : INVARIANT VIOLATED - %s\n" m;
       2)
 
-let run_fuzz seed jobs iters time algos max_p no_faults replay progress_every =
+let run_fuzz seed jobs iters time algos max_p no_faults runtime replay
+    progress_every =
   match replay with
   | Some script -> run_replay script
   | None -> (
+    (* forking clusters from pool domains is a hazard; proc campaigns
+       run serially (each scenario is itself 2^p processes) *)
+    let jobs = if runtime = Scenario.Proc then 1 else jobs in
     let algos =
       match algos with
       | [] -> Scenario.all_algos
@@ -611,7 +628,9 @@ let run_fuzz seed jobs iters time algos max_p no_faults replay progress_every =
           Printf.eprintf "unknown algorithm %S\n" bad;
           exit 1)
     in
-    let opts = { Scenario.algos; max_p; with_faults = not no_faults } in
+    let opts =
+      { Scenario.algos; max_p; with_faults = not no_faults; runtime }
+    in
     let t0 = Unix.gettimeofday () in
     let stop =
       match time with
@@ -677,9 +696,21 @@ let fuzz_cmd =
   let replay_arg =
     let doc =
       "Replay one scenario script (as printed for a counterexample) twice \
-       and check the runs are bit-identical."
+       and check the runs are bit-identical (process scenarios replay once \
+       under the oracle; their wall-clock digests are not bit-stable)."
     in
     Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"SCRIPT" ~doc)
+  in
+  let runtime_arg =
+    let doc =
+      "Execution runtime for generated scenarios: $(b,des) runs the \
+       deterministic simulator, $(b,proc) forks one real Unix process per \
+       node and injects faults with SIGKILL."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("des", Scenario.Des); ("proc", Scenario.Proc) ]) Scenario.Des
+      & info [ "runtime" ] ~docv:"RT" ~doc)
   in
   let progress_arg =
     let doc = "Print a progress line every $(docv) scenarios (0 = quiet)." in
@@ -693,8 +724,166 @@ let fuzz_cmd =
     Term.(
       const (fun () () -> run_fuzz)
       $ topology_term $ scheduler_term $ seed_arg $ jobs_arg $ iters_arg
-      $ time_arg $ algos_arg $ max_p_arg $ no_faults_arg $ replay_arg
-      $ progress_arg)
+      $ time_arg $ algos_arg $ max_p_arg $ no_faults_arg $ runtime_arg
+      $ replay_arg $ progress_arg)
+
+(* --- cluster ----------------------------------------------------------------- *)
+
+module Cluster = Ocube_proc.Cluster
+module Pspec = Ocube_proc.Spec
+module Rng = Ocube_sim.Rng
+
+type kill_mode = K_none | K_leader | K_random | K_cascade
+
+let run_cluster seed algo n kill cs tick per_node deadline no_ft log_file =
+  match Pspec.of_name algo with
+  | None ->
+    Printf.eprintf "unknown algorithm %S (expected one of: %s)\n" algo
+      (String.concat ", " (List.map Pspec.name Pspec.all));
+    1
+  | Some algo ->
+    if n < 2 || n land (n - 1) <> 0 then begin
+      Printf.eprintf "-n must be a power of two >= 2 (got %d)\n" n;
+      1
+    end
+    else begin
+      let p =
+        let rec go p = if 1 lsl p >= n then p else go (p + 1) in
+        go 1
+      in
+      let ft = Pspec.fault_tolerant algo && not no_ft in
+      let rng = Rng.create seed in
+      let kills =
+        match kill with
+        | K_none -> []
+        | K_leader -> [ Cluster.Kill_leader 1 ]
+        | K_random ->
+          [
+            Cluster.Kill_at
+              { after = 0.1 +. Rng.float rng 0.6; node = Rng.int rng n };
+          ]
+        | K_cascade ->
+          let a = Rng.int rng n in
+          let b = (a + 1 + Rng.int rng (n - 1)) mod n in
+          [
+            Cluster.Kill_at { after = 0.3; node = a };
+            Cluster.Kill_at { after = 0.8; node = b };
+          ]
+      in
+      if kills <> [] && not ft then begin
+        Printf.eprintf
+          "kill schedules need a fault-tolerant algorithm (opencube, \
+           without --no-ft)\n";
+        1
+      end
+      else begin
+        let cfg =
+          {
+            Cluster.algo;
+            params = { (Pspec.default_params ~p) with Pspec.ft };
+            tick;
+            delta = 1.0;
+            cs;
+            workload = Cluster.Closed_loop { per_node };
+            kills;
+            deadline;
+            metrics = true;
+          }
+        in
+        let o = Cluster.run cfg in
+        Printf.printf "cluster  : algo=%s n=%d tick=%g cs=%g per-node=%d\n"
+          (Pspec.name algo) n tick cs per_node;
+        Printf.printf
+          "outcome  : wishes=%d served=%d abandoned=%d entries=%d kills=[%s] \
+           violations=%d\n"
+          o.Cluster.wishes o.Cluster.served o.Cluster.abandoned
+          o.Cluster.entries
+          (String.concat "," (List.map string_of_int o.Cluster.killed))
+          (List.length o.Cluster.violations);
+        (match log_file with
+        | None -> ()
+        | Some path ->
+          let oc = open_out path in
+          Cluster.write_log oc o;
+          close_out oc;
+          Printf.printf "log      : %d events -> %s\n"
+            (List.length o.Cluster.events) path);
+        match Cluster.oracle_clean o with
+        | Ok () ->
+          print_endline
+            "verdict  : oracle clean (mutual exclusion held, survivors \
+             drained, clean exits)";
+          0
+        | Error e ->
+          Printf.printf "verdict  : ORACLE VIOLATED - %s\n" e;
+          2
+      end
+    end
+
+let cluster_cmd =
+  let algo_arg =
+    let doc =
+      "Algorithm: opencube, raymond, naimi-trehel, central, suzuki-kasami, \
+       ricart-agrawala."
+    in
+    Arg.(value & opt string "opencube" & info [ "a"; "algo" ] ~docv:"ALGO" ~doc)
+  in
+  let n_arg =
+    let doc = "Cluster size: one forked process per node (a power of two)." in
+    Arg.(value & opt int 8 & info [ "n"; "nodes" ] ~docv:"N" ~doc)
+  in
+  let kill_arg =
+    let doc =
+      "Fault injection: $(b,none); $(b,leader) SIGKILLs the first node to \
+       enter its critical section, at entry (the token holder, mid-CS); \
+       $(b,random) kills one seeded-random node at a random time; \
+       $(b,cascade) kills two distinct nodes 0.5s apart."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("none", K_none); ("leader", K_leader); ("random", K_random);
+               ("cascade", K_cascade);
+             ])
+          K_none
+      & info [ "kill" ] ~docv:"MODE" ~doc)
+  in
+  let cs_arg =
+    let doc = "Critical-section duration in simulated time units." in
+    Arg.(value & opt float 2.0 & info [ "cs" ] ~docv:"D" ~doc)
+  in
+  let tick_arg =
+    let doc = "Wall seconds per simulated time unit." in
+    Arg.(value & opt float 0.02 & info [ "tick" ] ~docv:"S" ~doc)
+  in
+  let per_node_arg =
+    let doc = "Closed-loop wishes per node." in
+    Arg.(value & opt int 2 & info [ "per-node" ] ~docv:"K" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Wall-clock budget in seconds; overrun counts as undrained." in
+    Arg.(value & opt float 30.0 & info [ "deadline" ] ~docv:"S" ~doc)
+  in
+  let no_ft_arg =
+    let doc = "Disarm the open-cube fault-tolerance machinery." in
+    Arg.(value & flag & info [ "no-ft" ] ~doc)
+  in
+  let log_arg =
+    let doc = "Write the merged per-node event log to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "Run the algorithm on a local cluster of real forked processes \
+     (length-prefixed wire frames over socketpairs), optionally SIGKILLing \
+     nodes mid-run, and check the merged event log against the \
+     mutual-exclusion and drain oracle."
+  in
+  Cmd.v (Cmd.info "cluster" ~doc)
+    Term.(
+      const run_cluster $ seed_arg $ algo_arg $ n_arg $ kill_arg $ cs_arg
+      $ tick_arg $ per_node_arg $ deadline_arg $ no_ft_arg $ log_arg)
 
 (* --- sweep ------------------------------------------------------------------- *)
 
@@ -850,6 +1039,6 @@ let () =
        (Cmd.group ~default info
           [
             experiments_cmd; list_cmd; simulate_cmd; metrics_cmd; tree_cmd;
-            dot_cmd; verify_cmd; walkthrough_cmd; fuzz_cmd; sweep_cmd;
-            lint_cmd;
+            dot_cmd; verify_cmd; walkthrough_cmd; fuzz_cmd; cluster_cmd;
+            sweep_cmd; lint_cmd;
           ]))

@@ -147,10 +147,83 @@ let digest env =
 
 let max_steps = 100_000_000
 
-let run ?(build = build) s =
-  match Scenario.validate s with
-  | Error m -> Error ("invalid scenario: " ^ m)
-  | Ok () ->
+(* --- process-runtime dispatch -------------------------------------------- *)
+
+module Cluster = Ocube_proc.Cluster
+module Pspec = Ocube_proc.Spec
+
+let proc_algo = function
+  | Scenario.Opencube -> Pspec.Opencube
+  | Scenario.Raymond -> Pspec.Raymond
+  | Scenario.Naimi_trehel -> Pspec.Naimi_trehel
+  | Scenario.Central -> Pspec.Central
+  | Scenario.Suzuki_kasami -> Pspec.Suzuki_kasami
+  | Scenario.Ricart_agrawala -> Pspec.Ricart_agrawala
+
+(* Wall seconds per simulated unit for process replays: small enough that
+   a scenario runs in about a second, large enough that a CS still spans
+   many scheduler quanta. *)
+let proc_tick = 0.005
+
+let proc_config (s : Scenario.t) =
+  let n = Scenario.nodes s in
+  let wishes = List.length s.arrivals in
+  (* The cluster drives wishes itself (real processes have no global
+     arrival clock), so only the workload's size and shape carry over:
+     serial scenarios become lockstep rounds, concurrent ones a closed
+     loop of the same total volume. *)
+  let per_node = (wishes + n - 1) / n in
+  let workload =
+    if s.serial then Cluster.Lockstep { rounds = per_node }
+    else Cluster.Closed_loop { per_node }
+  in
+  let cs =
+    match s.cs with
+    | Runner.Fixed d -> d
+    | Runner.Exponential { mean; _ } -> mean
+  in
+  {
+    Cluster.algo = proc_algo s.algo;
+    params = { Pspec.p = s.p; ft = s.ft; patience = s.patience; lifo = s.lifo };
+    tick = proc_tick;
+    delta = 1.0;
+    cs;
+    workload;
+    kills =
+      List.map
+        (fun (at, node, _) ->
+          Cluster.Kill_at { after = at *. proc_tick; node })
+        s.faults;
+    deadline = 20.0;
+    metrics = false;
+  }
+
+let proc_digest (o : Cluster.outcome) =
+  let count f = List.length (List.filter (fun (_, ev) -> f ev) o.Cluster.events) in
+  let sends = count (function Cluster.Ev_send _ -> true | _ -> false) in
+  let drops = count (function Cluster.Ev_drop _ -> true | _ -> false) in
+  {
+    entries = o.Cluster.entries;
+    issued = o.Cluster.wishes;
+    messages = sends;
+    delivered = sends - drops;
+    dropped = drops;
+    abandoned = o.Cluster.abandoned;
+    outstanding = o.Cluster.wishes - o.Cluster.served - o.Cluster.abandoned;
+    (* wall-clock times are not reproducible; keep them out of the digest *)
+    end_time = 0.0;
+    wait_count = 0;
+    wait_mean = 0.0;
+    wait_max = 0.0;
+  }
+
+let run_proc s =
+  let o = Cluster.run (proc_config s) in
+  match Cluster.oracle_clean o with
+  | Error e -> Error e
+  | Ok () -> Ok (proc_digest o)
+
+let run_des ~build s =
     let { env; inst; structure } = build s in
     let spec = spec_of s structure in
     Oracle.install ~env ~inst spec;
@@ -170,6 +243,14 @@ let run ?(build = build) s =
     in
     Oracle.uninstall ~env;
     result
+
+let run ?(build = build) s =
+  match Scenario.validate s with
+  | Error m -> Error ("invalid scenario: " ^ m)
+  | Ok () -> (
+    match s.Scenario.runtime with
+    | Scenario.Des -> run_des ~build s
+    | Scenario.Proc -> run_proc s)
 
 let shrink ?build ?(max_runs = 500) s0 =
   let runs = ref 0 in

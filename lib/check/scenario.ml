@@ -25,7 +25,17 @@ let algo_name = function
 let algo_of_name s =
   List.find_opt (fun a -> algo_name a = s) all_algos
 
+type runtime = Des | Proc
+
+let runtime_name = function Des -> "des" | Proc -> "proc"
+
+let runtime_of_name = function
+  | "des" -> Some Des
+  | "proc" -> Some Proc
+  | _ -> None
+
 type t = {
+  runtime : runtime;
   algo : algo;
   p : int;
   seed : int;
@@ -47,9 +57,11 @@ type gen_opts = {
   algos : algo list;
   max_p : int;
   with_faults : bool;
+  runtime : runtime;
 }
 
-let default_opts = { algos = all_algos; max_p = 5; with_faults = true }
+let default_opts =
+  { algos = all_algos; max_p = 5; with_faults = true; runtime = Des }
 
 let cs_bound = function
   | Runner.Fixed d -> d
@@ -127,7 +139,10 @@ let gen_faults rng ~n =
 let generate ~rng ~opts =
   let algos = if opts.algos = [] then all_algos else opts.algos in
   let algo = Rng.choice rng (Array.of_list algos) in
-  let p = 1 + Rng.int rng (max 1 opts.max_p) in
+  (* Process scenarios fork 2^p real processes per run and crash them for
+     real: keep the cube small so a campaign stays seconds, not minutes. *)
+  let max_p = if opts.runtime = Proc then min opts.max_p 3 else opts.max_p in
+  let p = 1 + Rng.int rng (max 1 max_p) in
   let n = 1 lsl p in
   let seed = Rng.int rng 1_000_000 in
   let delay = gen_delay rng in
@@ -137,6 +152,12 @@ let generate ~rng ~opts =
     if opts.with_faults && algo = Opencube && (not serial) && Rng.bool rng
     then gen_faults rng ~n
     else []
+  in
+  (* SIGKILL is forever: the process runtime has no rejoin path. *)
+  let faults =
+    if opts.runtime = Proc then
+      List.map (fun (t, i, _) -> (t, i, None)) faults
+    else faults
   in
   (* Serial scenarios keep the fault machinery off so that ill-founded
      suspicions cannot inflate the per-request message count; any scenario
@@ -151,7 +172,22 @@ let generate ~rng ~opts =
   in
   let lifo = algo = Opencube && Rng.int rng 8 = 0 in
   let arrivals = gen_arrivals rng ~n ~serial ~p ~delay ~cs in
-  { algo; p; seed; delay; cs; ft; patience; lifo; serial; arrivals; faults }
+  (* real CS occupancy costs wall time; bound the per-scenario workload *)
+  let arrivals = if opts.runtime = Proc then take 16 arrivals else arrivals in
+  {
+    runtime = opts.runtime;
+    algo;
+    p;
+    seed;
+    delay;
+    cs;
+    ft;
+    patience;
+    lifo;
+    serial;
+    arrivals;
+    faults;
+  }
 
 let of_index ~fuzz_seed ~index ~opts =
   (* Splitmix-style per-index stream derivation: O(1) and collision-safe in
@@ -258,12 +294,13 @@ let faults_to_string = function
            | Some d -> Printf.sprintf "%s@%d!%s" (fstr t) i (fstr d))
          l)
 
-let to_string s =
+let to_string (s : t) =
   Printf.sprintf
-    "algo=%s p=%d seed=%d delay=%s cs=%s ft=%b patience=%s lifo=%b serial=%b \
-     arrivals=%s faults=%s"
-    (algo_name s.algo) s.p s.seed (delay_to_string s.delay)
-    (cs_to_string s.cs) s.ft (fstr s.patience) s.lifo s.serial
+    "runtime=%s algo=%s p=%d seed=%d delay=%s cs=%s ft=%b patience=%s \
+     lifo=%b serial=%b arrivals=%s faults=%s"
+    (runtime_name s.runtime) (algo_name s.algo) s.p s.seed
+    (delay_to_string s.delay) (cs_to_string s.cs) s.ft (fstr s.patience)
+    s.lifo s.serial
     (arrivals_to_string s.arrivals)
     (faults_to_string s.faults)
 
@@ -356,8 +393,19 @@ let of_string line =
       | Some a -> a
       | None -> pfail "unknown algorithm %S" v
     in
+    (* optional, defaulting to the simulator: corpus lines recorded before
+       the process runtime existed stay replayable verbatim *)
+    let runtime =
+      match List.assoc_opt "runtime" kvs with
+      | None -> Des
+      | Some v -> (
+        match runtime_of_name v with
+        | Some r -> r
+        | None -> pfail "unknown runtime %S" v)
+    in
     Ok
       {
+        runtime;
         algo;
         p = int_field "p" (get "p");
         seed = int_field "seed" (get "seed");
@@ -379,6 +427,14 @@ let validate s =
     if Float.is_finite f && f >= 0.0 then Ok () else err "%s: bad time" name
   in
   if s.p < 1 || s.p > 10 then err "p must be in 1..10"
+  else if s.runtime = Proc && s.p > 4 then
+    err "proc runtime: p must be in 1..4 (each node is a real process)"
+  else if
+    s.runtime = Proc
+    && List.exists (fun (_, _, r) -> r <> None) s.faults
+  then err "proc runtime: faults cannot recover (SIGKILL is forever)"
+  else if s.runtime = Proc && s.faults <> [] && not (s.algo = Opencube && s.ft)
+  then err "proc runtime: kill schedules need the fault-tolerant open cube"
   else if s.patience <= 0.0 then err "patience must be positive"
   else if
     List.exists (fun (_, i) -> i < 0 || i >= n) s.arrivals

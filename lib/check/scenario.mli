@@ -29,7 +29,16 @@ val algo_name : algo -> string
 
 val algo_of_name : string -> algo option
 
+type runtime =
+  | Des  (** the deterministic discrete-event simulator *)
+  | Proc  (** forked Unix processes over sockets, faults are real SIGKILL *)
+
+val runtime_name : runtime -> string
+
+val runtime_of_name : string -> runtime option
+
 type t = {
+  runtime : runtime;
   algo : algo;
   p : int;  (** cube dimension: [n = 2^p] nodes *)
   seed : int;  (** environment seed: delays, exponential CS durations *)
@@ -54,6 +63,10 @@ type gen_opts = {
   algos : algo list;
   max_p : int;
   with_faults : bool;  (** allow fault schedules (open-cube scenarios only) *)
+  runtime : runtime;
+      (** [Proc] scenarios are clamped to small cubes and short workloads
+          (every run forks [2^p] real processes) and their faults never
+          recover — a SIGKILLed process stays dead *)
 }
 
 val default_opts : gen_opts

@@ -8,6 +8,27 @@
 
 open Types
 
+(** The protocol core, abstracted over its runtime ({!Runtime.S}). *)
+module Make (R : Runtime.S) : sig
+  type t
+
+  val create : net:R.t -> callbacks:callbacks -> n:int -> unit -> t
+
+  val request_cs : t -> node_id -> unit
+
+  val release_cs : t -> node_id -> unit
+
+  val instance : t -> instance
+
+  val queue_length : t -> int
+
+  val invariant_check : t -> (unit, string) result
+end
+
+(** {1 Simulator instantiation}
+
+    [Make (Runtime.Sim)], re-exported under the historical interface. *)
+
 type t
 
 val create : net:Net.t -> callbacks:callbacks -> n:int -> unit -> t

@@ -28,6 +28,37 @@ type rule =
   | Always_transit
   | Custom of (self:node_id -> origin:node_id -> power:int -> [ `Transit | `Proxy ])
 
+(** The protocol core, abstracted over its runtime ({!Runtime.S}). *)
+module Make (R : Runtime.S) : sig
+  type t
+
+  val create :
+    net:R.t ->
+    callbacks:callbacks ->
+    tree:node_id option array ->
+    rule:rule ->
+    unit ->
+    t
+
+  val request_cs : t -> node_id -> unit
+
+  val release_cs : t -> node_id -> unit
+
+  val instance : t -> instance
+
+  val father : t -> node_id -> node_id option
+
+  val snapshot_tree : t -> node_id option array
+
+  val token_holders : t -> node_id list
+
+  val invariant_check : t -> (unit, string) result
+end
+
+(** {1 Simulator instantiation}
+
+    [Make (Runtime.Sim)], re-exported under the historical interface. *)
+
 type t
 
 val create :

@@ -1,151 +1,156 @@
 open Types
 
-type node = {
-  id : node_id;
-  mutable father : node_id option;  (* probable owner; None = I am the tail *)
-  mutable next : node_id option;  (* distributed waiting queue link *)
-  mutable requesting : bool;
-  mutable token_here : bool;
-  mutable in_cs : bool;
-}
+module Make (R : Runtime.S) = struct
 
-type t = {
-  net : Net.t;
-  callbacks : callbacks;
-  nodes : node array;
-  mutable tokens_in_flight : int;
-}
+  type node = {
+    id : node_id;
+    mutable father : node_id option;  (* probable owner; None = I am the tail *)
+    mutable next : node_id option;  (* distributed waiting queue link *)
+    mutable requesting : bool;
+    mutable token_here : bool;
+    mutable in_cs : bool;
+  }
 
-let dummy_rid i = { source = i; seq = 0 }
+  type t = {
+    net : R.t;
+    callbacks : callbacks;
+    nodes : node array;
+    mutable tokens_in_flight : int;
+  }
 
-let node t i = t.nodes.(i)
+  let dummy_rid i = { source = i; seq = 0 }
 
-let send_request t ~src ~dst ~origin =
-  Net.send t.net ~src ~dst (Message.Request { origin; rid = dummy_rid origin })
+  let node t i = t.nodes.(i)
 
-let send_token t ~src ~dst =
-  t.tokens_in_flight <- t.tokens_in_flight + 1;
-  Net.send t.net ~src ~dst (Message.Token { lender = None; rid = None })
+  let send_request t ~src ~dst ~origin =
+    R.send t.net ~src ~dst (Message.Request { origin; rid = dummy_rid origin })
 
-let handle_message t i ~src payload =
-  ignore src;
-  let nd = node t i in
-  match payload with
-  | Message.Request { origin; _ } -> (
+  let send_token t ~src ~dst =
+    t.tokens_in_flight <- t.tokens_in_flight + 1;
+    R.send t.net ~src ~dst (Message.Token { lender = None; rid = None })
+
+  let handle_message t i ~src payload =
+    ignore src;
+    let nd = node t i in
+    match payload with
+    | Message.Request { origin; _ } -> (
+      match nd.father with
+      | None ->
+        (* We are the tail of the queue. *)
+        if nd.requesting then
+          (* The requester will get the token after us. *)
+          nd.next <- Some origin
+        else begin
+          (* Idle token owner: hand the token over directly. *)
+          nd.token_here <- false;
+          send_token t ~src:nd.id ~dst:origin
+        end;
+        nd.father <- Some origin
+      | Some f ->
+        (* Path reversal: forward towards the probable owner and adopt the
+           requester as the new probable owner. *)
+        send_request t ~src:nd.id ~dst:f ~origin;
+        nd.father <- Some origin)
+    | Message.Token _ ->
+      t.tokens_in_flight <- t.tokens_in_flight - 1;
+      nd.token_here <- true;
+      nd.in_cs <- true;
+      t.callbacks.on_enter nd.id
+    | Message.Enquiry _ | Message.Enquiry_answer _ | Message.Test _
+    | Message.Test_answer _ | Message.Anomaly _ | Message.Void _ | Message.Census _
+    | Message.Census_reply _ | Message.Release | Message.Sk_request _
+    | Message.Sk_privilege _ | Message.Ra_request _ | Message.Ra_reply ->
+      invalid_arg "Naimi_trehel: unexpected message kind"
+
+  let create ~net ~callbacks ~n () =
+    if R.size net <> n then
+      invalid_arg "Naimi_trehel.create: size mismatch";
+    let t =
+      {
+        net;
+        callbacks;
+        nodes =
+          Array.init n (fun i ->
+              {
+                id = i;
+                father = (if i = 0 then None else Some 0);
+                next = None;
+                requesting = false;
+                token_here = i = 0;
+                in_cs = false;
+              });
+        tokens_in_flight = 0;
+      }
+    in
+    for i = 0 to n - 1 do
+      R.set_handler net i (fun ~src payload -> handle_message t i ~src payload)
+    done;
+    t
+
+  let request_cs t i =
+    let nd = node t i in
+    if nd.requesting || nd.in_cs then
+      invalid_arg "Naimi_trehel.request_cs: node already has a pending request";
+    nd.requesting <- true;
     match nd.father with
     | None ->
-      (* We are the tail of the queue. *)
-      if nd.requesting then
-        (* The requester will get the token after us. *)
-        nd.next <- Some origin
-      else begin
-        (* Idle token owner: hand the token over directly. *)
-        nd.token_here <- false;
-        send_token t ~src:nd.id ~dst:origin
-      end;
-      nd.father <- Some origin
+      (* We already own the token and nobody is queued: enter directly. *)
+      nd.in_cs <- true;
+      t.callbacks.on_enter nd.id
     | Some f ->
-      (* Path reversal: forward towards the probable owner and adopt the
-         requester as the new probable owner. *)
-      send_request t ~src:nd.id ~dst:f ~origin;
-      nd.father <- Some origin)
-  | Message.Token _ ->
-    t.tokens_in_flight <- t.tokens_in_flight - 1;
-    nd.token_here <- true;
-    nd.in_cs <- true;
-    t.callbacks.on_enter nd.id
-  | Message.Enquiry _ | Message.Enquiry_answer _ | Message.Test _
-  | Message.Test_answer _ | Message.Anomaly _ | Message.Void _ | Message.Census _
-  | Message.Census_reply _ | Message.Release | Message.Sk_request _
-  | Message.Sk_privilege _ | Message.Ra_request _ | Message.Ra_reply ->
-    invalid_arg "Naimi_trehel: unexpected message kind"
+      send_request t ~src:nd.id ~dst:f ~origin:nd.id;
+      nd.father <- None
 
-let create ~net ~callbacks ~n () =
-  if Net.size net <> n then
-    invalid_arg "Naimi_trehel.create: size mismatch";
-  let t =
+  let release_cs t i =
+    let nd = node t i in
+    if not nd.in_cs then
+      invalid_arg (Printf.sprintf "Naimi_trehel.release_cs: node %d not in CS" i);
+    nd.in_cs <- false;
+    nd.requesting <- false;
+    t.callbacks.on_exit i;
+    match nd.next with
+    | Some succ ->
+      nd.next <- None;
+      nd.token_here <- false;
+      send_token t ~src:nd.id ~dst:succ
+    | None -> () (* keep the token *)
+
+  let probable_owner t i = (node t i).father
+
+  let next_pointer t i = (node t i).next
+
+  let token_holders t =
+    Array.to_list t.nodes
+    |> List.filter_map (fun nd -> if nd.token_here then Some nd.id else None)
+
+  let longest_owner_chain t =
+    let n = Array.length t.nodes in
+    let rec chain len i =
+      if len > n then len
+      else match (node t i).father with None -> len | Some f -> chain (len + 1) f
+    in
+    Array.fold_left (fun acc nd -> max acc (chain 0 nd.id)) 0 t.nodes
+
+  let invariant_check t =
+    let holders = List.length (token_holders t) in
+    let in_cs = Array.fold_left (fun a nd -> if nd.in_cs then a + 1 else a) 0 t.nodes in
+    if in_cs > 1 then Error "mutual exclusion violated: >1 node in CS"
+    else if holders + t.tokens_in_flight <> 1 then
+      Error
+        (Printf.sprintf "token count %d should be 1" (holders + t.tokens_in_flight))
+    else Ok ()
+
+  let instance t =
     {
-      net;
-      callbacks;
-      nodes =
-        Array.init n (fun i ->
-            {
-              id = i;
-              father = (if i = 0 then None else Some 0);
-              next = None;
-              requesting = false;
-              token_here = i = 0;
-              in_cs = false;
-            });
-      tokens_in_flight = 0;
+      algo_name = "naimi-trehel";
+      request_cs = request_cs t;
+      release_cs = release_cs t;
+      on_recovered = ignore;
+      snapshot_tree =
+        (fun () -> Some (Array.map (fun nd -> nd.father) t.nodes));
+      token_holders = (fun () -> token_holders t);
+      invariant_check = (fun () -> invariant_check t);
     }
-  in
-  for i = 0 to n - 1 do
-    Net.set_handler net i (fun ~src payload -> handle_message t i ~src payload)
-  done;
-  t
+end
 
-let request_cs t i =
-  let nd = node t i in
-  if nd.requesting || nd.in_cs then
-    invalid_arg "Naimi_trehel.request_cs: node already has a pending request";
-  nd.requesting <- true;
-  match nd.father with
-  | None ->
-    (* We already own the token and nobody is queued: enter directly. *)
-    nd.in_cs <- true;
-    t.callbacks.on_enter nd.id
-  | Some f ->
-    send_request t ~src:nd.id ~dst:f ~origin:nd.id;
-    nd.father <- None
-
-let release_cs t i =
-  let nd = node t i in
-  if not nd.in_cs then
-    invalid_arg (Printf.sprintf "Naimi_trehel.release_cs: node %d not in CS" i);
-  nd.in_cs <- false;
-  nd.requesting <- false;
-  t.callbacks.on_exit i;
-  match nd.next with
-  | Some succ ->
-    nd.next <- None;
-    nd.token_here <- false;
-    send_token t ~src:nd.id ~dst:succ
-  | None -> () (* keep the token *)
-
-let probable_owner t i = (node t i).father
-
-let next_pointer t i = (node t i).next
-
-let token_holders t =
-  Array.to_list t.nodes
-  |> List.filter_map (fun nd -> if nd.token_here then Some nd.id else None)
-
-let longest_owner_chain t =
-  let n = Array.length t.nodes in
-  let rec chain len i =
-    if len > n then len
-    else match (node t i).father with None -> len | Some f -> chain (len + 1) f
-  in
-  Array.fold_left (fun acc nd -> max acc (chain 0 nd.id)) 0 t.nodes
-
-let invariant_check t =
-  let holders = List.length (token_holders t) in
-  let in_cs = Array.fold_left (fun a nd -> if nd.in_cs then a + 1 else a) 0 t.nodes in
-  if in_cs > 1 then Error "mutual exclusion violated: >1 node in CS"
-  else if holders + t.tokens_in_flight <> 1 then
-    Error
-      (Printf.sprintf "token count %d should be 1" (holders + t.tokens_in_flight))
-  else Ok ()
-
-let instance t =
-  {
-    algo_name = "naimi-trehel";
-    request_cs = request_cs t;
-    release_cs = release_cs t;
-    on_recovered = ignore;
-    snapshot_tree =
-      (fun () -> Some (Array.map (fun nd -> nd.father) t.nodes));
-    token_holders = (fun () -> token_holders t);
-    invariant_check = (fun () -> invariant_check t);
-  }
+include Make (Runtime.Sim)

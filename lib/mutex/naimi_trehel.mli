@@ -9,6 +9,33 @@
 
 open Types
 
+(** The protocol core, abstracted over its runtime ({!Runtime.S}). *)
+module Make (R : Runtime.S) : sig
+  type t
+
+  val create : net:R.t -> callbacks:callbacks -> n:int -> unit -> t
+
+  val request_cs : t -> node_id -> unit
+
+  val release_cs : t -> node_id -> unit
+
+  val instance : t -> instance
+
+  val probable_owner : t -> node_id -> node_id option
+
+  val next_pointer : t -> node_id -> node_id option
+
+  val token_holders : t -> node_id list
+
+  val longest_owner_chain : t -> int
+
+  val invariant_check : t -> (unit, string) result
+end
+
+(** {1 Simulator instantiation}
+
+    [Make (Runtime.Sim)], re-exported under the historical interface. *)
+
 type t
 
 val create : net:Net.t -> callbacks:callbacks -> n:int -> unit -> t

@@ -74,6 +74,69 @@ val default_config : p:int -> config
 (** [cs_estimate = 1.0], fault tolerance on, patience 1.0, 2 census rounds,
     window 32. *)
 
+(** Counters accumulated since creation. *)
+type stats = {
+  token_regenerations : int;
+  searches_started : int;
+  search_nodes_tested : int;  (** total probes sent by search_father *)
+  enquiries_sent : int;
+  anomalies_detected : int;
+  duplicate_requests_dropped : int;
+  mandates_voided : int;
+      (** stale proxy mandates cancelled on a [Void] from the source *)
+  stale_tokens_bounced : int;
+  unexpected_tokens : int;
+  tokens_destroyed : int;
+      (** duplicate tokens swallowed by a node that already held one *)
+  defensive_drops : int;
+}
+
+(** The protocol core, abstracted over its runtime ({!Runtime.S}). All
+    timeouts are derived from [R.delta] exactly as in the simulator, so
+    the same automaton runs unchanged under real processes
+    ([Ocube_proc.Proc_runtime]). *)
+module Make (R : Runtime.S) : sig
+  type t
+
+  val create : net:R.t -> callbacks:callbacks -> config:config -> t
+
+  val request_cs : t -> node_id -> unit
+
+  val release_cs : t -> node_id -> unit
+
+  val on_recovered : t -> node_id -> unit
+
+  val instance : t -> instance
+
+  val father : t -> node_id -> node_id option
+
+  val snapshot_tree : t -> node_id option array
+
+  val power : t -> node_id -> int
+
+  val token_holders : t -> node_id list
+
+  val is_asking : t -> node_id -> bool
+
+  val in_cs : t -> node_id -> bool
+
+  val queue_length : t -> node_id -> int
+
+  val searching : t -> node_id -> bool
+
+  val describe : t -> node_id -> string
+
+  val stats : t -> stats
+
+  val invariant_check : t -> (unit, string) result
+
+  val check_opencube : t -> (unit, string) result
+end
+
+(** {1 Simulator instantiation}
+
+    [Make (Runtime.Sim)], re-exported under the historical interface. *)
+
 type t
 
 val create : net:Net.t -> callbacks:callbacks -> config:config -> t
@@ -118,23 +181,6 @@ val searching : t -> node_id -> bool
 
 val describe : t -> node_id -> string
 (** One-line state dump of a node, for debugging embeddings. *)
-
-(** Counters accumulated since creation. *)
-type stats = {
-  token_regenerations : int;
-  searches_started : int;
-  search_nodes_tested : int;  (** total probes sent by search_father *)
-  enquiries_sent : int;
-  anomalies_detected : int;
-  duplicate_requests_dropped : int;
-  mandates_voided : int;
-      (** stale proxy mandates cancelled on a [Void] from the source *)
-  stale_tokens_bounced : int;
-  unexpected_tokens : int;
-  tokens_destroyed : int;
-      (** duplicate tokens swallowed by a node that already held one *)
-  defensive_drops : int;
-}
 
 val stats : t -> stats
 

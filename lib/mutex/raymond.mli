@@ -11,6 +11,32 @@
 
 open Types
 
+(** The protocol core, abstracted over its runtime ({!Runtime.S}). *)
+module Make (R : Runtime.S) : sig
+  type t
+
+  val create :
+    net:R.t -> callbacks:callbacks -> tree:node_id option array -> unit -> t
+
+  val request_cs : t -> node_id -> unit
+
+  val release_cs : t -> node_id -> unit
+
+  val instance : t -> instance
+
+  val holder : t -> node_id -> node_id
+
+  val token_holders : t -> node_id list
+
+  val queue_length : t -> node_id -> int
+
+  val invariant_check : t -> (unit, string) result
+end
+
+(** {1 Simulator instantiation}
+
+    [Make (Runtime.Sim)], re-exported under the historical interface. *)
+
 type t
 
 val create :

@@ -1,159 +1,164 @@
 open Types
 module Fdeque = Ocube_sim.Fdeque
 
-type node = {
-  id : node_id;
-  rn : int array;  (* highest request number heard from each node *)
-  mutable has_token : bool;
-  mutable in_cs : bool;
-  mutable requesting : bool;
-  (* token state, meaningful only at the holder: *)
-  mutable tq : node_id Fdeque.t;  (* token queue *)
-  mutable ln : int array;  (* last served request number per node *)
-}
+module Make (R : Runtime.S) = struct
 
-type t = {
-  net : Net.t;
-  callbacks : callbacks;
-  nodes : node array;
-  mutable tokens_in_flight : int;
-}
-
-let node t i = t.nodes.(i)
-
-let n_of t = Array.length t.nodes
-
-let broadcast_request t nd =
-  let seq = nd.rn.(nd.id) in
-  for j = 0 to n_of t - 1 do
-    if j <> nd.id then
-      Net.send t.net ~src:nd.id ~dst:j (Message.Sk_request { origin = nd.id; seq })
-  done
-
-let enter t nd =
-  nd.in_cs <- true;
-  t.callbacks.on_enter nd.id
-
-let send_token t nd dst =
-  nd.has_token <- false;
-  t.tokens_in_flight <- t.tokens_in_flight + 1;
-  Net.send t.net ~src:nd.id ~dst
-    (Message.Sk_privilege { queue = Fdeque.to_list nd.tq; ln = Array.copy nd.ln })
-
-(* Holder-side: after a release (or on receiving a request while idle),
-   update the token queue with every node whose request is newer than the
-   last one served, then pass the token to the head. *)
-let update_queue_and_pass t nd =
-  if nd.has_token && (not nd.in_cs) && not nd.requesting then begin
-    (* One O(n + |tq|) membership table instead of an O(n * |tq|)
-       List.mem sweep. *)
-    let queued = Array.make (n_of t) false in
-    Fdeque.iter (fun j -> queued.(j) <- true) nd.tq;
-    for j = 0 to n_of t - 1 do
-      if j <> nd.id && (not queued.(j)) && nd.rn.(j) = nd.ln.(j) + 1 then
-        nd.tq <- Fdeque.push_back nd.tq j
-    done;
-    match Fdeque.pop_front nd.tq with
-    | Some (dst, rest) ->
-      nd.tq <- rest;
-      send_token t nd dst
-    | None -> ()
-  end
-
-let handle_message t i ~src payload =
-  ignore src;
-  let nd = node t i in
-  match payload with
-  | Message.Sk_request { origin; seq } ->
-    nd.rn.(origin) <- max nd.rn.(origin) seq;
-    update_queue_and_pass t nd
-  | Message.Sk_privilege { queue; ln } ->
-    t.tokens_in_flight <- t.tokens_in_flight - 1;
-    nd.has_token <- true;
-    nd.tq <- Fdeque.of_list queue;
-    nd.ln <- ln;
-    (* The token only travels towards a requester. *)
-    enter t nd
-  | Message.Request _ | Message.Token _ | Message.Enquiry _
-  | Message.Enquiry_answer _ | Message.Test _ | Message.Test_answer _
-  | Message.Anomaly _ | Message.Void _ | Message.Census _
-  | Message.Census_reply _ | Message.Release | Message.Ra_request _
-  | Message.Ra_reply ->
-    invalid_arg "Suzuki_kasami: unexpected message kind"
-
-let create ~net ~callbacks ~n () =
-  if Net.size net <> n then invalid_arg "Suzuki_kasami.create: size mismatch";
-  let t =
-    {
-      net;
-      callbacks;
-      nodes =
-        Array.init n (fun i ->
-            {
-              id = i;
-              rn = Array.make n 0;
-              has_token = i = 0;
-              in_cs = false;
-              requesting = false;
-              tq = Fdeque.empty;
-              ln = Array.make n 0;
-            });
-      tokens_in_flight = 0;
-    }
-  in
-  for i = 0 to n - 1 do
-    Net.set_handler net i (fun ~src payload -> handle_message t i ~src payload)
-  done;
-  t
-
-let request_cs t i =
-  let nd = node t i in
-  if nd.requesting || nd.in_cs then
-    invalid_arg "Suzuki_kasami.request_cs: request already pending";
-  nd.requesting <- true;
-  if nd.has_token then enter t nd
-  else begin
-    nd.rn.(i) <- nd.rn.(i) + 1;
-    broadcast_request t nd
-  end
-
-let release_cs t i =
-  let nd = node t i in
-  if not nd.in_cs then
-    invalid_arg (Printf.sprintf "Suzuki_kasami.release_cs: node %d not in CS" i);
-  nd.in_cs <- false;
-  nd.requesting <- false;
-  t.callbacks.on_exit i;
-  nd.ln.(i) <- nd.rn.(i);
-  update_queue_and_pass t nd
-
-let token_holders t =
-  Array.to_list t.nodes
-  |> List.filter_map (fun nd -> if nd.has_token then Some nd.id else None)
-
-let token_queue t =
-  match token_holders t with
-  | [ h ] -> Fdeque.to_list (node t h).tq
-  | _ -> []
-
-let invariant_check t =
-  let holders = List.length (token_holders t) in
-  let in_cs =
-    Array.fold_left (fun a nd -> if nd.in_cs then a + 1 else a) 0 t.nodes
-  in
-  if in_cs > 1 then Error "mutual exclusion violated: >1 node in CS"
-  else if holders + t.tokens_in_flight <> 1 then
-    Error
-      (Printf.sprintf "token count %d should be 1" (holders + t.tokens_in_flight))
-  else Ok ()
-
-let instance t =
-  {
-    algo_name = "suzuki-kasami";
-    request_cs = request_cs t;
-    release_cs = release_cs t;
-    on_recovered = ignore;
-    snapshot_tree = (fun () -> None);
-    token_holders = (fun () -> token_holders t);
-    invariant_check = (fun () -> invariant_check t);
+  type node = {
+    id : node_id;
+    rn : int array;  (* highest request number heard from each node *)
+    mutable has_token : bool;
+    mutable in_cs : bool;
+    mutable requesting : bool;
+    (* token state, meaningful only at the holder: *)
+    mutable tq : node_id Fdeque.t;  (* token queue *)
+    mutable ln : int array;  (* last served request number per node *)
   }
+
+  type t = {
+    net : R.t;
+    callbacks : callbacks;
+    nodes : node array;
+    mutable tokens_in_flight : int;
+  }
+
+  let node t i = t.nodes.(i)
+
+  let n_of t = Array.length t.nodes
+
+  let broadcast_request t nd =
+    let seq = nd.rn.(nd.id) in
+    for j = 0 to n_of t - 1 do
+      if j <> nd.id then
+        R.send t.net ~src:nd.id ~dst:j (Message.Sk_request { origin = nd.id; seq })
+    done
+
+  let enter t nd =
+    nd.in_cs <- true;
+    t.callbacks.on_enter nd.id
+
+  let send_token t nd dst =
+    nd.has_token <- false;
+    t.tokens_in_flight <- t.tokens_in_flight + 1;
+    R.send t.net ~src:nd.id ~dst
+      (Message.Sk_privilege { queue = Fdeque.to_list nd.tq; ln = Array.copy nd.ln })
+
+  (* Holder-side: after a release (or on receiving a request while idle),
+     update the token queue with every node whose request is newer than the
+     last one served, then pass the token to the head. *)
+  let update_queue_and_pass t nd =
+    if nd.has_token && (not nd.in_cs) && not nd.requesting then begin
+      (* One O(n + |tq|) membership table instead of an O(n * |tq|)
+         List.mem sweep. *)
+      let queued = Array.make (n_of t) false in
+      Fdeque.iter (fun j -> queued.(j) <- true) nd.tq;
+      for j = 0 to n_of t - 1 do
+        if j <> nd.id && (not queued.(j)) && nd.rn.(j) = nd.ln.(j) + 1 then
+          nd.tq <- Fdeque.push_back nd.tq j
+      done;
+      match Fdeque.pop_front nd.tq with
+      | Some (dst, rest) ->
+        nd.tq <- rest;
+        send_token t nd dst
+      | None -> ()
+    end
+
+  let handle_message t i ~src payload =
+    ignore src;
+    let nd = node t i in
+    match payload with
+    | Message.Sk_request { origin; seq } ->
+      nd.rn.(origin) <- max nd.rn.(origin) seq;
+      update_queue_and_pass t nd
+    | Message.Sk_privilege { queue; ln } ->
+      t.tokens_in_flight <- t.tokens_in_flight - 1;
+      nd.has_token <- true;
+      nd.tq <- Fdeque.of_list queue;
+      nd.ln <- ln;
+      (* The token only travels towards a requester. *)
+      enter t nd
+    | Message.Request _ | Message.Token _ | Message.Enquiry _
+    | Message.Enquiry_answer _ | Message.Test _ | Message.Test_answer _
+    | Message.Anomaly _ | Message.Void _ | Message.Census _
+    | Message.Census_reply _ | Message.Release | Message.Ra_request _
+    | Message.Ra_reply ->
+      invalid_arg "Suzuki_kasami: unexpected message kind"
+
+  let create ~net ~callbacks ~n () =
+    if R.size net <> n then invalid_arg "Suzuki_kasami.create: size mismatch";
+    let t =
+      {
+        net;
+        callbacks;
+        nodes =
+          Array.init n (fun i ->
+              {
+                id = i;
+                rn = Array.make n 0;
+                has_token = i = 0;
+                in_cs = false;
+                requesting = false;
+                tq = Fdeque.empty;
+                ln = Array.make n 0;
+              });
+        tokens_in_flight = 0;
+      }
+    in
+    for i = 0 to n - 1 do
+      R.set_handler net i (fun ~src payload -> handle_message t i ~src payload)
+    done;
+    t
+
+  let request_cs t i =
+    let nd = node t i in
+    if nd.requesting || nd.in_cs then
+      invalid_arg "Suzuki_kasami.request_cs: request already pending";
+    nd.requesting <- true;
+    if nd.has_token then enter t nd
+    else begin
+      nd.rn.(i) <- nd.rn.(i) + 1;
+      broadcast_request t nd
+    end
+
+  let release_cs t i =
+    let nd = node t i in
+    if not nd.in_cs then
+      invalid_arg (Printf.sprintf "Suzuki_kasami.release_cs: node %d not in CS" i);
+    nd.in_cs <- false;
+    nd.requesting <- false;
+    t.callbacks.on_exit i;
+    nd.ln.(i) <- nd.rn.(i);
+    update_queue_and_pass t nd
+
+  let token_holders t =
+    Array.to_list t.nodes
+    |> List.filter_map (fun nd -> if nd.has_token then Some nd.id else None)
+
+  let token_queue t =
+    match token_holders t with
+    | [ h ] -> Fdeque.to_list (node t h).tq
+    | _ -> []
+
+  let invariant_check t =
+    let holders = List.length (token_holders t) in
+    let in_cs =
+      Array.fold_left (fun a nd -> if nd.in_cs then a + 1 else a) 0 t.nodes
+    in
+    if in_cs > 1 then Error "mutual exclusion violated: >1 node in CS"
+    else if holders + t.tokens_in_flight <> 1 then
+      Error
+        (Printf.sprintf "token count %d should be 1" (holders + t.tokens_in_flight))
+    else Ok ()
+
+  let instance t =
+    {
+      algo_name = "suzuki-kasami";
+      request_cs = request_cs t;
+      release_cs = release_cs t;
+      on_recovered = ignore;
+      snapshot_tree = (fun () -> None);
+      token_holders = (fun () -> token_holders t);
+      invariant_check = (fun () -> invariant_check t);
+    }
+end
+
+include Make (Runtime.Sim)

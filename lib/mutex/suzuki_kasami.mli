@@ -10,6 +10,29 @@
 
 open Types
 
+(** The protocol core, abstracted over its runtime ({!Runtime.S}). *)
+module Make (R : Runtime.S) : sig
+  type t
+
+  val create : net:R.t -> callbacks:callbacks -> n:int -> unit -> t
+
+  val request_cs : t -> node_id -> unit
+
+  val release_cs : t -> node_id -> unit
+
+  val instance : t -> instance
+
+  val token_holders : t -> node_id list
+
+  val token_queue : t -> node_id list
+
+  val invariant_check : t -> (unit, string) result
+end
+
+(** {1 Simulator instantiation}
+
+    [Make (Runtime.Sim)], re-exported under the historical interface. *)
+
 type t
 
 val create : net:Net.t -> callbacks:callbacks -> n:int -> unit -> t

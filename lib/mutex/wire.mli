@@ -1,0 +1,56 @@
+(** Wire codec for {!Types.Message.t}: the payload format of the process
+    runtime (DESIGN.md §15).
+
+    A message is one tag byte followed by its fields as zigzag varints
+    (options as a presence byte, lists and arrays length-prefixed). The
+    encoding is self-delimiting and canonical — one byte sequence per
+    message value — which the conformance checksums {!mix} rely on. It
+    carries no length prefix of its own; [Ocube_proc.Frame] adds the
+    4-byte length framing at the transport layer. *)
+
+exception Corrupt of string
+(** Raised by {!decode} on malformed input: truncation, varint overflow,
+    unknown tags, absurd lengths, or trailing bytes. *)
+
+val encode : Types.Message.t -> string
+
+val decode : string -> Types.Message.t
+(** Inverse of {!encode}; consumes the whole string.
+    @raise Corrupt if the input is not exactly one encoded message. *)
+
+val mix : string -> dst:int -> Types.Message.t -> string
+(** [mix acc ~dst msg] folds one sent message into a per-node send
+    checksum (rolling MD5 hex). Seed with [""]. Both runtimes compute
+    node checksums with this function, so equal results mean
+    byte-identical send sequences (the DES↔process conformance
+    criterion). *)
+
+val mix_raw : string -> dst:int -> string -> string
+(** Same fold over already-encoded wire bytes: [mix acc ~dst msg] is
+    [mix_raw acc ~dst (encode msg)]. The cluster parent folds with this,
+    so it never needs to decode the payloads it routes. *)
+
+(** {1 Primitives}
+
+    The zigzag-varint building blocks, exposed for [Ocube_proc.Ctrl] so
+    control frames and protocol payloads share one encoding discipline. *)
+
+type cursor
+(** A read position in an immutable string. *)
+
+val cursor : string -> cursor
+
+val cursor_done : cursor -> bool
+(** All bytes consumed — decoders use it to reject trailing garbage. *)
+
+val add_int : Buffer.t -> int -> unit
+(** Zigzag varint. *)
+
+val read_int : cursor -> int
+(** @raise Corrupt on truncation or overflow. *)
+
+val add_string : Buffer.t -> string -> unit
+(** Length-prefixed bytes. *)
+
+val read_string : cursor -> string
+(** @raise Corrupt on truncation or absurd length (> 1 MiB). *)

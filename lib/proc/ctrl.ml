@@ -1,0 +1,80 @@
+module Wire = Ocube_mutex.Wire
+
+type to_child =
+  | Deliver of { src : int; msg : string }
+  | Wish
+  | Quit
+
+type to_parent =
+  | Send of { dst : int; msg : string }
+  | Enter
+  | Exit
+  | Violation of string
+
+let encode_to_child c =
+  let b = Buffer.create 32 in
+  (match c with
+  | Deliver { src; msg } ->
+    Wire.add_int b 0;
+    Wire.add_int b src;
+    Wire.add_string b msg
+  | Wish -> Wire.add_int b 1
+  | Quit -> Wire.add_int b 2);
+  Buffer.contents b
+
+let encode_to_parent p =
+  let b = Buffer.create 32 in
+  (match p with
+  | Send { dst; msg } ->
+    Wire.add_int b 0;
+    Wire.add_int b dst;
+    Wire.add_string b msg
+  | Enter -> Wire.add_int b 1
+  | Exit -> Wire.add_int b 2
+  | Violation info ->
+    Wire.add_int b 3;
+    Wire.add_string b info);
+  Buffer.contents b
+
+(* Control-frame corruption surfaces as [Frame.Corrupt]: by the time a
+   payload reaches a decoder the transport framing already vouched for
+   its extent, so a bad tag here is the same class of failure. *)
+let bad what = raise (Frame.Corrupt ("bad control frame: " ^ what))
+
+let finish c v = if Wire.cursor_done c then v else bad "trailing bytes"
+
+let decode_to_child s =
+  let c = Wire.cursor s in
+  match Wire.read_int c with
+  | exception Wire.Corrupt m -> bad m
+  | 0 -> (
+    match
+      let src = Wire.read_int c in
+      let msg = Wire.read_string c in
+      Deliver { src; msg }
+    with
+    | v -> finish c v
+    | exception Wire.Corrupt m -> bad m)
+  | 1 -> finish c Wish
+  | 2 -> finish c Quit
+  | _ -> bad "unknown to-child tag"
+
+let decode_to_parent s =
+  let c = Wire.cursor s in
+  match Wire.read_int c with
+  | exception Wire.Corrupt m -> bad m
+  | 0 -> (
+    match
+      let dst = Wire.read_int c in
+      let msg = Wire.read_string c in
+      Send { dst; msg }
+    with
+    | v -> finish c v
+    | exception Wire.Corrupt m -> bad m)
+  | 1 -> finish c Enter
+  | 2 -> finish c Exit
+  | 3 -> (
+    match Wire.read_string c with
+    | info -> finish c (Violation info)
+    | exception Wire.Corrupt m -> bad m)
+  | _ -> bad "unknown to-parent tag"

@@ -1,0 +1,31 @@
+(** Control frames between the cluster parent and its node children.
+
+    Payloads ride inside {!Frame} framing; fields use the {!Wire} varint
+    primitives. Protocol messages cross this layer as raw {!Wire}
+    byte strings, so the parent routes (and checksums) them without ever
+    decoding a protocol payload. *)
+
+type to_child =
+  | Deliver of { src : int; msg : string }
+      (** A protocol message for this node; [msg] is [Wire.encode]d. *)
+  | Wish  (** Issue one critical-section wish. *)
+  | Quit  (** Orderly shutdown: the child [_exit 0]s. *)
+
+type to_parent =
+  | Send of { dst : int; msg : string }
+      (** The node sent a protocol message; the parent routes it. *)
+  | Enter  (** The node entered its critical section. *)
+  | Exit  (** The node left its critical section. *)
+  | Violation of string
+      (** The node's witness lock was already held at entry, or the
+          child died on an exception — [string] says which. *)
+
+val encode_to_child : to_child -> string
+
+val decode_to_child : string -> to_child
+(** @raise Frame.Corrupt on a malformed payload. *)
+
+val encode_to_parent : to_parent -> string
+
+val decode_to_parent : string -> to_parent
+(** @raise Frame.Corrupt on a malformed payload. *)

@@ -1,0 +1,103 @@
+exception Corrupt of string
+
+let corrupt msg = raise (Corrupt msg)
+
+let max_frame = 1 lsl 20
+
+exception Oversized of int
+
+let header len =
+  if len > max_frame then raise (Oversized len);
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 (Int32.of_int len);
+  b
+
+(* One writev-like call per frame: header and payload leave in a single
+   [Unix.write] so a concurrent reader of the same pipe can never observe
+   a header without its payload queued behind it. Short writes are
+   completed in a loop; EINTR restarts the faulting call. *)
+let rec write_all fd b pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd b pos len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd b (pos + n) (len - n)
+  end
+
+let write fd payload =
+  let len = String.length payload in
+  let b = Bytes.create (4 + len) in
+  Bytes.blit (header len) 0 b 0 4;
+  Bytes.blit_string payload 0 b 4 len;
+  write_all fd b 0 (4 + len)
+
+let rec read_once fd b pos len =
+  try Unix.read fd b pos len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> read_once fd b pos len
+
+(* [`Eof] only at a frame boundary; EOF after a partial read is a torn
+   frame and therefore [Corrupt]. *)
+let fill fd b len =
+  let rec go pos =
+    if pos >= len then `Ok
+    else
+      let n = read_once fd b pos (len - pos) in
+      if n = 0 then if pos = 0 then `Eof else `Torn
+      else go (pos + n)
+  in
+  go 0
+
+let parse_len b =
+  let len = Int32.to_int (Bytes.get_int32_be b 0) in
+  if len < 0 || len > max_frame then corrupt "bad frame length";
+  len
+
+let read fd =
+  let hdr = Bytes.create 4 in
+  match fill fd hdr 4 with
+  | `Eof -> None
+  | `Torn -> corrupt "eof inside frame header"
+  | `Ok ->
+    let len = parse_len hdr in
+    let payload = Bytes.create len in
+    (match fill fd payload len with
+    | `Ok -> Some (Bytes.unsafe_to_string payload)
+    | `Eof | `Torn -> corrupt "eof inside frame payload")
+
+module Decoder = struct
+  type t = { mutable buf : Bytes.t; mutable len : int }
+
+  let create () = { buf = Bytes.create 4096; len = 0 }
+
+  let buffered t = t.len
+
+  let feed t s pos n =
+    if pos < 0 || n < 0 || pos + n > String.length s then
+      invalid_arg "Frame.Decoder.feed";
+    let need = t.len + n in
+    if need > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf) in
+      while need > !cap do
+        cap := !cap * 2
+      done;
+      let b = Bytes.create !cap in
+      Bytes.blit t.buf 0 b 0 t.len;
+      t.buf <- b
+    end;
+    Bytes.blit_string s pos t.buf t.len n;
+    t.len <- need
+
+  let next t =
+    if t.len < 4 then None
+    else
+      let flen = parse_len t.buf in
+      if t.len < 4 + flen then None
+      else begin
+        let payload = Bytes.sub_string t.buf 4 flen in
+        let rest = t.len - 4 - flen in
+        Bytes.blit t.buf (4 + flen) t.buf 0 rest;
+        t.len <- rest;
+        Some payload
+      end
+end

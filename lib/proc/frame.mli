@@ -1,0 +1,46 @@
+(** Length-prefixed framing over byte streams (DESIGN.md §15).
+
+    Every frame is a 4-byte big-endian payload length followed by the
+    payload bytes; payloads above {!max_frame} are rejected on both
+    sides. The blocking {!read}/{!write} pair serves the child's
+    single-socket event loop; the incremental {!Decoder} serves the
+    parent's select loop (and the torn-frame tests, which feed it one
+    byte at a time). *)
+
+exception Corrupt of string
+(** A malformed stream: EOF inside a frame, or a length outside
+    [0..max_frame]. *)
+
+exception Oversized of int
+(** Raised by {!write} on a payload longer than {!max_frame} — the
+    writer's bug, not the stream's. *)
+
+val max_frame : int
+(** 1 MiB. Protocol messages are tens of bytes; anything near this
+    bound is corruption. *)
+
+val write : Unix.file_descr -> string -> unit
+(** Blocking write of one frame; finishes short writes, restarts EINTR.
+    Header and payload go in a single [write] call. *)
+
+val read : Unix.file_descr -> string option
+(** Blocking read of one frame. [None] on EOF at a frame boundary
+    (orderly close).
+    @raise Corrupt on EOF mid-frame or a bad length. *)
+
+(** Incremental decoder: feed arbitrary chunks, pull complete frames. *)
+module Decoder : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> string -> int -> int -> unit
+  (** [feed t s pos n] appends [s[pos..pos+n-1]] to the buffer. *)
+
+  val next : t -> string option
+  (** Next complete frame, or [None] if more bytes are needed.
+      @raise Corrupt on a bad length prefix. *)
+
+  val buffered : t -> int
+  (** Bytes currently buffered (tests use it to assert drain). *)
+end

@@ -1,0 +1,69 @@
+module Static_tree = Ocube_topology.Static_tree
+
+type algo =
+  | Opencube
+  | Raymond
+  | Naimi_trehel
+  | Central
+  | Suzuki_kasami
+  | Ricart_agrawala
+
+let all =
+  [ Opencube; Raymond; Naimi_trehel; Central; Suzuki_kasami; Ricart_agrawala ]
+
+let name = function
+  | Opencube -> "opencube"
+  | Raymond -> "raymond"
+  | Naimi_trehel -> "naimi-trehel"
+  | Central -> "central"
+  | Suzuki_kasami -> "suzuki-kasami"
+  | Ricart_agrawala -> "ricart-agrawala"
+
+let of_name s = List.find_opt (fun a -> String.equal (name a) s) all
+
+type params = { p : int; ft : bool; patience : float; lifo : bool }
+
+let default_params ~p = { p; ft = false; patience = 1.0; lifo = false }
+
+let fault_tolerant = function Opencube -> true | _ -> false
+
+(* Mirrors [Ocube_check.Fuzz.build]'s construction parameters exactly:
+   the conformance suite counts on a scenario building the *same*
+   automaton in both runtimes, so any divergence here would show up as a
+   digest mismatch, not a protocol bug. *)
+module Build (R : Ocube_mutex.Runtime.S) = struct
+  module Opencube_algo = Ocube_mutex.Opencube_algo
+
+  let build algo ~(params : params) ~net ~callbacks =
+    let n = 1 lsl params.p in
+    if R.size net <> n then invalid_arg "Spec.build: runtime size <> 2^p";
+    match algo with
+    | Opencube ->
+      let module A = Opencube_algo.Make (R) in
+      let config =
+        {
+          (Opencube_algo.default_config ~p:params.p) with
+          fault_tolerance = params.ft;
+          asker_patience = params.patience;
+          queue_policy =
+            (if params.lifo then Opencube_algo.Lifo else Opencube_algo.Fifo);
+        }
+      in
+      A.instance (A.create ~net ~callbacks ~config)
+    | Raymond ->
+      let module A = Ocube_mutex.Raymond.Make (R) in
+      let tree = Static_tree.build Static_tree.Binomial ~n in
+      A.instance (A.create ~net ~callbacks ~tree ())
+    | Naimi_trehel ->
+      let module A = Ocube_mutex.Naimi_trehel.Make (R) in
+      A.instance (A.create ~net ~callbacks ~n ())
+    | Central ->
+      let module A = Ocube_mutex.Central.Make (R) in
+      A.instance (A.create ~net ~callbacks ~n ())
+    | Suzuki_kasami ->
+      let module A = Ocube_mutex.Suzuki_kasami.Make (R) in
+      A.instance (A.create ~net ~callbacks ~n ())
+    | Ricart_agrawala ->
+      let module A = Ocube_mutex.Ricart_agrawala.Make (R) in
+      A.instance (A.create ~net ~callbacks ~n ())
+end

@@ -210,7 +210,8 @@ let always_grant_build (s : Scenario.t) =
 
 let overlapping_scenario =
   {
-    Scenario.algo = Scenario.Central;
+    Scenario.runtime = Scenario.Des;
+    algo = Scenario.Central;
     p = 3;
     seed = 5;
     delay = Network.Constant 1.0;

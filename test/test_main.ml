@@ -13,6 +13,11 @@ let () =
       ("baselines", Test_baselines.suite);
       ("generic", Test_generic.suite);
       ("workload", Test_workload.suite);
+      (* The process-cluster suites fork; on OCaml 5 Unix.fork is
+         forbidden once any domain has ever been spawned, so they must
+         run before the domain-pool suites (harness, model, par, fuzz). *)
+      ("wire", Test_wire.suite);
+      ("proc", Test_proc.suite);
       ("harness", Test_harness.suite);
       ("model", Test_model.suite);
       ("model.symmetry", Test_symmetry.suite);
